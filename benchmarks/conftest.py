@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Every benchmark module reproduces one experiment (E1–E12 in DESIGN.md): it
+benchmarks a representative unit of work with pytest-benchmark *and* runs the
+corresponding experiment harness once, recording the resulting report.  The
+reports are printed in the terminal summary so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures both
+the timing table and the paper-versus-measured series EXPERIMENTS.md refers
+to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+@pytest.fixture
+def experiment_recorder():
+    """Record an :class:`ExperimentReport` for the terminal summary."""
+
+    def record(report) -> None:
+        _REPORTS.append(report.render())
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter) -> None:  # pragma: no cover - reporting hook
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line("Stone Age Distributed Computing — reproduction experiment reports")
+    terminalreporter.write_line("=" * 78)
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

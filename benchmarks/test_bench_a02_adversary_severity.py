@@ -1,0 +1,32 @@
+"""A2 — ablation: adversary severity versus the normalised run-time measure.
+
+Making part of the network much slower stretches the wall-clock execution
+but must not blow up the paper's normalised run-time (time divided by the
+largest adversarial parameter) — that is what makes the measure meaningful.
+"""
+
+from repro.analysis.experiments import experiment_adversary_severity
+from repro.compilers import compile_to_asynchronous
+from repro.graphs import gnp_random_graph
+from repro.protocols.mis import MISProtocol
+from repro.scheduling.adversary import SkewedRatesAdversary
+from repro.scheduling.async_engine import run_asynchronous
+
+
+def test_bench_severe_adversary(benchmark, experiment_recorder):
+    graph = gnp_random_graph(8, 0.4, seed=22)
+    compiled = compile_to_asynchronous(MISProtocol())
+
+    def run_once():
+        return run_asynchronous(
+            graph, compiled, seed=23,
+            adversary=SkewedRatesAdversary(slow_fraction=0.3, slow_factor=32.0),
+            adversary_seed=24, max_events=6_000_000,
+        )
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.reached_output
+
+    report = experiment_adversary_severity(slow_factors=(1.0, 4.0, 16.0, 64.0), size=8)
+    experiment_recorder(report)
+    assert report.passed

@@ -1,0 +1,26 @@
+"""E1 — Theorem 4.5: the Stone Age MIS runs in O(log² n) rounds.
+
+The benchmark times one representative MIS execution (n = 512 sparse G(n,p));
+the recorded experiment report sweeps n over two decades, prints rounds vs
+``log² n`` and classifies the measured growth.
+"""
+
+from repro.analysis.experiments import experiment_mis_scaling
+from repro.graphs import gnp_random_graph
+from repro.protocols.mis import MISProtocol, mis_from_result
+from repro.scheduling.sync_engine import run_synchronous
+from repro.verification import is_maximal_independent_set
+
+
+def test_bench_mis_single_run(benchmark, experiment_recorder):
+    graph = gnp_random_graph(512, 4.0 / 512, seed=1)
+
+    def run_once():
+        return run_synchronous(graph, MISProtocol(), seed=7)
+
+    result = benchmark(run_once)
+    assert is_maximal_independent_set(graph, mis_from_result(result))
+
+    report = experiment_mis_scaling(sizes=[16, 32, 64, 128, 256, 512, 1024], repetitions=3)
+    experiment_recorder(report)
+    assert report.passed

@@ -1,0 +1,21 @@
+"""E2 — Theorem 5.4: the Stone Age tree 3-coloring runs in O(log n) rounds."""
+
+from repro.analysis.experiments import experiment_coloring_scaling
+from repro.graphs import random_tree
+from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
+from repro.scheduling.sync_engine import run_synchronous
+from repro.verification import is_proper_coloring
+
+
+def test_bench_coloring_single_run(benchmark, experiment_recorder):
+    tree = random_tree(1024, seed=2)
+
+    def run_once():
+        return run_synchronous(tree, TreeColoringProtocol(), seed=5, max_rounds=50_000)
+
+    result = benchmark(run_once)
+    assert is_proper_coloring(tree, coloring_from_result(result))
+
+    report = experiment_coloring_scaling(sizes=[16, 32, 64, 128, 256, 512, 1024, 2048], repetitions=3)
+    experiment_recorder(report)
+    assert report.passed

@@ -1,0 +1,22 @@
+"""E4 — Theorem 3.4: single-letter lowering multiplies rounds by |Σ| exactly."""
+
+from repro.analysis.experiments import experiment_multiquery_overhead
+from repro.compilers import lower_to_single_query
+from repro.graphs import gnp_random_graph
+from repro.protocols.mis import MISProtocol
+from repro.scheduling.sync_engine import run_synchronous
+
+
+def test_bench_lowered_mis(benchmark, experiment_recorder):
+    graph = gnp_random_graph(48, 0.12, seed=4)
+    lowered = lower_to_single_query(MISProtocol())
+
+    def run_once():
+        return run_synchronous(graph, lowered, seed=6, max_rounds=500_000)
+
+    result = benchmark(run_once)
+    assert result.reached_output
+
+    report = experiment_multiquery_overhead(sizes=(16, 32, 64))
+    experiment_recorder(report)
+    assert report.passed

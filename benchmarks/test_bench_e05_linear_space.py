@@ -1,0 +1,21 @@
+"""E5 — Lemma 6.1: simulating the whole network in linear space."""
+
+from repro.analysis.experiments import experiment_linear_space
+from repro.automata.nfsm_to_lba import simulate_with_linear_space
+from repro.graphs import gnp_random_graph
+from repro.protocols.mis import MISProtocol
+
+
+def test_bench_linear_space_simulation(benchmark, experiment_recorder):
+    graph = gnp_random_graph(256, 4.0 / 256, seed=5)
+
+    def run_once():
+        return simulate_with_linear_space(graph, MISProtocol(), seed=8)
+
+    result = benchmark(run_once)
+    assert result.reached_output
+    assert result.metadata["space_report"].extra_cells_per_entry <= 2.0
+
+    report = experiment_linear_space(sizes=(16, 64, 256, 1024))
+    experiment_recorder(report)
+    assert report.passed

@@ -1,0 +1,19 @@
+"""E6 — Lemma 6.2: an rLBA simulated by an nFSM protocol on a path."""
+
+from repro.analysis.experiments import experiment_lba_on_path
+from repro.automata.languages import palindrome_lba, palindrome_reference
+from repro.automata.lba_to_nfsm import decide_word_on_path
+
+
+def test_bench_palindrome_on_a_path(benchmark, experiment_recorder):
+    word = list("abbaab" * 2)
+
+    def run_once():
+        return decide_word_on_path(palindrome_lba(), word, seed=3)
+
+    verdict, _ = benchmark(run_once)
+    assert verdict == palindrome_reference(word)
+
+    report = experiment_lba_on_path(word_lengths=(0, 1, 3, 5, 8, 12))
+    experiment_recorder(report)
+    assert report.passed

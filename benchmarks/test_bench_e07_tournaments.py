@@ -1,0 +1,20 @@
+"""E7 — Figure 1 mechanics: tournament lengths follow 2 + Geom(1/2)."""
+
+from repro.analysis.experiments import experiment_tournaments
+from repro.analysis.tournaments import trace_mis_execution
+from repro.graphs import gnp_random_graph
+
+
+def test_bench_traced_mis_execution(benchmark, experiment_recorder):
+    graph = gnp_random_graph(128, 0.06, seed=7)
+
+    def run_once():
+        trace, _ = trace_mis_execution(graph, seed=11)
+        return trace
+
+    trace = benchmark(run_once)
+    assert trace.tournament_lengths()
+
+    report = experiment_tournaments(sizes=(32, 64, 128))
+    experiment_recorder(report)
+    assert report.passed

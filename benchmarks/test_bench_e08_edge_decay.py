@@ -1,0 +1,20 @@
+"""E8 — Lemma 4.3: the virtual graph loses a constant edge fraction per tournament."""
+
+from repro.analysis.experiments import experiment_edge_decay
+from repro.analysis.tournaments import trace_mis_execution
+from repro.graphs import gnp_random_graph
+
+
+def test_bench_edge_decay_measurement(benchmark, experiment_recorder):
+    graph = gnp_random_graph(192, 4.0 / 192, seed=8)
+
+    def run_once():
+        trace, _ = trace_mis_execution(graph, seed=13)
+        return trace.edge_decay()
+
+    decay = benchmark(run_once)
+    assert decay[0] == graph.num_edges and decay[-1] == 0
+
+    report = experiment_edge_decay(sizes=(64, 128, 256), repetitions=3)
+    experiment_recorder(report)
+    assert report.passed

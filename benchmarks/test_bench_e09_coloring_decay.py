@@ -1,0 +1,19 @@
+"""E9 — Observations 5.2/5.3: good-node fraction and active-node decay on trees."""
+
+from repro.analysis.experiments import experiment_coloring_decay
+from repro.graphs import random_tree
+from repro.graphs.properties import good_nodes_tree
+
+
+def test_bench_good_node_fraction(benchmark, experiment_recorder):
+    tree = random_tree(2048, seed=9)
+
+    def run_once():
+        return good_nodes_tree(tree)
+
+    good = benchmark(run_once)
+    assert len(good) >= tree.num_nodes / 5
+
+    report = experiment_coloring_decay(sizes=(64, 256, 1024), repetitions=3)
+    experiment_recorder(report)
+    assert report.passed

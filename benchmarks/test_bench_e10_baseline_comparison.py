@@ -1,0 +1,20 @@
+"""E10 — MIS round complexity across models (Stone Age vs LOCAL vs beeping)."""
+
+from repro.analysis.experiments import experiment_baseline_comparison
+from repro.baselines.luby import luby_mis
+from repro.graphs import gnp_random_graph
+from repro.verification import is_maximal_independent_set
+
+
+def test_bench_luby_baseline(benchmark, experiment_recorder):
+    graph = gnp_random_graph(512, 4.0 / 512, seed=10)
+
+    def run_once():
+        return luby_mis(graph, seed=12)
+
+    selected, _ = benchmark(run_once)
+    assert is_maximal_independent_set(graph, selected)
+
+    report = experiment_baseline_comparison(sizes=(64, 256, 1024))
+    experiment_recorder(report)
+    assert report.passed

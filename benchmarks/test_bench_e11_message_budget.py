@@ -1,0 +1,20 @@
+"""E11 — Per-message information budget: O(1)-bit letters vs Θ(log n)-bit messages."""
+
+from repro.analysis.experiments import experiment_message_budget
+from repro.graphs import gnp_random_graph
+from repro.protocols.mis import MISProtocol
+from repro.scheduling.sync_engine import run_synchronous
+
+
+def test_bench_message_accounting(benchmark, experiment_recorder):
+    graph = gnp_random_graph(256, 4.0 / 256, seed=11)
+
+    def run_once():
+        return run_synchronous(graph, MISProtocol(), seed=14)
+
+    result = benchmark(run_once)
+    assert result.total_messages > 0
+
+    report = experiment_message_budget(sizes=(64, 256, 1024))
+    experiment_recorder(report)
+    assert report.passed

@@ -1,0 +1,18 @@
+"""E12 — Model requirements (M1)–(M4): protocol sizes are universal constants."""
+
+from repro.analysis.experiments import experiment_model_requirements
+from repro.compilers import compile_to_asynchronous
+from repro.protocols.mis import MISProtocol
+
+
+def test_bench_protocol_compilation(benchmark, experiment_recorder):
+    def compile_once():
+        compiled = compile_to_asynchronous(MISProtocol())
+        return compiled.census()
+
+    census = benchmark(compile_once)
+    assert census.is_constant_size()
+
+    report = experiment_model_requirements()
+    experiment_recorder(report)
+    assert report.passed

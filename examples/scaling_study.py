@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Mini scaling study: regenerate the headline growth curves on your laptop.
+
+This is a lighter-weight version of the benchmark harness (see
+``benchmarks/`` and EXPERIMENTS.md): it sweeps the Stone Age MIS and the tree
+3-coloring protocols over doubling network sizes, prints rounds alongside the
+log-normalised columns the theorems predict, and reports which growth
+function fits the measurements best.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import best_growth_fit, format_table, geometric_sizes, sweep_protocol
+from repro.analysis.experiments import MIS_FAMILIES, TREE_FAMILIES
+from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
+from repro.protocols.mis import MISProtocol, mis_from_result
+from repro.verification import is_maximal_independent_set, is_proper_coloring
+
+
+def mis_study() -> None:
+    sizes = geometric_sizes(16, 512)
+    sweep = sweep_protocol(
+        MISProtocol,
+        MIS_FAMILIES,
+        sizes,
+        repetitions=2,
+        base_seed=1,
+        validator=lambda graph, result: is_maximal_independent_set(
+            graph, mis_from_result(result)
+        ),
+    )
+    by_size = sweep.mean_cost_by_size()
+    rows = [
+        (n, round(by_size[n], 1), round(by_size[n] / math.log2(n) ** 2, 3))
+        for n in sorted(by_size)
+    ]
+    print("== MIS rounds vs n (Theorem 4.5 predicts O(log^2 n)) ==")
+    print(format_table(["n", "mean rounds", "rounds / log2^2(n)"], rows))
+    fit = best_growth_fit(list(by_size), list(by_size.values()))
+    print(f"best fit: {fit.label}  (R^2 = {fit.r_squared:.3f}); "
+          f"all runs produced valid MIS's: {sweep.all_valid()}\n")
+
+
+def coloring_study() -> None:
+    sizes = geometric_sizes(16, 1024)
+    sweep = sweep_protocol(
+        TreeColoringProtocol,
+        TREE_FAMILIES,
+        sizes,
+        repetitions=2,
+        base_seed=2,
+        validator=lambda graph, result: is_proper_coloring(
+            graph, coloring_from_result(result)
+        ),
+    )
+    by_size = sweep.mean_cost_by_size()
+    rows = [
+        (n, round(by_size[n], 1), round(by_size[n] / math.log2(n), 3))
+        for n in sorted(by_size)
+    ]
+    print("== Tree 3-coloring rounds vs n (Theorem 5.4 predicts O(log n)) ==")
+    print(format_table(["n", "mean rounds", "rounds / log2(n)"], rows))
+    fit = best_growth_fit(list(by_size), list(by_size.values()))
+    print(f"best fit: {fit.label}  (R^2 = {fit.r_squared:.3f}); "
+          f"all runs produced proper 3-colorings: {sweep.all_valid()}")
+
+
+def main() -> None:
+    mis_study()
+    coloring_study()
+
+
+if __name__ == "__main__":
+    main()

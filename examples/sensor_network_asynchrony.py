@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Sensor-network scenario: cluster-head election under messy timing.
+
+A classical use of a maximal independent set is cluster-head election in an
+ad-hoc sensor network: heads form an independent set (no two heads interfere)
+and every other node is adjacent to a head it can report to.  Real sensor
+nodes have drifting clocks, duty cycles and asymmetric link delays — exactly
+the asynchrony the nFSM model allows the adversary to control.
+
+This example builds a random geometric-ish deployment, compiles the Stone Age
+MIS protocol with the synchronizer (Theorem 3.1), and elects cluster heads
+under every adversarial timing policy shipped with the library.  The outcome
+may differ per schedule (the protocol is randomized and the timing steers
+it), but it is a valid head set every single time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.compilers import compile_to_asynchronous
+from repro.graphs import Graph
+from repro.protocols.mis import MISProtocol, mis_from_result
+from repro.scheduling import default_adversary_suite, run_asynchronous
+from repro.verification import is_maximal_independent_set
+
+
+def deployment(num_sensors: int, radio_range: float, seed: int) -> Graph:
+    """Sensors dropped uniformly in the unit square; links below *radio_range*."""
+    rng = random.Random(seed)
+    positions = [(rng.random(), rng.random()) for _ in range(num_sensors)]
+    edges = []
+    for i in range(num_sensors):
+        for j in range(i + 1, num_sensors):
+            dx = positions[i][0] - positions[j][0]
+            dy = positions[i][1] - positions[j][1]
+            if dx * dx + dy * dy <= radio_range * radio_range:
+                edges.append((i, j))
+    return Graph(num_sensors, edges)
+
+
+def main() -> None:
+    network = deployment(num_sensors=14, radio_range=0.42, seed=7)
+    print(f"sensor network: {network.num_nodes} nodes, {network.num_edges} radio links")
+    print(f"max degree: {network.max_degree()}\n")
+
+    compiled = compile_to_asynchronous(MISProtocol())
+    print(f"compiled protocol: alphabet of {len(compiled.alphabet)} letters, "
+          f"bounding parameter b = {compiled.bounding.value}\n")
+
+    print(f"{'adversary':<18} {'heads':>5} {'time units':>11} {'node steps':>11} {'valid':>6}")
+    for adversary in default_adversary_suite():
+        result = run_asynchronous(
+            network,
+            compiled,
+            seed=42,
+            adversary=adversary,
+            adversary_seed=hash(adversary.name) % (2**31),
+            max_events=6_000_000,
+        )
+        heads = mis_from_result(result)
+        valid = is_maximal_independent_set(network, heads)
+        print(f"{adversary.name:<18} {len(heads):>5} {result.time_units:>11.1f} "
+              f"{result.total_node_steps:>11} {str(valid):>6}")
+
+    print("\nEvery schedule yields a correct cluster-head set; the paper's synchronizer")
+    print("keeps fast nodes at most one simulated round ahead of their slowest neighbour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Computational power (Section 6): a Turing-style computation on a chain of FSMs.
+
+Lemma 6.2 shows that a path of constant-size finite state machines can carry
+out any linear-bounded-automaton computation: each node stores one tape cell,
+the node under the head is the only active one, and the head is handed from
+neighbour to neighbour with constant-size transfer letters.
+
+This example checks palindromes and balanced parentheses on a chain of cells,
+compares the verdicts with the sequential machines, and then runs the reverse
+direction (Lemma 6.1): the whole network execution of the Stone Age MIS is
+replayed on a single flat tape using only O(1) extra cells per node and edge.
+"""
+
+from __future__ import annotations
+
+from repro.automata import (
+    LinearSpaceNetworkSimulator,
+    balanced_parentheses_lba,
+    decide_word_on_path,
+    palindrome_lba,
+)
+from repro.graphs import gnp_random_graph
+from repro.protocols.mis import MISProtocol
+from repro.scheduling.sync_engine import run_synchronous
+
+
+def chain_of_cells_demo() -> None:
+    print("== Lemma 6.2: an rLBA simulated by FSMs on a path ==")
+    samples = {
+        palindrome_lba(): ["abba", "abab", "racecar".replace("r", "a").replace("c", "b").replace("e", "a"), ""],
+        balanced_parentheses_lba(): ["(()())", "(()", "", ")("],
+    }
+    for machine, words in samples.items():
+        print(f"\nmachine: {machine.name}")
+        for word in words:
+            sequential = machine.run(word)
+            verdict, network = decide_word_on_path(machine, word, seed=1)
+            agreement = "==" if verdict == sequential.accepted else "!="
+            print(
+                f"  word {word!r:>10}: sequential={sequential.accepted} "
+                f"{agreement} path-network={verdict} "
+                f"(LBA steps {sequential.steps}, network rounds {network.rounds}, "
+                f"{network.graph.num_nodes} cells)"
+            )
+
+
+def linear_space_demo() -> None:
+    print("\n== Lemma 6.1: the whole network on a linear tape ==")
+    graph = gnp_random_graph(60, 0.07, seed=3)
+    simulator = LinearSpaceNetworkSimulator(graph, MISProtocol(), seed=4)
+    tape_result = simulator.run()
+    engine_result = run_synchronous(graph, MISProtocol(), seed=4)
+    space = simulator.space_report()
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    print(f"tape cells: {space.input_cells} for the input encoding, "
+          f"{space.extra_cells} extra ({space.extra_cells_per_entry:.2f} per entry)")
+    print(f"identical to the reference engine execution: "
+          f"{tape_result.final_states == engine_result.final_states}")
+
+
+def main() -> None:
+    chain_of_cells_demo()
+    linear_space_demo()
+
+
+if __name__ == "__main__":
+    main()

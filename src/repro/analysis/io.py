@@ -1,0 +1,155 @@
+"""Persisting experiment data: JSON and CSV export of sweeps and reports.
+
+Reproduction runs are only useful if their raw numbers can be archived and
+re-plotted later.  This module serialises the harness' main artefacts —
+:class:`~repro.analysis.sweep.SweepResult`,
+:class:`~repro.analysis.reporting.ExperimentReport` and
+:class:`~repro.core.results.ExecutionResult` — into plain JSON/CSV files with
+no third-party dependencies, and can read the sweep records back for
+offline analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.reporting import ExperimentReport
+from repro.analysis.sweep import SweepRecord, SweepResult
+from repro.core.results import ExecutionResult
+
+SWEEP_CSV_FIELDS = [
+    "family",
+    "size",
+    "repetition",
+    "graph_nodes",
+    "graph_edges",
+    "cost",
+    "rounds",
+    "reached_output",
+    "valid",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Sweep results                                                           #
+# ---------------------------------------------------------------------- #
+def sweep_to_rows(sweep: SweepResult) -> list[dict[str, Any]]:
+    """Flatten a sweep into JSON/CSV-friendly dictionaries."""
+    rows = []
+    for record in sweep.records:
+        row = {field: getattr(record, field) for field in SWEEP_CSV_FIELDS}
+        row.update(record.extra)
+        rows.append(row)
+    return rows
+
+
+def write_sweep_csv(sweep: SweepResult, path: str | Path) -> Path:
+    """Write one CSV line per sweep record; returns the written path."""
+    path = Path(path)
+    rows = sweep_to_rows(sweep)
+    extra_fields = sorted({key for row in rows for key in row} - set(SWEEP_CSV_FIELDS))
+    fieldnames = SWEEP_CSV_FIELDS + extra_fields
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_sweep_json(sweep: SweepResult, path: str | Path) -> Path:
+    """Write the sweep (including the protocol name) as a JSON document."""
+    path = Path(path)
+    payload = {
+        "protocol": sweep.protocol_name,
+        "records": sweep_to_rows(sweep),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_sweep_json(path: str | Path) -> SweepResult:
+    """Load a sweep previously written by :func:`write_sweep_json`."""
+    payload = json.loads(Path(path).read_text())
+    records = []
+    for row in payload["records"]:
+        base = {field: row[field] for field in SWEEP_CSV_FIELDS}
+        extra = {key: value for key, value in row.items() if key not in SWEEP_CSV_FIELDS}
+        records.append(SweepRecord(**base, extra=extra))
+    return SweepResult(protocol_name=payload["protocol"], records=records)
+
+
+# ---------------------------------------------------------------------- #
+# Experiment reports                                                      #
+# ---------------------------------------------------------------------- #
+def report_to_dict(report: ExperimentReport) -> dict[str, Any]:
+    """JSON-friendly view of an experiment report."""
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "paper_claim": report.paper_claim,
+        "headers": list(report.headers),
+        "rows": [list(row) for row in report.rows],
+        "conclusion": report.conclusion,
+        "passed": report.passed,
+    }
+
+
+def write_report_json(report: ExperimentReport, path: str | Path) -> Path:
+    """Write a single experiment report as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report_to_dict(report), indent=2, default=str))
+    return path
+
+
+def write_reports_markdown(reports: list[ExperimentReport], path: str | Path) -> Path:
+    """Write a collection of reports as a single Markdown document."""
+    path = Path(path)
+    sections = []
+    for report in reports:
+        lines = [
+            f"## {report.experiment_id} — {report.title}",
+            "",
+            f"**Paper claim.** {report.paper_claim}",
+            "",
+            "| " + " | ".join(str(h) for h in report.headers) + " |",
+            "| " + " | ".join("---" for _ in report.headers) + " |",
+        ]
+        for row in report.rows:
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        if report.conclusion:
+            lines += ["", f"**Measured.** {report.conclusion}"]
+        if report.passed is not None:
+            lines += ["", f"**Shape holds:** {'yes' if report.passed else 'no'}"]
+        sections.append("\n".join(lines))
+    path.write_text("\n\n".join(sections) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Individual executions                                                   #
+# ---------------------------------------------------------------------- #
+def execution_to_dict(result: ExecutionResult) -> dict[str, Any]:
+    """JSON-friendly view of a single protocol execution."""
+    return {
+        "protocol": result.protocol_name,
+        "num_nodes": result.graph.num_nodes,
+        "num_edges": result.graph.num_edges,
+        "reached_output": result.reached_output,
+        "rounds": result.rounds,
+        "time_units": result.time_units,
+        "total_node_steps": result.total_node_steps,
+        "total_messages": result.total_messages,
+        "seed": result.seed,
+        "outputs": {str(node): value for node, value in sorted(result.outputs.items())},
+    }
+
+
+def write_execution_json(result: ExecutionResult, path: str | Path) -> Path:
+    """Write one execution record as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(execution_to_dict(result), indent=2, default=str))
+    return path

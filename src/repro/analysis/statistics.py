@@ -1,0 +1,153 @@
+"""Small statistics toolbox used by the experiment harness.
+
+Only the standard library and (optionally) numpy-free maths are used so the
+analysis code stays dependency-light; the functions cover what the
+reproduction actually needs: summary statistics, normal-approximation
+confidence intervals, simple least-squares fits against the candidate growth
+functions (``log n``, ``log² n``, ``n`` …) and goodness-of-fit comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.2f} std={self.std:.2f} "
+            f"min={self.minimum:.2f} med={self.median:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` (raises ``ValueError`` on empty input)."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    ordered = sorted(float(v) for v in values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((v - mean) ** 2 for v in ordered) / count
+    middle = count // 2
+    if count % 2 == 1:
+        median = ordered[middle]
+    else:
+        median = 0.5 * (ordered[middle - 1] + ordered[middle])
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        median=median,
+        maximum=ordered[-1],
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    return sum(float(v) for v in values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Sample median."""
+    return summarize(values).median
+
+
+def confidence_interval(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean."""
+    stats = summarize(values)
+    if stats.count <= 1:
+        return (stats.mean, stats.mean)
+    half_width = z * stats.std / math.sqrt(stats.count)
+    return (stats.mean - half_width, stats.mean + half_width)
+
+
+# ---------------------------------------------------------------------- #
+# Least-squares fitting against candidate growth functions                #
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FitResult:
+    """Result of fitting ``y ≈ a·g(n) + c`` for one growth function ``g``."""
+
+    label: str
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, transformed_value: float) -> float:
+        return self.slope * transformed_value + self.intercept
+
+
+GROWTH_FUNCTIONS: dict[str, Callable[[float], float]] = {
+    "constant": lambda n: 1.0,
+    "log n": lambda n: math.log2(max(n, 2)),
+    "log^2 n": lambda n: math.log2(max(n, 2)) ** 2,
+    "sqrt n": lambda n: math.sqrt(n),
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log2(max(n, 2)),
+}
+"""Candidate asymptotic shapes used when classifying measured run-times."""
+
+
+def least_squares(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Plain least squares ``y ≈ a·x + c``; returns ``(a, c, R²)``."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two paired observations")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        slope = 0.0
+    else:
+        slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
+
+
+def fit_growth(sizes: Sequence[float], costs: Sequence[float], label: str) -> FitResult:
+    """Fit ``cost ≈ a·g(n) + c`` for the named growth function."""
+    transform = GROWTH_FUNCTIONS[label]
+    xs = [transform(n) for n in sizes]
+    slope, intercept, r_squared = least_squares(xs, list(costs))
+    return FitResult(label=label, slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def best_growth_fit(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    candidates: Sequence[str] = ("log n", "log^2 n", "sqrt n", "n"),
+) -> FitResult:
+    """Fit all candidate growth functions and return the best one by R²."""
+    fits = [fit_growth(sizes, costs, label) for label in candidates]
+    return max(fits, key=lambda fit: fit.r_squared)
+
+
+def doubling_ratios(sizes: Sequence[float], costs: Sequence[float]) -> list[float]:
+    """Cost ratios between consecutive (assumed doubling) sizes.
+
+    A polylogarithmic run-time shows ratios drifting towards 1, a linear one
+    stays near 2 — a robust shape check that does not rely on fitting.
+    """
+    paired = sorted(zip(sizes, costs))
+    ratios = []
+    for (_, previous_cost), (_, current_cost) in zip(paired, paired[1:]):
+        if previous_cost > 0:
+            ratios.append(current_cost / previous_cost)
+    return ratios

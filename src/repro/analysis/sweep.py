@@ -1,0 +1,186 @@
+"""Parameter sweeps: run a protocol across graph families, sizes and seeds.
+
+The experiment harness (and the benchmarks regenerating the paper's claims)
+all funnel through :func:`sweep_protocol`: given a protocol factory, a set of
+graph families and a list of sizes, it produces one :class:`SweepRecord` per
+(family, size, repetition) containing the measured cost and the verified
+solution quality.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.protocol import ExtendedProtocol, Protocol
+from repro.core.results import ExecutionResult
+from repro.graphs.graph import Graph
+from repro.scheduling.sync_engine import run_synchronous
+
+GraphFactory = Callable[[int, int | None], Graph]
+ProtocolFactory = Callable[[], ExtendedProtocol | Protocol]
+Validator = Callable[[Graph, ExecutionResult], bool]
+
+
+@dataclass
+class SweepRecord:
+    """One measured execution inside a sweep."""
+
+    family: str
+    size: int
+    repetition: int
+    graph_nodes: int
+    graph_edges: int
+    cost: float
+    rounds: int | None
+    reached_output: bool
+    valid: bool
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep plus convenient aggregations."""
+
+    protocol_name: str
+    records: list[SweepRecord]
+
+    def costs(self, family: str | None = None, size: int | None = None) -> list[float]:
+        """Measured costs filtered by family and/or size."""
+        return [
+            record.cost
+            for record in self.records
+            if (family is None or record.family == family)
+            and (size is None or record.size == size)
+        ]
+
+    def sizes(self) -> list[int]:
+        return sorted({record.size for record in self.records})
+
+    def families(self) -> list[str]:
+        return sorted({record.family for record in self.records})
+
+    def all_valid(self) -> bool:
+        return all(record.valid and record.reached_output for record in self.records)
+
+    def mean_cost_by_size(self, family: str | None = None) -> dict[int, float]:
+        """Size → mean cost (over repetitions and, if unspecified, families)."""
+        result: dict[int, float] = {}
+        for size in self.sizes():
+            values = self.costs(family=family, size=size)
+            if values:
+                result[size] = sum(values) / len(values)
+        return result
+
+
+def sweep_protocol(
+    protocol_factory: ProtocolFactory,
+    families: Mapping[str, GraphFactory],
+    sizes: Sequence[int],
+    *,
+    repetitions: int = 3,
+    base_seed: int = 0,
+    max_rounds: int = 100_000,
+    validator: Validator | None = None,
+    inputs_for: Callable[[Graph], Mapping[int, Any]] | None = None,
+    extra_metrics: Callable[[Graph, ExecutionResult], dict[str, Any]] | None = None,
+) -> SweepResult:
+    """Run the protocol over ``families × sizes × repetitions`` synchronously.
+
+    ``validator`` receives the graph and the execution result and returns
+    whether the produced solution is correct; when omitted every completed run
+    counts as valid.  Distinct seeds are derived deterministically from
+    ``base_seed`` so the whole sweep is reproducible.
+    """
+    records: list[SweepRecord] = []
+    protocol_name = protocol_factory().name
+    for family_name, factory in families.items():
+        for size in sizes:
+            for repetition in range(repetitions):
+                seed = _derive_seed(base_seed, family_name, size, repetition)
+                graph = factory(size, seed)
+                run_inputs = inputs_for(graph) if inputs_for is not None else None
+                result = run_synchronous(
+                    graph,
+                    protocol_factory(),
+                    seed=seed + 1,
+                    inputs=run_inputs,
+                    max_rounds=max_rounds,
+                    raise_on_timeout=False,
+                )
+                valid = result.reached_output and (
+                    validator is None or validator(graph, result)
+                )
+                extra = extra_metrics(graph, result) if extra_metrics else {}
+                records.append(
+                    SweepRecord(
+                        family=family_name,
+                        size=size,
+                        repetition=repetition,
+                        graph_nodes=graph.num_nodes,
+                        graph_edges=graph.num_edges,
+                        cost=result.cost,
+                        rounds=result.rounds,
+                        reached_output=result.reached_output,
+                        valid=valid,
+                        extra=extra,
+                    )
+                )
+    return SweepResult(protocol_name=protocol_name, records=records)
+
+
+def _derive_seed(base_seed: int, family: str, size: int, repetition: int) -> int:
+    """Deterministic, well-mixed seed for one sweep cell."""
+    mixer = random.Random(f"{base_seed}|{family}|{size}|{repetition}")
+    return mixer.randrange(2**31)
+
+
+def geometric_sizes(start: int, stop: int, factor: int = 2) -> list[int]:
+    """Sizes ``start, start·factor, ...`` up to and including ``stop``."""
+    sizes = []
+    size = start
+    while size <= stop:
+        sizes.append(size)
+        size *= factor
+    return sizes
+
+
+def run_many(
+    graphs: Iterable[tuple[str, Graph]],
+    protocol_factory: ProtocolFactory,
+    *,
+    repetitions: int = 3,
+    base_seed: int = 0,
+    max_rounds: int = 100_000,
+    validator: Validator | None = None,
+) -> SweepResult:
+    """Like :func:`sweep_protocol` but over an explicit list of graphs."""
+    protocol_name = protocol_factory().name
+    records: list[SweepRecord] = []
+    for label, graph in graphs:
+        for repetition in range(repetitions):
+            seed = _derive_seed(base_seed, label, graph.num_nodes, repetition)
+            result = run_synchronous(
+                graph,
+                protocol_factory(),
+                seed=seed,
+                max_rounds=max_rounds,
+                raise_on_timeout=False,
+            )
+            valid = result.reached_output and (validator is None or validator(graph, result))
+            records.append(
+                SweepRecord(
+                    family=label,
+                    size=graph.num_nodes,
+                    repetition=repetition,
+                    graph_nodes=graph.num_nodes,
+                    graph_edges=graph.num_edges,
+                    cost=result.cost,
+                    rounds=result.rounds,
+                    reached_output=result.reached_output,
+                    valid=valid,
+                )
+            )
+    return SweepResult(protocol_name=protocol_name, records=records)

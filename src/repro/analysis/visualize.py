@@ -1,0 +1,122 @@
+"""Plain-text visualisation of nFSM executions.
+
+Debugging a distributed protocol is much easier when the state evolution can
+be *seen*.  These helpers render synchronous executions as compact ASCII
+timelines (one row per round, one column per node) and summarise final
+configurations; they are used by the examples and are handy in a REPL:
+
+.. code-block:: python
+
+    from repro.analysis.visualize import render_timeline
+    print(render_timeline(graph, MISProtocol(), seed=3))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.core.protocol import ExtendedProtocol, Protocol, State
+from repro.graphs.graph import Graph
+from repro.scheduling.sync_engine import SynchronousEngine
+
+#: Default single-character glyphs for the MIS protocol's states.
+MIS_GLYPHS = {
+    "DOWN1": "d",
+    "DOWN2": "D",
+    "UP0": "0",
+    "UP1": "1",
+    "UP2": "2",
+    "WIN": "#",
+    "LOSE": ".",
+}
+
+
+def default_glyph(state: State) -> str:
+    """Fallback glyph: first character of the state's repr."""
+    if isinstance(state, str) and state:
+        return state[0]
+    text = repr(state)
+    return text[0] if text else "?"
+
+
+def capture_history(
+    graph: Graph,
+    protocol: ExtendedProtocol | Protocol,
+    *,
+    seed: int | None = None,
+    inputs: Mapping[int, Any] | None = None,
+    max_rounds: int = 10_000,
+) -> list[tuple[State, ...]]:
+    """Run the protocol synchronously and return the per-round state history."""
+    history: list[tuple[State, ...]] = []
+    engine = SynchronousEngine(
+        graph, protocol, seed=seed, inputs=inputs,
+        observer=lambda _index, states: history.append(states),
+    )
+    history.insert(0, engine.states)
+    engine.run(max_rounds=max_rounds, raise_on_timeout=False)
+    return history
+
+
+def render_timeline(
+    graph: Graph,
+    protocol: ExtendedProtocol | Protocol,
+    *,
+    seed: int | None = None,
+    inputs: Mapping[int, Any] | None = None,
+    max_rounds: int = 10_000,
+    glyphs: Mapping[State, str] | None = None,
+    glyph_fn: Callable[[State], str] = default_glyph,
+    max_nodes: int = 80,
+) -> str:
+    """Render one synchronous execution as an ASCII timeline.
+
+    Rows are rounds (round 0 is the initial configuration), columns are nodes
+    0..n-1 (truncated at *max_nodes* columns for wide networks).
+    """
+    history = capture_history(
+        graph, protocol, seed=seed, inputs=inputs, max_rounds=max_rounds
+    )
+    glyphs = dict(glyphs or {})
+    width = min(graph.num_nodes, max_nodes)
+    truncated = graph.num_nodes > max_nodes
+
+    def glyph(state: State) -> str:
+        if state in glyphs:
+            return glyphs[state]
+        return glyph_fn(state)
+
+    lines = [f"nodes 0..{width - 1}" + (" (truncated)" if truncated else "")]
+    for round_index, states in enumerate(history):
+        row = "".join(glyph(state) for state in states[:width])
+        lines.append(f"round {round_index:>4} | {row}")
+    return "\n".join(lines)
+
+
+def render_mis_timeline(graph: Graph, *, seed: int | None = None, max_rounds: int = 10_000) -> str:
+    """Timeline of a Stone Age MIS execution with the canonical glyph set."""
+    from repro.protocols.mis import MISProtocol
+
+    return render_timeline(
+        graph, MISProtocol(), seed=seed, max_rounds=max_rounds, glyphs=MIS_GLYPHS
+    )
+
+
+def render_output_summary(graph: Graph, outputs: Mapping[int, Any], *, true_glyph: str = "#", false_glyph: str = ".") -> str:
+    """One-line rendering of boolean node outputs (e.g. MIS membership)."""
+    return "".join(
+        true_glyph if outputs.get(node) else false_glyph for node in graph.nodes
+    )
+
+
+def degree_profile(graph: Graph) -> str:
+    """Tiny textual histogram of the degree distribution (debug helper)."""
+    from repro.graphs.properties import degree_histogram
+
+    histogram = degree_histogram(graph)
+    lines = []
+    for degree in sorted(histogram):
+        bar = "*" * min(histogram[degree], 60)
+        lines.append(f"deg {degree:>3}: {bar} ({histogram[degree]})")
+    return "\n".join(lines)

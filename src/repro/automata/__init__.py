@@ -1,0 +1,63 @@
+"""Linear bounded automata and the two simulations of paper Section 6."""
+
+from repro.automata.languages import (
+    SAMPLE_LANGUAGES,
+    balanced_parentheses_lba,
+    balanced_parentheses_reference,
+    contains_one_reference,
+    palindrome_lba,
+    palindrome_reference,
+    parity_lba,
+    parity_reference,
+    random_scan_contains_one_lba,
+    unary_multiple_of_three_lba,
+    unary_multiple_of_three_reference,
+)
+from repro.automata.lba import (
+    LEFT,
+    LEFT_MARKER,
+    RIGHT,
+    RIGHT_MARKER,
+    STAY,
+    LBARun,
+    LBATransition,
+    LinearBoundedAutomaton,
+)
+from repro.automata.lba_to_nfsm import (
+    LBAPathProtocol,
+    decide_word_on_path,
+    path_network_for_word,
+)
+from repro.automata.nfsm_to_lba import (
+    LinearSpaceNetworkSimulator,
+    SpaceReport,
+    simulate_with_linear_space,
+)
+
+__all__ = [
+    "LBAPathProtocol",
+    "LBARun",
+    "LBATransition",
+    "LEFT",
+    "LEFT_MARKER",
+    "LinearBoundedAutomaton",
+    "LinearSpaceNetworkSimulator",
+    "RIGHT",
+    "RIGHT_MARKER",
+    "SAMPLE_LANGUAGES",
+    "STAY",
+    "SpaceReport",
+    "balanced_parentheses_lba",
+    "balanced_parentheses_reference",
+    "contains_one_reference",
+    "decide_word_on_path",
+    "palindrome_lba",
+    "palindrome_reference",
+    "parity_lba",
+    "parity_reference",
+    "path_network_for_word",
+    "random_scan_contains_one_lba",
+    "simulate_with_linear_space",
+    "unary_multiple_of_three_lba",
+    "unary_multiple_of_three_reference",
+]

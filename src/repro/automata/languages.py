@@ -1,0 +1,258 @@
+"""Example linear bounded automata used by the Section 6 experiments.
+
+These machines cover the spectrum the equivalence result cares about:
+
+* :func:`parity_lba` — a regular language (constant memory), the easy case;
+* :func:`unary_multiple_of_three_lba` — another regular language over a
+  unary alphabet (handy for very long inputs);
+* :func:`balanced_parentheses_lba` — a context-free language needing the
+  work tape;
+* :func:`palindrome_lba` — the classic context-sensitive-style workhorse
+  that genuinely sweeps the tape Θ(n) times;
+* :func:`random_scan_contains_one_lba` — a *randomized* LBA (it picks a scan
+  direction by coin flip) deciding a deterministic language, which exercises
+  the rLBA machinery while keeping verdicts comparable across runs.
+
+Every factory also ships a pure-Python reference predicate (``*_reference``)
+so tests can compare machine verdicts against ground truth on random words.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.automata.lba import (
+    LEFT,
+    LEFT_MARKER,
+    RIGHT,
+    RIGHT_MARKER,
+    STAY,
+    LinearBoundedAutomaton,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Parity of the number of 1s                                              #
+# ---------------------------------------------------------------------- #
+def parity_lba() -> LinearBoundedAutomaton:
+    """Accepts binary words containing an even number of ``1`` symbols."""
+    transitions = {
+        ("even", "0"): [("even", "0", RIGHT)],
+        ("even", "1"): [("odd", "1", RIGHT)],
+        ("odd", "0"): [("odd", "0", RIGHT)],
+        ("odd", "1"): [("even", "1", RIGHT)],
+        ("even", RIGHT_MARKER): [("accept", RIGHT_MARKER, STAY)],
+        ("odd", RIGHT_MARKER): [("reject", RIGHT_MARKER, STAY)],
+        ("even", LEFT_MARKER): [("even", LEFT_MARKER, RIGHT)],
+        ("odd", LEFT_MARKER): [("odd", LEFT_MARKER, RIGHT)],
+    }
+    return LinearBoundedAutomaton(
+        name="even-parity",
+        states=["even", "odd", "accept", "reject"],
+        input_alphabet=["0", "1"],
+        tape_alphabet=["0", "1"],
+        transitions=transitions,
+        initial_state="even",
+        accept_states=["accept"],
+        reject_states=["reject"],
+    )
+
+
+def parity_reference(word: Sequence[str]) -> bool:
+    """Ground truth for :func:`parity_lba`."""
+    return sum(1 for symbol in word if symbol == "1") % 2 == 0
+
+
+# ---------------------------------------------------------------------- #
+# Unary multiples of three                                                 #
+# ---------------------------------------------------------------------- #
+def unary_multiple_of_three_lba() -> LinearBoundedAutomaton:
+    """Accepts unary words ``1^k`` with ``k`` divisible by three."""
+    transitions = {}
+    for residue in range(3):
+        transitions[(f"r{residue}", "1")] = [(f"r{(residue + 1) % 3}", "1", RIGHT)]
+        transitions[(f"r{residue}", LEFT_MARKER)] = [(f"r{residue}", LEFT_MARKER, RIGHT)]
+    transitions[("r0", RIGHT_MARKER)] = [("accept", RIGHT_MARKER, STAY)]
+    transitions[("r1", RIGHT_MARKER)] = [("reject", RIGHT_MARKER, STAY)]
+    transitions[("r2", RIGHT_MARKER)] = [("reject", RIGHT_MARKER, STAY)]
+    return LinearBoundedAutomaton(
+        name="unary-multiple-of-3",
+        states=["r0", "r1", "r2", "accept", "reject"],
+        input_alphabet=["1"],
+        tape_alphabet=["1"],
+        transitions=transitions,
+        initial_state="r0",
+        accept_states=["accept"],
+        reject_states=["reject"],
+    )
+
+
+def unary_multiple_of_three_reference(word: Sequence[str]) -> bool:
+    """Ground truth for :func:`unary_multiple_of_three_lba`."""
+    return len(word) % 3 == 0
+
+
+# ---------------------------------------------------------------------- #
+# Balanced parentheses                                                     #
+# ---------------------------------------------------------------------- #
+def balanced_parentheses_lba() -> LinearBoundedAutomaton:
+    """Accepts well-balanced words over ``{ ( , ) }``.
+
+    Strategy: scan right for the first unmarked ``)``, cross it out, scan
+    left for the nearest unmarked ``(``, cross it out, restart.  If a ``)``
+    has no matching ``(`` the machine rejects; once no ``)`` remains, a final
+    sweep rejects if an unmatched ``(`` survives.
+    """
+    X = "X"  # crossed-out symbol
+    transitions = {
+        # find_close: look for the first unmarked ')'
+        ("find_close", "("): [("find_close", "(", RIGHT)],
+        ("find_close", X): [("find_close", X, RIGHT)],
+        ("find_close", ")"): [("find_open", X, LEFT)],
+        ("find_close", LEFT_MARKER): [("find_close", LEFT_MARKER, RIGHT)],
+        ("find_close", RIGHT_MARKER): [("final_check", RIGHT_MARKER, LEFT)],
+        # find_open: walk left to the nearest unmarked '('
+        ("find_open", X): [("find_open", X, LEFT)],
+        ("find_open", ")"): [("find_open", ")", LEFT)],
+        ("find_open", "("): [("rewind", X, RIGHT)],
+        ("find_open", LEFT_MARKER): [("reject", LEFT_MARKER, STAY)],
+        # rewind: go back to the start and begin again
+        ("rewind", X): [("rewind", X, LEFT)],
+        ("rewind", "("): [("rewind", "(", LEFT)],
+        ("rewind", ")"): [("rewind", ")", LEFT)],
+        ("rewind", LEFT_MARKER): [("find_close", LEFT_MARKER, RIGHT)],
+        # final_check: no ')' left; reject if an unmatched '(' remains
+        ("final_check", X): [("final_check", X, LEFT)],
+        ("final_check", "("): [("reject", "(", STAY)],
+        ("final_check", ")"): [("reject", ")", STAY)],
+        ("final_check", LEFT_MARKER): [("accept", LEFT_MARKER, STAY)],
+    }
+    return LinearBoundedAutomaton(
+        name="balanced-parentheses",
+        states=["find_close", "find_open", "rewind", "final_check", "accept", "reject"],
+        input_alphabet=["(", ")"],
+        tape_alphabet=["(", ")", X],
+        transitions=transitions,
+        initial_state="find_close",
+        accept_states=["accept"],
+        reject_states=["reject"],
+    )
+
+
+def balanced_parentheses_reference(word: Sequence[str]) -> bool:
+    """Ground truth for :func:`balanced_parentheses_lba`."""
+    depth = 0
+    for symbol in word:
+        depth += 1 if symbol == "(" else -1
+        if depth < 0:
+            return False
+    return depth == 0
+
+
+# ---------------------------------------------------------------------- #
+# Palindromes                                                              #
+# ---------------------------------------------------------------------- #
+def palindrome_lba() -> LinearBoundedAutomaton:
+    """Accepts palindromes over ``{a, b}`` (the classic Θ(n²)-step sweep)."""
+    X = "X"
+    transitions = {
+        # pick up the leftmost unmarked symbol
+        ("pick", X): [("pick", X, RIGHT)],
+        ("pick", LEFT_MARKER): [("pick", LEFT_MARKER, RIGHT)],
+        ("pick", "a"): [("seek_end_a", X, RIGHT)],
+        ("pick", "b"): [("seek_end_b", X, RIGHT)],
+        ("pick", RIGHT_MARKER): [("accept", RIGHT_MARKER, STAY)],
+        # walk right to the last unmarked symbol, remembering the expectation
+        ("seek_end_a", "a"): [("seek_end_a", "a", RIGHT)],
+        ("seek_end_a", "b"): [("seek_end_a", "b", RIGHT)],
+        ("seek_end_a", X): [("check_a", X, LEFT)],
+        ("seek_end_a", RIGHT_MARKER): [("check_a", RIGHT_MARKER, LEFT)],
+        ("seek_end_b", "a"): [("seek_end_b", "a", RIGHT)],
+        ("seek_end_b", "b"): [("seek_end_b", "b", RIGHT)],
+        ("seek_end_b", X): [("check_b", X, LEFT)],
+        ("seek_end_b", RIGHT_MARKER): [("check_b", RIGHT_MARKER, LEFT)],
+        # compare the rightmost unmarked symbol with the expectation
+        ("check_a", "a"): [("rewind", X, LEFT)],
+        ("check_a", "b"): [("reject", "b", STAY)],
+        ("check_a", X): [("accept", X, STAY)],          # odd-length middle already crossed
+        ("check_a", LEFT_MARKER): [("accept", LEFT_MARKER, STAY)],
+        ("check_b", "b"): [("rewind", X, LEFT)],
+        ("check_b", "a"): [("reject", "a", STAY)],
+        ("check_b", X): [("accept", X, STAY)],
+        ("check_b", LEFT_MARKER): [("accept", LEFT_MARKER, STAY)],
+        # rewind to the left end
+        ("rewind", "a"): [("rewind", "a", LEFT)],
+        ("rewind", "b"): [("rewind", "b", LEFT)],
+        ("rewind", X): [("rewind", X, LEFT)],
+        ("rewind", LEFT_MARKER): [("pick", LEFT_MARKER, RIGHT)],
+    }
+    return LinearBoundedAutomaton(
+        name="palindromes",
+        states=["pick", "seek_end_a", "seek_end_b", "check_a", "check_b", "rewind", "accept", "reject"],
+        input_alphabet=["a", "b"],
+        tape_alphabet=["a", "b", X],
+        transitions=transitions,
+        initial_state="pick",
+        accept_states=["accept"],
+        reject_states=["reject"],
+    )
+
+
+def palindrome_reference(word: Sequence[str]) -> bool:
+    """Ground truth for :func:`palindrome_lba`."""
+    word = list(word)
+    return word == word[::-1]
+
+
+# ---------------------------------------------------------------------- #
+# A randomized LBA                                                         #
+# ---------------------------------------------------------------------- #
+def random_scan_contains_one_lba() -> LinearBoundedAutomaton:
+    """Accepts binary words containing at least one ``1``.
+
+    The machine is genuinely randomized: in its first step it flips a coin to
+    decide whether to scan left-to-right or right-to-left.  Both scans decide
+    the same language, so the verdict is deterministic even though the
+    execution is not — the property the nFSM simulation tests rely on.
+    """
+    transitions = {
+        ("start", "0"): [("scan_right", "0", STAY), ("goto_right", "0", RIGHT)],
+        ("start", "1"): [("scan_right", "1", STAY), ("goto_right", "1", RIGHT)],
+        ("start", RIGHT_MARKER): [("reject", RIGHT_MARKER, STAY)],
+        # left-to-right scan
+        ("scan_right", "0"): [("scan_right", "0", RIGHT)],
+        ("scan_right", "1"): [("accept", "1", STAY)],
+        ("scan_right", RIGHT_MARKER): [("reject", RIGHT_MARKER, STAY)],
+        # move to the right end, then scan right-to-left
+        ("goto_right", "0"): [("goto_right", "0", RIGHT)],
+        ("goto_right", "1"): [("goto_right", "1", RIGHT)],
+        ("goto_right", RIGHT_MARKER): [("scan_left", RIGHT_MARKER, LEFT)],
+        ("scan_left", "0"): [("scan_left", "0", LEFT)],
+        ("scan_left", "1"): [("accept", "1", STAY)],
+        ("scan_left", LEFT_MARKER): [("reject", LEFT_MARKER, STAY)],
+    }
+    return LinearBoundedAutomaton(
+        name="random-scan-contains-one",
+        states=["start", "scan_right", "goto_right", "scan_left", "accept", "reject"],
+        input_alphabet=["0", "1"],
+        tape_alphabet=["0", "1"],
+        transitions=transitions,
+        initial_state="start",
+        accept_states=["accept"],
+        reject_states=["reject"],
+    )
+
+
+def contains_one_reference(word: Sequence[str]) -> bool:
+    """Ground truth for :func:`random_scan_contains_one_lba`."""
+    return "1" in list(word)
+
+
+SAMPLE_LANGUAGES = {
+    "parity": (parity_lba, parity_reference, ("0", "1")),
+    "unary-mod3": (unary_multiple_of_three_lba, unary_multiple_of_three_reference, ("1",)),
+    "balanced-parentheses": (balanced_parentheses_lba, balanced_parentheses_reference, ("(", ")")),
+    "palindromes": (palindrome_lba, palindrome_reference, ("a", "b")),
+    "contains-one": (random_scan_contains_one_lba, contains_one_reference, ("0", "1")),
+}
+"""Name → (machine factory, reference predicate, input alphabet)."""

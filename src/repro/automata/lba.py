@@ -1,0 +1,219 @@
+"""Linear bounded automata (paper Section 6).
+
+A linear bounded automaton (LBA) is a Turing machine whose head never leaves
+the tape segment holding the input (delimited by end markers).  The paper
+uses the randomized variant (rLBA) to characterise the computational power of
+the nFSM model: Lemma 6.1 shows an rLBA can simulate any nFSM protocol, and
+Lemma 6.2 shows an nFSM protocol on a path can simulate any rLBA.
+
+:class:`LinearBoundedAutomaton` implements the (possibly randomized) machine:
+the transition relation maps ``(state, symbol)`` to a non-empty tuple of
+``(new_state, written symbol, head move)`` options, one of which is chosen
+uniformly at random at every step (deterministic machines simply always
+provide singleton option sets).  End markers are added automatically around
+the input and may be read but never overwritten or crossed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.errors import AutomatonError
+
+LEFT_MARKER = "<"
+RIGHT_MARKER = ">"
+
+#: Head moves.
+LEFT = -1
+STAY = 0
+RIGHT = +1
+
+
+@dataclass(frozen=True)
+class LBATransition:
+    """One option of the transition relation."""
+
+    state: str
+    write: str
+    move: int
+
+    def __post_init__(self) -> None:
+        if self.move not in (LEFT, STAY, RIGHT):
+            raise AutomatonError(f"invalid head move {self.move!r}")
+
+
+@dataclass
+class LBARun:
+    """Outcome of running an LBA on one input word."""
+
+    accepted: bool | None
+    steps: int
+    halted: bool
+    final_state: str
+    tape: tuple[str, ...]
+    space_used: int
+    history: list[tuple[str, int]] = field(default_factory=list)
+
+
+class LinearBoundedAutomaton:
+    """A (randomized) linear bounded automaton.
+
+    Parameters
+    ----------
+    states:
+        Finite control states.
+    input_alphabet:
+        Symbols that may appear in input words.
+    tape_alphabet:
+        Work symbols (must contain the input alphabet; the end markers are
+        added automatically and must not be written).
+    transitions:
+        Mapping ``(state, symbol) -> sequence of LBATransition`` (or plain
+        ``(state, write, move)`` tuples).  Missing entries mean the machine
+        halts (rejecting) in that configuration.
+    initial_state / accept_states / reject_states:
+        The usual control-state roles.  Accept/reject states halt immediately.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[str],
+        input_alphabet: Iterable[str],
+        tape_alphabet: Iterable[str],
+        transitions: Mapping[tuple[str, str], Sequence],
+        initial_state: str,
+        accept_states: Iterable[str],
+        reject_states: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self.states = tuple(dict.fromkeys(states))
+        self.input_alphabet = tuple(dict.fromkeys(input_alphabet))
+        self.tape_alphabet = tuple(dict.fromkeys(tape_alphabet))
+        self.initial_state = initial_state
+        self.accept_states = frozenset(accept_states)
+        self.reject_states = frozenset(reject_states)
+        self._validate_basics()
+        self.transitions: dict[tuple[str, str], tuple[LBATransition, ...]] = {}
+        for key, options in transitions.items():
+            state, symbol = key
+            if state not in self.states:
+                raise AutomatonError(f"transition from unknown state {state!r}")
+            if symbol not in self.tape_alphabet and symbol not in (LEFT_MARKER, RIGHT_MARKER):
+                raise AutomatonError(f"transition on unknown symbol {symbol!r}")
+            coerced = []
+            for option in options:
+                if not isinstance(option, LBATransition):
+                    option = LBATransition(*option)
+                if option.state not in self.states:
+                    raise AutomatonError(f"transition targets unknown state {option.state!r}")
+                if option.write not in self.tape_alphabet and option.write not in (LEFT_MARKER, RIGHT_MARKER):
+                    raise AutomatonError(f"transition writes unknown symbol {option.write!r}")
+                coerced.append(option)
+            if not coerced:
+                raise AutomatonError(f"empty option set for {key!r}")
+            self.transitions[(state, symbol)] = tuple(coerced)
+
+    def _validate_basics(self) -> None:
+        if self.initial_state not in self.states:
+            raise AutomatonError(f"unknown initial state {self.initial_state!r}")
+        for state in self.accept_states | self.reject_states:
+            if state not in self.states:
+                raise AutomatonError(f"unknown halting state {state!r}")
+        missing = [s for s in self.input_alphabet if s not in self.tape_alphabet]
+        if missing:
+            raise AutomatonError(f"input symbols {missing!r} missing from the tape alphabet")
+        if LEFT_MARKER in self.tape_alphabet or RIGHT_MARKER in self.tape_alphabet:
+            raise AutomatonError("end markers are reserved symbols")
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+    def is_deterministic(self) -> bool:
+        """Whether every option set is a singleton."""
+        return all(len(options) == 1 for options in self.transitions.values())
+
+    def options(self, state: str, symbol: str) -> tuple[LBATransition, ...]:
+        """The option set for ``(state, symbol)`` (empty tuple when undefined)."""
+        return self.transitions.get((state, symbol), ())
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        word: Sequence[str] | str,
+        *,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        max_steps: int = 1_000_000,
+        record_history: bool = False,
+    ) -> LBARun:
+        """Run the automaton on *word*.
+
+        ``accepted`` in the result is ``True``/``False`` when the machine
+        halts in an accept/reject configuration (or runs out of defined
+        transitions), and ``None`` when ``max_steps`` is exhausted first.
+        """
+        word = list(word)
+        for symbol in word:
+            if symbol not in self.input_alphabet:
+                raise AutomatonError(f"input symbol {symbol!r} not in the input alphabet")
+        rng = rng if rng is not None else random.Random(seed)
+        tape = [LEFT_MARKER, *word, RIGHT_MARKER]
+        head = 1 if word else 1  # first input cell (or the right marker for ε)
+        state = self.initial_state
+        steps = 0
+        history: list[tuple[str, int]] = []
+        visited = {head}
+        while steps < max_steps:
+            if state in self.accept_states:
+                return self._finish(True, steps, state, tape, visited, history)
+            if state in self.reject_states:
+                return self._finish(False, steps, state, tape, visited, history)
+            symbol = tape[head]
+            options = self.transitions.get((state, symbol))
+            if not options:
+                return self._finish(False, steps, state, tape, visited, history)
+            chosen = options[0] if len(options) == 1 else options[rng.randrange(len(options))]
+            if symbol in (LEFT_MARKER, RIGHT_MARKER) and chosen.write != symbol:
+                raise AutomatonError("end markers must not be overwritten")
+            tape[head] = chosen.write
+            head += chosen.move
+            head = max(0, min(head, len(tape) - 1))
+            visited.add(head)
+            state = chosen.state
+            steps += 1
+            if record_history:
+                history.append((state, head))
+        return LBARun(
+            accepted=None,
+            steps=steps,
+            halted=False,
+            final_state=state,
+            tape=tuple(tape),
+            space_used=len(visited),
+            history=history,
+        )
+
+    @staticmethod
+    def _finish(accepted, steps, state, tape, visited, history) -> LBARun:
+        return LBARun(
+            accepted=accepted,
+            steps=steps,
+            halted=True,
+            final_state=state,
+            tape=tuple(tape),
+            space_used=len(visited),
+            history=history,
+        )
+
+    def decides(self, word: Sequence[str] | str, *, seed: int | None = None, max_steps: int = 1_000_000) -> bool:
+        """Convenience: run and return the boolean verdict (``False`` on timeout)."""
+        run = self.run(word, seed=seed, max_steps=max_steps)
+        return bool(run.accepted)
+
+    def __repr__(self) -> str:
+        return f"<LinearBoundedAutomaton {self.name!r} states={len(self.states)}>"

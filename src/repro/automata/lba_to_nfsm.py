@@ -1,0 +1,293 @@
+"""Simulating an rLBA by an nFSM protocol on a path (paper Lemma 6.2).
+
+Every node of an ``(n+2)``-node path hosts one tape cell (the two extra end
+nodes host the end markers).  At any time exactly one node is *active* — the
+node the head points to — and only the active node transmits.  When the head
+moves, the active node transmits a constant-size transfer letter
+``(direction, next LBA state, parity)``; the neighbour on the indicated side
+picks it up and becomes the new active node.
+
+Two well-known practicalities of the broadcast/port model are handled
+explicitly (the paper's proof sketch leaves them implicit):
+
+* **Stale transfers.**  Ports keep the last letter, so the second time the
+  head crosses the same edge the receiver would still see the transfer letter
+  from the first crossing.  Each node therefore tags its rightward (and,
+  separately, leftward) transfers with an alternating parity bit and each
+  node remembers the parity it expects next from either side; a stale letter
+  always carries the wrong parity.  This adds two bits of state and doubles
+  the transfer alphabet — still universal constants.
+* **Halting.**  When the LBA halts, the active node floods an ``ACCEPT`` or
+  ``REJECT`` letter so that *every* node reaches an output state, giving the
+  protocol a proper output configuration in the sense of Section 2.
+
+The resulting protocol is an
+:class:`~repro.core.protocol.ExtendedProtocol`; it can be executed with the
+synchronous engine directly, or compiled with the synchronizer and executed
+under any adversarial schedule (the route taken by the integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.automata.lba import LEFT_MARKER, RIGHT_MARKER, LinearBoundedAutomaton
+from repro.core.alphabet import EPSILON, Observation
+from repro.core.errors import AutomatonError
+from repro.core.protocol import ExtendedProtocol, TransitionChoice
+from repro.core.results import ExecutionResult
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph
+from repro.scheduling.sync_engine import run_synchronous
+
+MSG_NULL = "NULL"
+MSG_ACCEPT = "ACCEPT"
+MSG_REJECT = "REJECT"
+
+IDLE = "idle"
+ACTIVE = "active"
+HALTED = "halted"
+
+
+@dataclass(frozen=True)
+class CellState:
+    """Protocol state of one path node (= one tape cell).
+
+    ``side`` records on which side of this cell the head currently is
+    (meaningful while ``role == "idle"``); the four parity fields implement
+    the stale-transfer protection described in the module docstring.
+    """
+
+    role: str
+    symbol: str
+    lba_state: str | None = None
+    side: str = "L"
+    sent_right_parity: int = 0
+    sent_left_parity: int = 0
+    expect_right_parity: int = 0
+    expect_left_parity: int = 0
+    verdict: bool | None = None
+
+
+class LBAPathProtocol(ExtendedProtocol):
+    """The nFSM protocol of Lemma 6.2 for a fixed linear bounded automaton."""
+
+    def __init__(self, machine: LinearBoundedAutomaton) -> None:
+        self._machine = machine
+        transfer_letters = [
+            (direction, state, parity)
+            for direction in ("R", "L")
+            for state in machine.states
+            for parity in (0, 1)
+        ]
+        super().__init__(
+            name=f"lba-on-path[{machine.name}]",
+            alphabet=(MSG_NULL, MSG_ACCEPT, MSG_REJECT, *transfer_letters),
+            initial_letter=MSG_NULL,
+            bounding=1,
+            input_states=(CellState(role=IDLE, symbol=LEFT_MARKER),),
+            output_states=(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Inputs and outputs                                                  #
+    # ------------------------------------------------------------------ #
+    @property
+    def machine(self) -> LinearBoundedAutomaton:
+        return self._machine
+
+    def initial_state(self, input_value: Any = None) -> CellState:
+        if input_value is None:
+            raise AutomatonError(
+                "every path node needs an input of the form (symbol, has_head)"
+            )
+        symbol, has_head = input_value
+        if has_head:
+            return CellState(role=ACTIVE, symbol=symbol, lba_state=self._machine.initial_state)
+        # The head starts on the leftmost input cell; the left marker is the
+        # only node with the head on its right.
+        side = "R" if symbol == LEFT_MARKER else "L"
+        return CellState(role=IDLE, symbol=symbol, side=side)
+
+    def is_output_state(self, state: CellState) -> bool:
+        return state.role == HALTED
+
+    def output_value(self, state: CellState) -> bool | None:
+        return state.verdict
+
+    # ------------------------------------------------------------------ #
+    # Transition relation                                                 #
+    # ------------------------------------------------------------------ #
+    def options(self, state: CellState, observation: Observation) -> tuple[TransitionChoice, ...]:
+        if state.role == HALTED:
+            return (TransitionChoice(state, EPSILON),)
+
+        # Verdict flooding dominates everything else.
+        if observation.count(MSG_ACCEPT) >= 1:
+            return (TransitionChoice(self._halt(state, True), MSG_ACCEPT),)
+        if observation.count(MSG_REJECT) >= 1:
+            return (TransitionChoice(self._halt(state, False), MSG_REJECT),)
+
+        if state.role == ACTIVE:
+            return self._active_options(state)
+        return self._idle_options(state, observation)
+
+    @staticmethod
+    def _halt(state: CellState, verdict: bool) -> CellState:
+        return CellState(role=HALTED, symbol=state.symbol, verdict=verdict)
+
+    # -- the node under the head ------------------------------------------ #
+    def _active_options(self, state: CellState) -> tuple[TransitionChoice, ...]:
+        machine = self._machine
+        lba_options = machine.options(state.lba_state, state.symbol)
+        if not lba_options:
+            # Undefined configuration: the LBA halts rejecting.
+            return (TransitionChoice(self._halt(state, False), MSG_REJECT),)
+        choices = []
+        for option in lba_options:
+            if option.state in machine.accept_states:
+                choices.append(TransitionChoice(self._halt(state, True), MSG_ACCEPT))
+                continue
+            if option.state in machine.reject_states:
+                choices.append(TransitionChoice(self._halt(state, False), MSG_REJECT))
+                continue
+            move = option.move
+            # The end markers bound the head exactly as in the sequential LBA.
+            if move == +1 and state.symbol == RIGHT_MARKER:
+                move = 0
+            if move == -1 and state.symbol == LEFT_MARKER:
+                move = 0
+            if move == 0:
+                staying = CellState(
+                    role=ACTIVE,
+                    symbol=option.write,
+                    lba_state=option.state,
+                    sent_right_parity=state.sent_right_parity,
+                    sent_left_parity=state.sent_left_parity,
+                    expect_right_parity=state.expect_right_parity,
+                    expect_left_parity=state.expect_left_parity,
+                )
+                choices.append(TransitionChoice(staying, EPSILON))
+            elif move == +1:
+                letter = ("R", option.state, state.sent_right_parity)
+                handed_off = CellState(
+                    role=IDLE,
+                    symbol=option.write,
+                    side="R",
+                    sent_right_parity=1 - state.sent_right_parity,
+                    sent_left_parity=state.sent_left_parity,
+                    expect_right_parity=state.expect_right_parity,
+                    expect_left_parity=state.expect_left_parity,
+                )
+                choices.append(TransitionChoice(handed_off, letter))
+            else:
+                letter = ("L", option.state, state.sent_left_parity)
+                handed_off = CellState(
+                    role=IDLE,
+                    symbol=option.write,
+                    side="L",
+                    sent_right_parity=state.sent_right_parity,
+                    sent_left_parity=1 - state.sent_left_parity,
+                    expect_right_parity=state.expect_right_parity,
+                    expect_left_parity=state.expect_left_parity,
+                )
+                choices.append(TransitionChoice(handed_off, letter))
+        return tuple(choices)
+
+    # -- the nodes away from the head -------------------------------------- #
+    def _idle_options(self, state: CellState, observation: Observation) -> tuple[TransitionChoice, ...]:
+        if state.side == "L":
+            direction, parity = "R", state.expect_right_parity
+        else:
+            direction, parity = "L", state.expect_left_parity
+        arriving = [
+            lba_state
+            for lba_state in self._machine.states
+            if observation.count((direction, lba_state, parity)) >= 1
+        ]
+        if not arriving:
+            return (TransitionChoice(state, EPSILON),)
+        # At most one neighbour can be the active node, so at most one
+        # matching transfer letter exists; be deterministic regardless.
+        lba_state = arriving[0]
+        activated = CellState(
+            role=ACTIVE,
+            symbol=state.symbol,
+            lba_state=lba_state,
+            sent_right_parity=state.sent_right_parity,
+            sent_left_parity=state.sent_left_parity,
+            expect_right_parity=(
+                1 - state.expect_right_parity if direction == "R" else state.expect_right_parity
+            ),
+            expect_left_parity=(
+                1 - state.expect_left_parity if direction == "L" else state.expect_left_parity
+            ),
+        )
+        return (TransitionChoice(activated, EPSILON),)
+
+    # ------------------------------------------------------------------ #
+    # Compiler hints                                                      #
+    # ------------------------------------------------------------------ #
+    def queried_letters(self, state: CellState) -> tuple:
+        if state.role == HALTED:
+            return ()
+        flood = (MSG_ACCEPT, MSG_REJECT)
+        if state.role == ACTIVE:
+            return flood
+        if state.side == "L":
+            transfers = tuple(
+                ("R", lba_state, state.expect_right_parity) for lba_state in self._machine.states
+            )
+        else:
+            transfers = tuple(
+                ("L", lba_state, state.expect_left_parity) for lba_state in self._machine.states
+            )
+        return flood + transfers
+
+
+# ---------------------------------------------------------------------- #
+# Convenience drivers                                                     #
+# ---------------------------------------------------------------------- #
+def path_network_for_word(word) -> tuple[Graph, dict[int, tuple[str, bool]]]:
+    """Build the path graph and the per-node inputs encoding *word*.
+
+    The path has ``len(word) + 2`` nodes: node 0 holds the left end marker,
+    nodes ``1..n`` the input symbols, node ``n+1`` the right end marker.  The
+    head starts on node 1 (or on the right marker for the empty word, which
+    matches the sequential machine's convention).
+    """
+    word = list(word)
+    graph = path_graph(len(word) + 2)
+    inputs: dict[int, tuple[str, bool]] = {0: (LEFT_MARKER, False)}
+    for position, symbol in enumerate(word, start=1):
+        inputs[position] = (symbol, position == 1)
+    inputs[len(word) + 1] = (RIGHT_MARKER, not word)
+    return graph, inputs
+
+
+def decide_word_on_path(
+    machine: LinearBoundedAutomaton,
+    word,
+    *,
+    seed: int | None = None,
+    max_rounds: int = 2_000_000,
+) -> tuple[bool | None, ExecutionResult]:
+    """Decide *word* by running the Lemma 6.2 protocol on a path network.
+
+    Returns ``(verdict, execution result)`` where the verdict is the common
+    output of all nodes (``None`` if the round budget ran out, which only
+    happens for non-halting machines).
+    """
+    protocol = LBAPathProtocol(machine)
+    graph, inputs = path_network_for_word(word)
+    result = run_synchronous(
+        graph, protocol, seed=seed, inputs=inputs, max_rounds=max_rounds,
+        raise_on_timeout=False,
+    )
+    if not result.reached_output:
+        return None, result
+    verdicts = set(result.outputs.values())
+    if len(verdicts) != 1:
+        raise AutomatonError(f"nodes disagree on the verdict: {verdicts!r}")
+    return verdicts.pop(), result

@@ -1,0 +1,54 @@
+"""Baseline algorithms from stronger models (LOCAL, beeping) and sequential references."""
+
+from repro.baselines.beeping import (
+    BeepingAlgorithm,
+    BeepingEngine,
+    BeepingResult,
+    SOPSelectionMIS,
+    sop_selection_mis,
+)
+from repro.baselines.centralized import (
+    greedy_coloring,
+    greedy_maximal_matching,
+    greedy_mis,
+    maximum_independent_set_exact,
+    random_order_mis,
+    two_color_tree,
+)
+from repro.baselines.cole_vishkin import (
+    ColeVishkinResult,
+    cole_vishkin_3_coloring,
+    root_tree,
+    tree_depth,
+)
+from repro.baselines.luby import LubyMIS, luby_mis
+from repro.baselines.message_passing import (
+    MessagePassingAlgorithm,
+    MessagePassingEngine,
+    MessagePassingResult,
+    run_message_passing,
+)
+
+__all__ = [
+    "BeepingAlgorithm",
+    "BeepingEngine",
+    "BeepingResult",
+    "ColeVishkinResult",
+    "LubyMIS",
+    "MessagePassingAlgorithm",
+    "MessagePassingEngine",
+    "MessagePassingResult",
+    "SOPSelectionMIS",
+    "cole_vishkin_3_coloring",
+    "greedy_coloring",
+    "greedy_maximal_matching",
+    "greedy_mis",
+    "luby_mis",
+    "maximum_independent_set_exact",
+    "random_order_mis",
+    "root_tree",
+    "run_message_passing",
+    "sop_selection_mis",
+    "tree_depth",
+    "two_color_tree",
+]

@@ -1,0 +1,204 @@
+"""The beeping model and a beep-based MIS baseline (related work).
+
+The beeping model [16, 17] is the closest relative of the nFSM model that
+the paper discusses: in every synchronous round a node either *beeps* or
+*listens*, and a listener only learns whether at least one neighbour beeped
+(exactly one-two-many counting with ``b = 1``).  It is nevertheless strictly
+stronger than the nFSM model because (i) rounds are globally synchronous and
+(ii) the local computation is an arbitrary Turing machine whose memory may
+grow with ``n`` — the beep-MIS algorithms of Afek et al. [1, 2] rely on
+both.
+
+Two pieces are provided:
+
+* :class:`BeepingEngine` — the generic synchronous beeping substrate;
+* :func:`sop_selection_mis` — an MIS in the spirit of Afek et al.'s
+  fly SOP-selection algorithm (Science 2011): execution proceeds in
+  two-round phases; in the first round an undecided node beeps with a
+  probability that slowly ramps up, and a node that beeped into a silent
+  neighbourhood announces victory with a second beep, joining the MIS and
+  retiring its neighbours.  The expected round complexity is O(log² n), the
+  same order as the Stone Age protocol, but the probability ramp requires
+  knowing (an upper bound on) ``n`` — knowledge an nFSM node cannot even
+  represent.  This baseline also powers the biological example
+  (``examples/biological_sop_selection.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import OutputNotReachedError
+from repro.graphs.graph import Graph
+
+
+class BeepingAlgorithm(ABC):
+    """Per-node behaviour in the beeping model."""
+
+    name: str = "beeping-algorithm"
+
+    @abstractmethod
+    def initialize(self, node: int, degree: int, num_nodes: int, rng: random.Random) -> Any:
+        """Create the node's initial local state (may depend on ``n``)."""
+
+    @abstractmethod
+    def beeps(self, node: int, state: Any, round_index: int, rng: random.Random) -> bool:
+        """Whether the node beeps this round."""
+
+    @abstractmethod
+    def listen(
+        self,
+        node: int,
+        state: Any,
+        heard_beep: bool,
+        own_beep: bool,
+        round_index: int,
+        rng: random.Random,
+    ) -> tuple[Any, Any | None]:
+        """Process the round's outcome; return ``(state, output-or-None)``."""
+
+
+@dataclass
+class BeepingResult:
+    """Outcome of a beeping-model execution."""
+
+    algorithm: str
+    graph: Graph
+    rounds: int
+    outputs: dict[int, Any]
+    reached_output: bool
+    total_beeps: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class BeepingEngine:
+    """Synchronous executor for :class:`BeepingAlgorithm` instances.
+
+    Nodes that have produced an output are retired: they neither beep nor
+    listen any more (their neighbours have already learned everything they
+    need through the algorithm's own announcements).
+    """
+
+    def __init__(self, graph: Graph, algorithm: BeepingAlgorithm, *, seed: int | None = None) -> None:
+        self._graph = graph
+        self._algorithm = algorithm
+        self._rng = random.Random(seed)
+        self._states = [
+            algorithm.initialize(node, graph.degree(node), graph.num_nodes, self._rng)
+            for node in graph.nodes
+        ]
+        self._outputs: dict[int, Any] = {}
+        self._round = 0
+        self._beeps = 0
+
+    @property
+    def round_index(self) -> int:
+        return self._round
+
+    def done(self) -> bool:
+        return len(self._outputs) == self._graph.num_nodes
+
+    def step_round(self) -> None:
+        graph, algorithm = self._graph, self._algorithm
+        beeping = [
+            node not in self._outputs
+            and algorithm.beeps(node, self._states[node], self._round, self._rng)
+            for node in graph.nodes
+        ]
+        self._beeps += sum(beeping)
+        heard = [
+            any(beeping[neighbour] for neighbour in graph.neighbors(node))
+            for node in graph.nodes
+        ]
+        for node in graph.nodes:
+            if node in self._outputs:
+                continue
+            new_state, output = algorithm.listen(
+                node, self._states[node], heard[node], beeping[node], self._round, self._rng
+            )
+            self._states[node] = new_state
+            if output is not None:
+                self._outputs[node] = output
+        self._round += 1
+
+    def run(self, max_rounds: int = 200_000, *, raise_on_timeout: bool = True) -> BeepingResult:
+        while not self.done() and self._round < max_rounds:
+            self.step_round()
+        result = BeepingResult(
+            algorithm=self._algorithm.name,
+            graph=self._graph,
+            rounds=self._round,
+            outputs=dict(self._outputs),
+            reached_output=self.done(),
+            total_beeps=self._beeps,
+        )
+        if not result.reached_output and raise_on_timeout:
+            raise OutputNotReachedError(
+                f"{self._algorithm.name} did not terminate within {max_rounds} rounds", result
+            )
+        return result
+
+
+class SOPSelectionMIS(BeepingAlgorithm):
+    """Fly-inspired beeping MIS (two-round phases, ramping beep probability).
+
+    Phase structure (round ``2k`` and ``2k+1``):
+
+    * *candidacy round* — an undecided node beeps with probability ``p_k``
+      (starting at ``1/n`` and doubling every ``ramp`` phases up to ``1/2``);
+    * *victory round* — a node that beeped into silence beeps again and
+      outputs membership; an undecided node that hears a victory beep (and
+      did not announce one itself) outputs non-membership.
+
+    Two adjacent nodes can never both announce victory in the same phase
+    because each would have heard the other's candidacy beep.
+    """
+
+    name = "beeping-sop-mis"
+
+    def __init__(self, ramp_phases_per_level: int | None = None) -> None:
+        self._ramp = ramp_phases_per_level
+
+    def initialize(self, node: int, degree: int, num_nodes: int, rng: random.Random) -> dict:
+        levels = max(int(math.ceil(math.log2(max(num_nodes, 2)))), 1)
+        ramp = self._ramp if self._ramp is not None else 2
+        return {
+            "levels": levels,
+            "ramp": ramp,
+            "num_nodes": max(num_nodes, 2),
+            "candidate": False,
+            "victorious": False,
+        }
+
+    def _probability(self, state: dict, phase: int) -> float:
+        level = min(phase // state["ramp"], state["levels"])
+        return min(0.5, (2.0 ** level) / state["num_nodes"])
+
+    def beeps(self, node: int, state: dict, round_index: int, rng: random.Random) -> bool:
+        if round_index % 2 == 0:
+            state["candidate"] = rng.random() < self._probability(state, round_index // 2)
+            return state["candidate"]
+        return state["victorious"]
+
+    def listen(self, node, state, heard_beep, own_beep, round_index, rng):
+        if round_index % 2 == 0:
+            state["victorious"] = state["candidate"] and not heard_beep
+            return state, None
+        if state["victorious"]:
+            return state, True
+        if heard_beep:
+            return state, False
+        return state, None
+
+
+def sop_selection_mis(
+    graph: Graph, *, seed: int | None = None, max_rounds: int = 200_000
+) -> tuple[set[int], BeepingResult]:
+    """Run the beeping SOP-selection MIS; returns the selected set and record."""
+    result = BeepingEngine(graph, SOPSelectionMIS(), seed=seed).run(max_rounds=max_rounds)
+    winners = {node for node, output in result.outputs.items() if output}
+    return winners, result

@@ -1,0 +1,116 @@
+"""Centralized (sequential) reference algorithms.
+
+These are not distributed baselines; they provide ground-truth solutions and
+quality yardsticks (MIS size, number of colors, matching size) against which
+the distributed protocols' outputs are compared in tests and experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graphs.graph import Graph
+
+
+def greedy_mis(graph: Graph, order: Sequence[int] | None = None) -> set[int]:
+    """Greedy maximal independent set following *order* (default: 0..n-1)."""
+    order = list(order) if order is not None else list(graph.nodes)
+    selected: set[int] = set()
+    blocked: set[int] = set()
+    for node in order:
+        if node in blocked:
+            continue
+        selected.add(node)
+        blocked.add(node)
+        blocked.update(graph.neighbors(node))
+    return selected
+
+
+def random_order_mis(graph: Graph, *, seed: int | None = None) -> set[int]:
+    """Greedy MIS over a uniformly random node permutation."""
+    rng = random.Random(seed)
+    order = list(graph.nodes)
+    rng.shuffle(order)
+    return greedy_mis(graph, order)
+
+
+def greedy_coloring(graph: Graph, order: Sequence[int] | None = None) -> dict[int, int]:
+    """First-fit coloring; uses at most Δ+1 colors (1-based color values)."""
+    order = list(order) if order is not None else list(graph.nodes)
+    colors: dict[int, int] = {}
+    for node in order:
+        taken = {colors[neighbour] for neighbour in graph.neighbors(node) if neighbour in colors}
+        color = 1
+        while color in taken:
+            color += 1
+        colors[node] = color
+    return colors
+
+
+def two_color_tree(graph: Graph) -> dict[int, int]:
+    """2-color a forest by BFS parity (colors 1 and 2).
+
+    This is the sequential optimum the paper contrasts with: a *distributed*
+    2-coloring needs Ω(diameter) rounds, which is why Section 5 settles for
+    3 colors.
+    """
+    colors: dict[int, int] = {}
+    for start in graph.nodes:
+        if start in colors:
+            continue
+        colors[start] = 1
+        frontier = [start]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbour in graph.neighbors(node):
+                    if neighbour not in colors:
+                        colors[neighbour] = 3 - colors[node]
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+    return colors
+
+
+def greedy_maximal_matching(graph: Graph, order: Sequence[tuple[int, int]] | None = None) -> list[tuple[int, int]]:
+    """Greedy maximal matching following the given edge order."""
+    order = list(order) if order is not None else list(graph.edges)
+    matched: set[int] = set()
+    matching: list[tuple[int, int]] = []
+    for u, v in order:
+        if u in matched or v in matched:
+            continue
+        matching.append((u, v))
+        matched.update((u, v))
+    return matching
+
+
+def maximum_independent_set_exact(graph: Graph, node_limit: int = 24) -> set[int]:
+    """Exact maximum independent set by branch and bound (small graphs only).
+
+    Used by quality experiments to report how far the distributed MIS sizes
+    are from optimal; refuses graphs larger than *node_limit* nodes.
+    """
+    if graph.num_nodes > node_limit:
+        raise ValueError(
+            f"exact MIS is limited to {node_limit} nodes (got {graph.num_nodes})"
+        )
+    best: set[int] = set()
+    nodes = sorted(graph.nodes, key=graph.degree, reverse=True)
+
+    def extend(candidates: list[int], chosen: set[int]) -> None:
+        nonlocal best
+        if len(chosen) + len(candidates) <= len(best):
+            return
+        if not candidates:
+            if len(chosen) > len(best):
+                best = set(chosen)
+            return
+        node, rest = candidates[0], candidates[1:]
+        # Branch 1: include the node.
+        extend([c for c in rest if not graph.has_edge(c, node)], chosen | {node})
+        # Branch 2: exclude it.
+        extend(rest, chosen)
+
+    extend(nodes, set())
+    return best

@@ -1,0 +1,95 @@
+"""Luby's randomized MIS algorithm in the message passing model.
+
+Luby [27] / Alon–Babai–Itai [3] is the classical O(log n)-round baseline the
+paper's Section 4 measures itself against.  The implementation below follows
+the textbook per-phase formulation:
+
+* every undecided node draws a fresh random value and sends it to all
+  neighbours;
+* a node whose value is a strict local minimum joins the MIS, announces it,
+  and all of its neighbours retire as non-members.
+
+Each phase takes two message-passing rounds.  Note everything the nFSM model
+forbids is used freely here: unique identifiers (for tie breaking),
+Θ(log n)-bit messages, and per-node memory growing with the degree.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.baselines.message_passing import (
+    MessagePassingAlgorithm,
+    MessagePassingResult,
+    run_message_passing,
+)
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class _LubyState:
+    phase_value: tuple[float, int] | None = None
+    undecided_neighbours: set[int] = field(default_factory=set)
+    pending_join: bool = False
+
+
+class LubyMIS(MessagePassingAlgorithm):
+    """Luby's algorithm; node outputs are ``True`` (in MIS) / ``False``."""
+
+    name = "luby-mis"
+
+    def initialize(self, node: int, degree: int, num_nodes: int, rng: random.Random) -> _LubyState:
+        # The phase-0 value is drawn here; subsequent phases redraw at the end
+        # of their round B.
+        return _LubyState(phase_value=(rng.random(), node))
+
+    def send(self, node: int, state: _LubyState, round_index: int) -> dict[int, Any]:
+        if round_index % 2 == 0:
+            # Phase round A: draw and broadcast a random value; ties are
+            # broken by the (unique) node identifier, as LOCAL algorithms may.
+            return {None: ("value", state.phase_value)}
+        if state.pending_join:
+            return {None: ("joined",)}
+        return {None: ("still-in",)}
+
+    def receive(
+        self,
+        node: int,
+        state: _LubyState,
+        inbox: dict[int, Any],
+        round_index: int,
+        rng: random.Random,
+    ) -> tuple[_LubyState, Any | None]:
+        if round_index % 2 == 0:
+            values = {
+                sender: message[1]
+                for sender, message in inbox.items()
+                if message[0] == "value" and message[1] is not None
+            }
+            state.undecided_neighbours = set(values)
+            mine = state.phase_value
+            state.pending_join = mine is not None and all(mine < other for other in values.values())
+            # Isolated-in-the-residual-graph nodes join immediately.
+            if mine is not None and not values:
+                state.pending_join = True
+            return state, None
+
+        # Phase round B: learn who joined.
+        joined_neighbour = any(message[0] == "joined" for message in inbox.values())
+        if state.pending_join:
+            return state, True
+        if joined_neighbour:
+            return state, False
+        # Still undecided: draw the next phase's value now so that round A of
+        # the next phase can broadcast it.
+        state.phase_value = (rng.random(), node)
+        return state, None
+
+
+def luby_mis(graph: Graph, *, seed: int | None = None, max_rounds: int = 10_000) -> tuple[set[int], MessagePassingResult]:
+    """Run Luby's MIS and return the selected set plus the execution record."""
+    result = run_message_passing(graph, LubyMIS(), seed=seed, max_rounds=max_rounds)
+    selected = {node for node, output in result.outputs.items() if output}
+    return selected, result

@@ -1,0 +1,294 @@
+"""Command-line interface: run protocols, simulations and experiments.
+
+The CLI gives quick access to the library without writing Python::
+
+    python -m repro mis --family gnp_sparse --nodes 128 --seed 7
+    python -m repro mis --nodes 12 --asynchronous --adversary skewed-rates
+    python -m repro color --nodes 256 --family random_tree
+    python -m repro matching --nodes 64
+    python -m repro lba --language palindromes --word abba
+    python -m repro experiment E1 --quick
+    python -m repro census
+
+Every command prints a short human-readable report and exits with a non-zero
+status if the produced solution fails verification, so the CLI can be used in
+scripts and CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.automata.languages import SAMPLE_LANGUAGES
+from repro.automata.lba_to_nfsm import decide_word_on_path
+from repro.compilers import compile_to_asynchronous
+from repro.graphs.generators import GRAPH_FAMILIES
+from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
+from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
+from repro.protocols.matching import maximal_matching_via_line_graph
+from repro.protocols.mis import MISProtocol, mis_from_result
+from repro.scheduling.adversary import default_adversary_suite
+from repro.scheduling.async_engine import run_asynchronous
+from repro.scheduling.sync_engine import run_synchronous
+from repro.verification import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+)
+
+_ADVERSARIES = {policy.name: policy for policy in default_adversary_suite()}
+
+#: Experiment workloads used with ``--quick`` (id -> keyword arguments).
+_QUICK_EXPERIMENT_ARGS = {
+    "E1": {"sizes": [16, 32, 64, 128], "repetitions": 2},
+    "E2": {"sizes": [16, 32, 64, 128], "repetitions": 2},
+    "E3": {"sizes": (6, 9)},
+    "E4": {"sizes": (16, 32)},
+    "E5": {"sizes": (16, 64)},
+    "E6": {"word_lengths": (0, 2, 4)},
+    "E7": {"sizes": (32,)},
+    "E8": {"sizes": (64,), "repetitions": 2},
+    "E9": {"sizes": (64,), "repetitions": 2},
+    "E10": {"sizes": (64,)},
+    "E11": {"sizes": (64, 256)},
+    "E12": {},
+    "A1": {"sizes": (48,), "repetitions": 2},
+    "A2": {"slow_factors": (1.0, 8.0), "size": 7},
+}
+
+
+def _build_graph(args: argparse.Namespace):
+    family = GRAPH_FAMILIES[args.family]
+    return family(args.nodes, args.seed)
+
+
+def _emit(payload: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2, default=str))
+        return
+    for key, value in payload.items():
+        print(f"{key:>22}: {value}")
+
+
+# ---------------------------------------------------------------------- #
+# Sub-command implementations                                             #
+# ---------------------------------------------------------------------- #
+def _cmd_mis(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    if args.asynchronous:
+        compiled = compile_to_asynchronous(MISProtocol())
+        result = run_asynchronous(
+            graph,
+            compiled,
+            seed=args.seed,
+            adversary=_ADVERSARIES[args.adversary],
+            adversary_seed=args.seed + 1,
+            max_events=args.max_events,
+            raise_on_timeout=False,
+        )
+    else:
+        result = run_synchronous(
+            graph, MISProtocol(), seed=args.seed, max_rounds=args.max_rounds,
+            raise_on_timeout=False,
+        )
+    selected = mis_from_result(result)
+    valid = result.reached_output and is_maximal_independent_set(graph, selected)
+    _emit(
+        {
+            "problem": "maximal independent set",
+            "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
+            "mode": "asynchronous" if args.asynchronous else "synchronous",
+            "cost": f"{result.cost:.1f} "
+                    + ("time units" if args.asynchronous else "rounds"),
+            "mis size": len(selected),
+            "valid": valid,
+        },
+        args.json,
+    )
+    return 0 if valid else 1
+
+
+def _cmd_color(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    result = run_synchronous(
+        graph, TreeColoringProtocol(), seed=args.seed, max_rounds=args.max_rounds,
+        raise_on_timeout=False,
+    )
+    colors = coloring_from_result(result)
+    valid = (
+        result.reached_output
+        and is_proper_coloring(graph, colors)
+        and len(set(colors.values())) <= 3
+    )
+    _emit(
+        {
+            "problem": "3-coloring",
+            "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
+            "rounds": result.rounds,
+            "colors used": sorted(set(colors.values())),
+            "valid": valid,
+        },
+        args.json,
+    )
+    return 0 if valid else 1
+
+
+def _cmd_matching(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    matching, inner = maximal_matching_via_line_graph(graph, seed=args.seed)
+    valid = is_maximal_matching(graph, matching)
+    _emit(
+        {
+            "problem": "maximal matching (MIS on the line graph)",
+            "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
+            "line-graph rounds": inner.rounds if inner is not None else 0,
+            "matching size": len(matching),
+            "valid": valid,
+        },
+        args.json,
+    )
+    return 0 if valid else 1
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    result = run_synchronous(
+        graph, BroadcastProtocol(), seed=args.seed,
+        inputs=broadcast_inputs(args.source), max_rounds=args.max_rounds,
+        raise_on_timeout=False,
+    )
+    informed = sum(1 for value in result.outputs.values() if value)
+    valid = result.reached_output and informed == graph.num_nodes
+    _emit(
+        {
+            "problem": "single-source broadcast",
+            "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
+            "source": args.source,
+            "rounds": result.rounds,
+            "informed nodes": informed,
+            "valid": valid,
+        },
+        args.json,
+    )
+    return 0 if valid else 1
+
+
+def _cmd_lba(args: argparse.Namespace) -> int:
+    factory, reference, alphabet = SAMPLE_LANGUAGES[args.language]
+    machine = factory()
+    word = list(args.word)
+    unknown = [symbol for symbol in word if symbol not in alphabet]
+    if unknown:
+        print(f"error: symbols {unknown!r} are not in the alphabet {alphabet!r} "
+              f"of language {args.language!r}", file=sys.stderr)
+        return 2
+    verdict, result = decide_word_on_path(machine, word, seed=args.seed)
+    expected = reference(word)
+    _emit(
+        {
+            "language": args.language,
+            "word": args.word or "(empty)",
+            "path cells": result.graph.num_nodes,
+            "network rounds": result.rounds,
+            "network verdict": verdict,
+            "reference verdict": expected,
+            "agrees": verdict == expected,
+        },
+        args.json,
+    )
+    return 0 if verdict == expected else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    identifiers = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+    all_passed = True
+    for identifier in identifiers:
+        runner = ALL_EXPERIMENTS[identifier]
+        kwargs = _QUICK_EXPERIMENT_ARGS.get(identifier, {}) if args.quick else {}
+        report = runner(**kwargs)
+        print(report.render())
+        print()
+        all_passed = all_passed and bool(report.passed)
+    return 0 if all_passed else 1
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import experiment_model_requirements
+
+    report = experiment_model_requirements()
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+# ---------------------------------------------------------------------- #
+# Argument parsing                                                        #
+# ---------------------------------------------------------------------- #
+def _add_graph_arguments(parser: argparse.ArgumentParser, default_family: str) -> None:
+    parser.add_argument("--family", choices=sorted(GRAPH_FAMILIES), default=default_family,
+                        help="graph family to generate (default: %(default)s)")
+    parser.add_argument("--nodes", "-n", type=int, default=64, help="number of nodes")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--max-rounds", type=int, default=100_000)
+    parser.add_argument("--json", action="store_true", help="print machine-readable JSON")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stone Age Distributed Computing — run nFSM protocols and experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    mis = subparsers.add_parser("mis", help="run the Stone Age MIS protocol")
+    _add_graph_arguments(mis, "gnp_sparse")
+    mis.add_argument("--asynchronous", action="store_true",
+                     help="compile with the synchronizer and run under an adversary")
+    mis.add_argument("--adversary", choices=sorted(_ADVERSARIES), default="uniform")
+    mis.add_argument("--max-events", type=int, default=5_000_000)
+    mis.set_defaults(handler=_cmd_mis)
+
+    color = subparsers.add_parser("color", help="run the tree 3-coloring protocol")
+    _add_graph_arguments(color, "random_tree")
+    color.set_defaults(handler=_cmd_color)
+
+    matching = subparsers.add_parser("matching", help="maximal matching via the line graph")
+    _add_graph_arguments(matching, "gnp_sparse")
+    matching.set_defaults(handler=_cmd_matching)
+
+    broadcast = subparsers.add_parser("broadcast", help="single-source broadcast")
+    _add_graph_arguments(broadcast, "random_tree")
+    broadcast.add_argument("--source", type=int, default=0)
+    broadcast.set_defaults(handler=_cmd_broadcast)
+
+    lba = subparsers.add_parser("lba", help="decide a word on a path of FSMs (Lemma 6.2)")
+    lba.add_argument("--language", choices=sorted(SAMPLE_LANGUAGES), default="palindromes")
+    lba.add_argument("--word", default="")
+    lba.add_argument("--seed", type=int, default=0)
+    lba.add_argument("--json", action="store_true")
+    lba.set_defaults(handler=_cmd_lba)
+
+    experiment = subparsers.add_parser("experiment", help="run a reproduction experiment (E1-E12)")
+    experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS) + ["all"])
+    experiment.add_argument("--quick", action="store_true",
+                            help="use a small workload (seconds instead of minutes)")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    census = subparsers.add_parser("census", help="print the size census of every protocol")
+    census.set_defaults(handler=_cmd_census)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

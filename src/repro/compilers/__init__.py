@@ -1,0 +1,37 @@
+"""Protocol compilers: the synchronizer and the multi-letter-query lowering.
+
+These are the "convenient transformations" of paper Section 3.  The usual
+workflow is:
+
+1. write a protocol at the comfortable level (multi-letter queries, locally
+   synchronous rounds) as an :class:`~repro.core.protocol.ExtendedProtocol`;
+2. run it at scale with the synchronous engine, or
+3. compile it with :func:`compile_to_asynchronous` and run the result with
+   the adversarial asynchronous engine to validate it under the raw model of
+   Section 2.
+"""
+
+from repro.compilers.multiquery import SingleQueryProtocol, lower_to_single_query
+from repro.compilers.synchronizer import SynchronizedProtocol, synchronize
+
+from repro.core.protocol import ExtendedProtocol, Protocol
+
+
+def compile_to_asynchronous(protocol: Protocol | ExtendedProtocol) -> SynchronizedProtocol:
+    """Compile a locally synchronous protocol for the asynchronous engine.
+
+    Multi-letter queries (Theorem 3.4) and the synchronizer (Theorem 3.1) are
+    applied in one pass: the synchronizer's simulating feature already
+    collects one saturated count per queried base letter, so extended
+    protocols do not need a separate lowering step before being synchronized.
+    """
+    return synchronize(protocol)
+
+
+__all__ = [
+    "SingleQueryProtocol",
+    "SynchronizedProtocol",
+    "compile_to_asynchronous",
+    "lower_to_single_query",
+    "synchronize",
+]

@@ -1,0 +1,118 @@
+"""Multiple-letter-query lowering (paper Section 3.2, Theorem 3.4).
+
+An :class:`~repro.core.protocol.ExtendedProtocol` lets a state base its
+transition on the full observation vector ``⟨f_b(#σ)⟩_{σ∈Σ}``.  Theorem 3.4
+states that this convenience costs only a constant factor: each round can be
+subdivided into ``|Σ|`` subrounds, each dedicated to a single letter, so that
+by the end of the round the node knows the saturated count of every letter.
+
+:class:`SingleQueryProtocol` implements that lowering.  The compiled protocol
+is a strict (single-query-letter) protocol meant to be executed in a
+(locally) synchronous environment — exactly the intermediate object of the
+paper's compilation chain.  Its states are triples
+
+    ``(base_state, subround_index, partial_observation)``
+
+where the partial observation stores the counts collected so far (a tuple of
+constant length with entries in ``0..b``), so the compiled state set remains
+a universal constant as required by model requirement (M4).
+
+The lowered protocol transmits only in the last subround of each macro round
+(the base protocol's emission); in all other subrounds it transmits ``ε``.
+Under lockstep synchronous execution this means the port contents seen during
+the subrounds of macro round ``t`` are exactly the base-protocol port
+contents of round ``t``, so the simulation is faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.alphabet import EPSILON, Letter, Observation
+from repro.core.errors import CompilationError
+from repro.core.protocol import ExtendedProtocol, Protocol, TransitionChoice
+
+
+class SingleQueryProtocol(Protocol):
+    """Strict single-letter-query lowering of an extended protocol.
+
+    The compiled round structure is fixed and identical for every node
+    (``|Σ|`` subrounds per base round), which keeps macro-round boundaries
+    aligned across the network under synchronous execution.
+    """
+
+    def __init__(self, base: ExtendedProtocol) -> None:
+        if not isinstance(base, ExtendedProtocol):
+            raise CompilationError(
+                "SingleQueryProtocol lowers ExtendedProtocol instances; "
+                f"got {type(base).__name__}"
+            )
+        self._base = base
+        super().__init__(
+            name=f"{base.name}[single-query]",
+            alphabet=base.alphabet,
+            initial_letter=base.initial_letter,
+            bounding=base.bounding,
+            input_states=tuple(
+                self._initial_compiled(state) for state in base.input_states
+            ),
+            output_states=(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # State shape: (base_state, subround_index, collected_counts)         #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _initial_compiled(base_state: Any) -> tuple:
+        return (base_state, 0, ())
+
+    @property
+    def base(self) -> ExtendedProtocol:
+        """The extended protocol being lowered."""
+        return self._base
+
+    def subrounds_per_round(self) -> int:
+        """Number of compiled rounds that simulate one base round."""
+        return len(self.alphabet)
+
+    def initial_state(self, input_value: Any = None) -> tuple:
+        return self._initial_compiled(self._base.initial_state(input_value))
+
+    def is_output_state(self, state: tuple) -> bool:
+        base_state, _, _ = state
+        return self._base.is_output_state(base_state)
+
+    def output_value(self, state: tuple) -> Any:
+        base_state, _, _ = state
+        return self._base.output_value(base_state)
+
+    # ------------------------------------------------------------------ #
+    # Strict protocol interface                                           #
+    # ------------------------------------------------------------------ #
+    def query_letter(self, state: tuple) -> Letter:
+        _, subround, _ = state
+        return self.alphabet[subround]
+
+    def options(self, state: tuple, count: int) -> tuple[TransitionChoice, ...]:
+        base_state, subround, collected = state
+        collected = collected + (count,)
+        last_subround = len(self.alphabet) - 1
+        if subround < last_subround:
+            return (TransitionChoice((base_state, subround + 1, collected), EPSILON),)
+        # Last subround: the observation vector is complete; apply the base
+        # transition and transmit its emission.
+        observation = Observation(self.alphabet, collected)
+        base_choices = self._base.validate_option_set(
+            self._base.options(base_state, observation)
+        )
+        return tuple(
+            TransitionChoice((choice.state, 0, ()), choice.emit)
+            for choice in base_choices
+        )
+
+
+def lower_to_single_query(protocol: ExtendedProtocol | Protocol) -> Protocol:
+    """Lower *protocol* to single-letter queries (identity for strict ones)."""
+    if isinstance(protocol, ExtendedProtocol):
+        return SingleQueryProtocol(protocol)
+    return protocol

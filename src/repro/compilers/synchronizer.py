@@ -1,0 +1,288 @@
+"""The nFSM synchronizer (paper Section 3.1, Theorem 3.1).
+
+The synchronizer turns a protocol ``Π`` designed for a *locally synchronous*
+environment into a protocol ``Π̂`` that runs correctly in the raw
+asynchronous, adversarial environment of Section 2, at the cost of a constant
+multiplicative run-time overhead.
+
+Construction (following the paper)
+----------------------------------
+Round ``t`` of ``Π`` is simulated by a *simulation phase* of ``Π̂`` made of a
+**pausing feature** followed by a **simulating feature**.
+
+* Every message of ``Π̂`` is a triple ``(prev, cur, trit)``: the sender's
+  underlying port content after round ``t-1``, after round ``t``, and the
+  trit ``t mod 3``.  The paper encodes the raw (possibly ``ε``) emissions of
+  rounds ``t-1`` and ``t``; we encode the *cumulative* port contents (the
+  last non-``ε`` letter transmitted so far, initialised to ``σ0``), which is
+  what the base protocol's port semantics actually exposes to neighbours and
+  avoids any ambiguity when a node keeps silent for several rounds.  This is
+  a presentation-level clarification, not a change of the construction: the
+  pausing/simulating machinery, the trit bookkeeping, and the accounting are
+  exactly the paper's.
+* The pausing feature of round ``t`` (trit ``j``) repeatedly queries the
+  *dirty* letters — those with trit ``j-2`` — one at a time and only
+  proceeds once none of them appears in any port.  This enforces
+  synchronisation property (S1): two adjacent nodes are never more than one
+  simulated round apart (Lemma 3.2).
+* The simulating feature then recovers the observation the base protocol
+  would have made in round ``t``.  A neighbour's port holds either its
+  ``t-1`` message (letters of ``Γ_{t-1}``, second component = underlying
+  port content) or already its ``t`` message (letters of ``Γ_t``, first
+  component).  The feature sums the saturated counts over both groups using
+  the identity ``f_b(x+y) = min(f_b(x)+f_b(y), b)`` and re-verifies the
+  ``Γ_{t-1}`` part (the φ₁/φ₂/φ₃ double check of the paper) so that a
+  message overtaking the computation cannot corrupt the observation;
+  because the ``Γ_{t-1}`` contribution can only decrease, the feature
+  restarts at most ``b`` times.
+* At the end of the simulating feature the base transition is applied, the
+  node transmits ``(P_{t-1}, P_t, t mod 3)`` and moves to the pausing feature
+  of round ``t+1``.
+
+Sizes: ``|Σ̂| = 3·|Σ|²`` and the compiled state space is
+``O(|Q|·(|Σ|² + |Σ|·b))`` per trit — all universal constants, so model
+requirement (M4) is preserved.
+
+The compiler accepts either a strict :class:`~repro.core.protocol.Protocol`
+(single query letter per state) or an
+:class:`~repro.core.protocol.ExtendedProtocol` (multi-letter queries).  For
+extended protocols the simulating feature simply collects one saturated count
+per *queried* base letter (see
+:meth:`~repro.core.protocol.ExtendedProtocol.queried_letters`) before
+applying the base transition — the natural composition of Theorems 3.1
+and 3.4 in a single pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.alphabet import EPSILON, Letter, Observation, is_epsilon
+from repro.core.errors import CompilationError
+from repro.core.protocol import ExtendedProtocol, Protocol, TransitionChoice
+
+# Compiled state tags ------------------------------------------------------ #
+PAUSE = "pause"
+SIMULATE = "sim"
+
+
+class SynchronizedProtocol(Protocol):
+    """The compiled protocol ``Π̂`` produced by the synchronizer.
+
+    Compiled states are structured tuples:
+
+    * ``(PAUSE, q, trit, prev_port, index)`` — waiting until no dirty letter
+      remains in the ports; ``index`` walks through the dirty letters in a
+      fixed order;
+    * ``(SIMULATE, q, trit, prev_port, pass_no, sigma_index, inner_index,
+      accumulator, phi1, phi2, phi3)`` — collecting the observation of the
+      simulated round; ``phi1``/``phi2``/``phi3`` are the per-queried-letter
+      counts of the three passes and the third pass re-verifies ``phi1``.
+
+    ``q`` is the base-protocol state being simulated, ``prev_port`` the
+    node's own underlying port content after the previous simulated round.
+    """
+
+    def __init__(self, base: Protocol | ExtendedProtocol) -> None:
+        if not isinstance(base, (Protocol, ExtendedProtocol)):
+            raise CompilationError(
+                f"cannot synchronize object of type {type(base).__name__}"
+            )
+        self._base = base
+        base_letters = base.alphabet.letters
+        compiled_alphabet = [
+            (prev, cur, trit)
+            for trit in (0, 1, 2)
+            for prev in base_letters
+            for cur in base_letters
+        ]
+        sigma0 = base.initial_letter
+        super().__init__(
+            name=f"{base.name}[synchronized]",
+            alphabet=compiled_alphabet,
+            initial_letter=(sigma0, sigma0, 0),
+            bounding=base.bounding,
+            input_states=tuple(
+                self._initial_compiled(state, sigma0) for state in base.input_states
+            ),
+            output_states=(),
+        )
+        self._base_letters = base_letters
+
+    # ------------------------------------------------------------------ #
+    # Helpers                                                             #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _initial_compiled(base_state: Any, sigma0: Letter) -> tuple:
+        # Round 1 has trit 1; the virtual round 0 (trit 0) is represented by
+        # the initial port letter (σ0, σ0, 0) already stored in every port.
+        return (PAUSE, base_state, 1, sigma0, 0)
+
+    @property
+    def base(self) -> Protocol | ExtendedProtocol:
+        """The locally synchronous protocol being simulated."""
+        return self._base
+
+    def initial_state(self, input_value: Any = None) -> tuple:
+        return self._initial_compiled(self._base.initial_state(input_value), self._base.initial_letter)
+
+    def is_output_state(self, state: tuple) -> bool:
+        return self._base.is_output_state(state[1])
+
+    def output_value(self, state: tuple) -> Any:
+        return self._base.output_value(state[1])
+
+    def base_round_of(self, state: tuple) -> int:
+        """The trit of the round currently being simulated (analysis helper)."""
+        return state[2]
+
+    def _queried(self, base_state: Any) -> tuple[Letter, ...]:
+        if isinstance(self._base, ExtendedProtocol):
+            return tuple(self._base.queried_letters(base_state))
+        return (self._base.query_letter(base_state),)
+
+    def _base_options(self, base_state: Any, counts: dict) -> tuple[TransitionChoice, ...]:
+        if isinstance(self._base, ExtendedProtocol):
+            observation = Observation(
+                self._base.alphabet,
+                {letter: counts.get(letter, 0) for letter in self._base.alphabet},
+            )
+            options = self._base.options(base_state, observation)
+        else:
+            letter = self._base.query_letter(base_state)
+            options = self._base.options(base_state, counts.get(letter, 0))
+        return tuple(self._base.validate_option_set(options))
+
+    # ------------------------------------------------------------------ #
+    # Dirty / Γ letters                                                   #
+    # ------------------------------------------------------------------ #
+    def _dirty_letter(self, trit: int, index: int) -> Letter:
+        """The ``index``-th dirty letter for a phase with trit *trit*."""
+        size = len(self._base_letters)
+        prev = self._base_letters[index // size]
+        cur = self._base_letters[index % size]
+        return (prev, cur, (trit - 2) % 3)
+
+    def _num_dirty(self) -> int:
+        return len(self._base_letters) ** 2
+
+    def _gamma_previous(self, sigma: Letter, inner: int, trit: int) -> Letter:
+        """Letter of ``Γ_{t-1}(σ)``: neighbour still in round t-1."""
+        return (self._base_letters[inner], sigma, (trit - 1) % 3)
+
+    def _gamma_current(self, sigma: Letter, inner: int, trit: int) -> Letter:
+        """Letter of ``Γ_t(σ)``: neighbour already in round t."""
+        return (sigma, self._base_letters[inner], trit)
+
+    # ------------------------------------------------------------------ #
+    # Strict protocol interface                                           #
+    # ------------------------------------------------------------------ #
+    def query_letter(self, state: tuple) -> Letter:
+        tag = state[0]
+        if tag == PAUSE:
+            _, _, trit, _, index = state
+            return self._dirty_letter(trit, index)
+        _, base_state, trit, _, pass_no, sigma_index, inner_index, _, _, _, _ = state
+        queried = self._queried(base_state)
+        if not queried:
+            # Degenerate simulating feature (state ignores its ports); query
+            # an arbitrary letter — the count is not used.
+            return self.alphabet[0]
+        sigma = queried[sigma_index]
+        if pass_no in (1, 3):
+            return self._gamma_previous(sigma, inner_index, trit)
+        return self._gamma_current(sigma, inner_index, trit)
+
+    def options(self, state: tuple, count: int) -> tuple[TransitionChoice, ...]:
+        if state[0] == PAUSE:
+            return self._pause_options(state, count)
+        return self._simulate_options(state, count)
+
+    # -- Pausing feature --------------------------------------------------- #
+    def _pause_options(self, state: tuple, count: int) -> tuple[TransitionChoice, ...]:
+        _, base_state, trit, prev_port, index = state
+        if count >= 1:
+            # A dirty letter is still present: stall (and transmit nothing).
+            return (TransitionChoice(state, EPSILON),)
+        if index + 1 < self._num_dirty():
+            advanced = (PAUSE, base_state, trit, prev_port, index + 1)
+            return (TransitionChoice(advanced, EPSILON),)
+        return (TransitionChoice(self._enter_simulation(base_state, trit, prev_port), EPSILON),)
+
+    def _enter_simulation(self, base_state: Any, trit: int, prev_port: Letter) -> tuple:
+        return (SIMULATE, base_state, trit, prev_port, 1, 0, 0, 0, (), (), ())
+
+    # -- Simulating feature ------------------------------------------------ #
+    def _simulate_options(self, state: tuple, count: int) -> tuple[TransitionChoice, ...]:
+        (
+            _, base_state, trit, prev_port,
+            pass_no, sigma_index, inner_index, acc,
+            phi1, phi2, phi3,
+        ) = state
+        queried = self._queried(base_state)
+        bound = self.bounding.value
+
+        if not queried:
+            # Nothing to observe: apply the base transition immediately.
+            return self._apply_base(base_state, trit, prev_port, {})
+
+        # Fold the saturated count of the current Γ letter into the running
+        # accumulator (f_b(x + y) = min(f_b(x) + f_b(y), b)).
+        acc = min(acc + count, bound)
+        inner_index += 1
+        if inner_index < len(self._base_letters):
+            advanced = (
+                SIMULATE, base_state, trit, prev_port,
+                pass_no, sigma_index, inner_index, acc, phi1, phi2, phi3,
+            )
+            return (TransitionChoice(advanced, EPSILON),)
+
+        # All inner letters of the current queried letter are summed up.
+        if pass_no == 1:
+            phi1 = phi1 + (acc,)
+        elif pass_no == 2:
+            phi2 = phi2 + (acc,)
+        else:
+            phi3 = phi3 + (acc,)
+        sigma_index += 1
+        if sigma_index < len(queried):
+            advanced = (
+                SIMULATE, base_state, trit, prev_port,
+                pass_no, sigma_index, 0, 0, phi1, phi2, phi3,
+            )
+            return (TransitionChoice(advanced, EPSILON),)
+
+        # A full pass over all queried letters is complete.
+        if pass_no < 3:
+            advanced = (
+                SIMULATE, base_state, trit, prev_port,
+                pass_no + 1, 0, 0, 0, phi1, phi2, phi3,
+            )
+            return (TransitionChoice(advanced, EPSILON),)
+
+        if phi1 != phi3:
+            # The Γ_{t-1} contribution changed under our feet: restart the
+            # simulating feature (this can happen at most b times, since the
+            # Γ_{t-1} counts only ever decrease during the phase).
+            return (TransitionChoice(self._enter_simulation(base_state, trit, prev_port), EPSILON),)
+        counts = {
+            sigma: min(phi1[i] + phi2[i], bound) for i, sigma in enumerate(queried)
+        }
+        return self._apply_base(base_state, trit, prev_port, counts)
+
+    def _apply_base(
+        self, base_state: Any, trit: int, prev_port: Letter, counts: dict
+    ) -> tuple[TransitionChoice, ...]:
+        base_choices = self._base_options(base_state, counts)
+        compiled = []
+        for choice in base_choices:
+            new_port = prev_port if is_epsilon(choice.emit) else choice.emit
+            next_state = (PAUSE, choice.state, (trit + 1) % 3, new_port, 0)
+            message = (prev_port, new_port, trit)
+            compiled.append(TransitionChoice(next_state, message))
+        return tuple(compiled)
+
+
+def synchronize(protocol: Protocol | ExtendedProtocol) -> SynchronizedProtocol:
+    """Apply the synchronizer (Theorem 3.1) to a locally synchronous protocol."""
+    return SynchronizedProtocol(protocol)

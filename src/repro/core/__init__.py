@@ -1,0 +1,63 @@
+"""Core abstractions of the nFSM model: letters, protocols, network state."""
+
+from repro.core.alphabet import (
+    EPSILON,
+    Alphabet,
+    BoundingParameter,
+    Letter,
+    Observation,
+    is_epsilon,
+)
+from repro.core.builder import ProtocolBuilder
+from repro.core.errors import (
+    AutomatonError,
+    CompilationError,
+    ExecutionError,
+    GraphError,
+    OutputNotReachedError,
+    ProtocolSpecificationError,
+    StoneAgeError,
+    VerificationError,
+)
+from repro.core.network import NetworkState, PortTable
+from repro.core.protocol import (
+    ExtendedProtocol,
+    Protocol,
+    ProtocolCensus,
+    State,
+    TableExtendedProtocol,
+    TableProtocol,
+    TransitionChoice,
+    tabulate_extended,
+)
+from repro.core.results import ExecutionResult, TransitionRecord
+
+__all__ = [
+    "EPSILON",
+    "Alphabet",
+    "AutomatonError",
+    "BoundingParameter",
+    "CompilationError",
+    "ExecutionError",
+    "ExecutionResult",
+    "ExtendedProtocol",
+    "GraphError",
+    "Letter",
+    "NetworkState",
+    "Observation",
+    "OutputNotReachedError",
+    "PortTable",
+    "Protocol",
+    "ProtocolBuilder",
+    "ProtocolCensus",
+    "ProtocolSpecificationError",
+    "State",
+    "StoneAgeError",
+    "TableExtendedProtocol",
+    "TableProtocol",
+    "TransitionChoice",
+    "TransitionRecord",
+    "VerificationError",
+    "is_epsilon",
+    "tabulate_extended",
+]

@@ -1,0 +1,268 @@
+"""Letters, alphabets and one-two-many bounded counting (paper Section 2).
+
+The nFSM model restricts what a node can *observe* about its neighbourhood:
+a node counts occurrences of a query letter in its ports, but the count is
+reported through the one-two-many function
+
+    f_b(x) = x            if 0 <= x <= b - 1
+    f_b(x) = ">=b"        otherwise
+
+for a constant bounding parameter ``b``.  We represent the symbol ``>=b``
+simply by the integer ``b`` (saturating arithmetic), which preserves the
+algebraic identity used by the synchronizer proof of Section 3.1:
+
+    f_b(x + y) = min(f_b(x) + f_b(y), b).
+
+Letters themselves are arbitrary hashable Python values.  Protocols in this
+library use short strings (``"UP0"``, ``"ACTIVE"``) or small tuples (the
+compiled synchronizer letters of Section 3.1 are triples).  The special
+*empty symbol* ``EPSILON`` denotes "no transmission": it is never stored in a
+port and is not a member of any communication alphabet.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Any
+
+from repro.core.errors import ProtocolSpecificationError
+
+Letter = Hashable
+"""Type alias for a communication-alphabet letter (any hashable value)."""
+
+
+class _EpsilonType:
+    """Singleton marker for the empty transmission symbol ``ε``.
+
+    A node that "transmits" :data:`EPSILON` leaves the ports of its
+    neighbours untouched (paper Section 2, Communication paragraph).
+    """
+
+    _instance: "_EpsilonType | None" = None
+
+    def __new__(cls) -> "_EpsilonType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "ε"
+
+    def __reduce__(self):  # keep singleton identity across pickling
+        return (_EpsilonType, ())
+
+
+EPSILON = _EpsilonType()
+"""The empty symbol ``ε``: transmitting it means transmitting nothing."""
+
+
+def is_epsilon(value: Any) -> bool:
+    """Return ``True`` if *value* is the empty transmission symbol."""
+    return value is EPSILON or isinstance(value, _EpsilonType)
+
+
+class BoundingParameter:
+    """The one-two-many counting rule with bounding parameter ``b``.
+
+    Instances are tiny immutable value objects; ``b`` must be a positive
+    integer (model requirement: ``b ∈ Z_{>0}``).
+
+    Examples
+    --------
+    >>> f2 = BoundingParameter(2)
+    >>> [f2(x) for x in range(5)]
+    [0, 1, 2, 2, 2]
+    >>> f2.saturating_add(1, 2)
+    2
+    """
+
+    __slots__ = ("_b",)
+
+    def __init__(self, b: int) -> None:
+        if not isinstance(b, int) or isinstance(b, bool) or b < 1:
+            raise ProtocolSpecificationError(
+                f"bounding parameter must be a positive integer, got {b!r}"
+            )
+        self._b = b
+
+    @property
+    def value(self) -> int:
+        """The raw bounding parameter ``b``."""
+        return self._b
+
+    @property
+    def symbols(self) -> tuple[int, ...]:
+        """All observable symbols ``B = {0, 1, ..., b-1, >=b}``.
+
+        The saturated symbol ``>=b`` is represented by the integer ``b``.
+        """
+        return tuple(range(self._b + 1))
+
+    def __call__(self, count: int) -> int:
+        """Apply ``f_b`` to a raw non-negative count."""
+        if count < 0:
+            raise ValueError(f"counts are non-negative, got {count}")
+        return count if count < self._b else self._b
+
+    def saturating_add(self, x: int, y: int) -> int:
+        """Return ``min(f_b(x) + f_b(y), b)`` (identity used in Section 3.1)."""
+        return min(self(x) + self(y), self._b)
+
+    def is_saturated(self, symbol: int) -> bool:
+        """Return ``True`` when *symbol* is the ``>=b`` symbol."""
+        return symbol >= self._b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoundingParameter) and other._b == self._b
+
+    def __hash__(self) -> int:
+        return hash(("BoundingParameter", self._b))
+
+    def __repr__(self) -> str:
+        return f"BoundingParameter({self._b})"
+
+
+class Alphabet:
+    """An ordered, finite communication alphabet Σ.
+
+    The order is significant: compiled protocols (Section 3) iterate over the
+    alphabet in a fixed order, and observation vectors are reported in
+    alphabet order.  Duplicate letters and ``EPSILON`` are rejected.
+    """
+
+    __slots__ = ("_letters", "_index")
+
+    def __init__(self, letters: Iterable[Letter]) -> None:
+        letters = tuple(letters)
+        if not letters:
+            raise ProtocolSpecificationError("alphabet must contain at least one letter")
+        index: dict[Letter, int] = {}
+        for position, letter in enumerate(letters):
+            if is_epsilon(letter):
+                raise ProtocolSpecificationError(
+                    "EPSILON denotes 'no transmission' and cannot be an alphabet letter"
+                )
+            if letter in index:
+                raise ProtocolSpecificationError(f"duplicate letter {letter!r} in alphabet")
+            index[letter] = position
+        self._letters = letters
+        self._index = index
+
+    @property
+    def letters(self) -> tuple[Letter, ...]:
+        """The letters in their fixed order."""
+        return self._letters
+
+    def index(self, letter: Letter) -> int:
+        """Position of *letter* in the fixed order (raises ``KeyError`` if absent)."""
+        return self._index[letter]
+
+    def __contains__(self, letter: object) -> bool:
+        try:
+            return letter in self._index
+        except TypeError:
+            return False
+
+    def __iter__(self) -> Iterator[Letter]:
+        return iter(self._letters)
+
+    def __len__(self) -> int:
+        return len(self._letters)
+
+    def __getitem__(self, position: int) -> Letter:
+        return self._letters[position]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Alphabet) and other._letters == self._letters
+
+    def __hash__(self) -> int:
+        return hash(("Alphabet", self._letters))
+
+    def __repr__(self) -> str:
+        return f"Alphabet({list(self._letters)!r})"
+
+
+class Observation(Mapping[Letter, int]):
+    """A saturated count for every letter of an alphabet.
+
+    This is the multi-letter observation vector ``⟨f_b(#σ)⟩_{σ∈Σ}`` of
+    Section 3.2.  It behaves like a read-only mapping from letter to the
+    saturated count, and exposes :meth:`as_tuple` for use as part of hashable
+    protocol states.
+    """
+
+    __slots__ = ("_alphabet", "_counts")
+
+    def __init__(self, alphabet: Alphabet, counts: Mapping[Letter, int] | Iterable[int]) -> None:
+        if isinstance(counts, Mapping):
+            values = tuple(int(counts.get(letter, 0)) for letter in alphabet)
+        else:
+            values = tuple(int(c) for c in counts)
+            if len(values) != len(alphabet):
+                raise ValueError(
+                    f"expected {len(alphabet)} counts, got {len(values)}"
+                )
+        if any(v < 0 for v in values):
+            raise ValueError("observation counts must be non-negative")
+        self._alphabet = alphabet
+        self._counts = values
+
+    @classmethod
+    def from_port_contents(
+        cls,
+        alphabet: Alphabet,
+        port_contents: Iterable[Letter],
+        bounding: BoundingParameter,
+    ) -> "Observation":
+        """Build the observation a node makes from its current ports.
+
+        ``port_contents`` are the letters currently stored in the ports; each
+        occurrence of a letter contributes one to that letter's raw count, and
+        the raw counts are then saturated through ``f_b``.
+        """
+        raw: dict[Letter, int] = {}
+        for letter in port_contents:
+            if letter in alphabet:
+                raw[letter] = raw.get(letter, 0) + 1
+        return cls(alphabet, {letter: bounding(raw.get(letter, 0)) for letter in alphabet})
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """The counts in alphabet order (hashable)."""
+        return self._counts
+
+    def count(self, letter: Letter) -> int:
+        """Saturated count of *letter* (0 for letters outside the alphabet)."""
+        if letter not in self._alphabet:
+            return 0
+        return self._counts[self._alphabet.index(letter)]
+
+    def total(self, letters: Iterable[Letter]) -> int:
+        """Sum of saturated counts over *letters* (not re-saturated)."""
+        return sum(self.count(letter) for letter in letters)
+
+    def __getitem__(self, letter: Letter) -> int:
+        return self._counts[self._alphabet.index(letter)]
+
+    def __iter__(self) -> Iterator[Letter]:
+        return iter(self._alphabet)
+
+    def __len__(self) -> int:
+        return len(self._alphabet)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Observation)
+            and other._alphabet == self._alphabet
+            and other._counts == self._counts
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._alphabet, self._counts))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{letter!r}: {count}" for letter, count in zip(self._alphabet, self._counts))
+        return f"Observation({{{pairs}}})"

@@ -1,0 +1,161 @@
+"""A small fluent builder for table-based nFSM protocols.
+
+Writing a :class:`~repro.core.protocol.TableProtocol` by hand means spelling
+out dictionaries keyed by ``(state, saturated count)`` — easy to get subtly
+wrong.  :class:`ProtocolBuilder` provides a declarative alternative used by
+the examples, the tests and downstream users experimenting with their own
+Stone Age protocols:
+
+.. code-block:: python
+
+    builder = ProtocolBuilder(
+        "ping", alphabet=["QUIET", "PING"], initial_letter="QUIET", bounding=1
+    )
+    waiting = builder.state("waiting", queries="PING", initial=True)
+    waiting.when(0).stay()
+    waiting.when(1).go("done", emit="PING")
+    builder.state("done", queries="PING", output=True).always().stay()
+    protocol = builder.build()          # a regular TableProtocol
+
+Transitions may list several targets for the same observed count; the engine
+then picks uniformly at random among them, exactly as the model's transition
+function δ prescribes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.alphabet import EPSILON, Letter
+from repro.core.errors import ProtocolSpecificationError
+from repro.core.protocol import State, TableProtocol, TransitionChoice
+
+
+class _RuleBuilder:
+    """Collects the option set for one ``(state, count)`` pair."""
+
+    def __init__(self, state_builder: "_StateBuilder", counts: tuple[int, ...]) -> None:
+        self._state_builder = state_builder
+        self._counts = counts
+
+    def go(self, target: State, emit: Letter | None = None) -> "_StateBuilder":
+        """Add the option "move to *target*, transmitting *emit* (or nothing)"."""
+        choice = TransitionChoice(target, EPSILON if emit is None else emit)
+        for count in self._counts:
+            self._state_builder._add_choice(count, choice)
+        return self._state_builder
+
+    def stay(self, emit: Letter | None = None) -> "_StateBuilder":
+        """Add the option "remain in the current state"."""
+        return self.go(self._state_builder.name, emit=emit)
+
+    def choose_uniformly(self, *targets: State, emit: Letter | None = None) -> "_StateBuilder":
+        """Add one option per target (the engine picks uniformly)."""
+        if not targets:
+            raise ProtocolSpecificationError("choose_uniformly needs at least one target")
+        last = self._state_builder
+        for target in targets:
+            last = self.go(target, emit=emit)
+        return last
+
+
+class _StateBuilder:
+    """Fluent definition of one protocol state."""
+
+    def __init__(
+        self,
+        parent: "ProtocolBuilder",
+        name: State,
+        queries: Letter,
+        initial: bool,
+        output: bool,
+    ) -> None:
+        self._parent = parent
+        self.name = name
+        self.queries = queries
+        self.initial = initial
+        self.output = output
+        self.rules: dict[int, list[TransitionChoice]] = {}
+
+    def when(self, *counts: int) -> _RuleBuilder:
+        """Define the options used when the saturated count is one of *counts*."""
+        if not counts:
+            raise ProtocolSpecificationError("when() needs at least one count")
+        return _RuleBuilder(self, tuple(counts))
+
+    def when_at_least(self, threshold: int) -> _RuleBuilder:
+        """Define the options for every saturated count >= *threshold*."""
+        b = self._parent.bounding
+        counts = tuple(range(threshold, b + 1))
+        if not counts:
+            raise ProtocolSpecificationError(
+                f"threshold {threshold} exceeds the bounding parameter {b}"
+            )
+        return _RuleBuilder(self, counts)
+
+    def always(self) -> _RuleBuilder:
+        """Define the options used regardless of the observed count."""
+        return _RuleBuilder(self, tuple(range(self._parent.bounding + 1)))
+
+    def _add_choice(self, count: int, choice: TransitionChoice) -> None:
+        self.rules.setdefault(count, []).append(choice)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<repro.core.builder._StateBuilder {self.name!r}>"
+
+
+class ProtocolBuilder:
+    """Declarative construction of strict table protocols."""
+
+    def __init__(
+        self,
+        name: str,
+        alphabet: Iterable[Letter],
+        initial_letter: Letter,
+        bounding: int,
+    ) -> None:
+        self.name = name
+        self.alphabet = list(alphabet)
+        self.initial_letter = initial_letter
+        self.bounding = int(bounding)
+        self._states: dict[State, _StateBuilder] = {}
+
+    def state(
+        self,
+        name: State,
+        *,
+        queries: Letter,
+        initial: bool = False,
+        output: bool = False,
+    ) -> _StateBuilder:
+        """Declare (or re-open) a state and return its fluent builder."""
+        if name in self._states:
+            return self._states[name]
+        builder = _StateBuilder(self, name, queries, initial, output)
+        self._states[name] = builder
+        return builder
+
+    def build(self) -> TableProtocol:
+        """Materialise the :class:`TableProtocol` (validating as it goes)."""
+        if not self._states:
+            raise ProtocolSpecificationError("no states declared")
+        input_states = [s.name for s in self._states.values() if s.initial]
+        if not input_states:
+            raise ProtocolSpecificationError("declare at least one state with initial=True")
+        output_states = [s.name for s in self._states.values() if s.output]
+        query = {s.name: s.queries for s in self._states.values()}
+        delta = {}
+        for state in self._states.values():
+            for count, choices in state.rules.items():
+                delta[(state.name, count)] = tuple(choices)
+        return TableProtocol(
+            name=self.name,
+            states=list(self._states),
+            alphabet=self.alphabet,
+            initial_letter=self.initial_letter,
+            bounding=self.bounding,
+            query=query,
+            delta=delta,
+            input_states=input_states,
+            output_states=output_states,
+        )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Stone Age / nFSM reproduction library.
+
+All library errors derive from :class:`StoneAgeError` so that callers can
+catch every library-specific failure with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class StoneAgeError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ProtocolSpecificationError(StoneAgeError):
+    """A protocol definition violates the nFSM model of Section 2.
+
+    Typical causes are an initial letter outside the communication alphabet,
+    a query letter assigned to a state that is not part of the state set, or
+    a transition that targets an unknown state.
+    """
+
+
+class ExecutionError(StoneAgeError):
+    """An execution engine encountered an inconsistent runtime condition."""
+
+
+class OutputNotReachedError(ExecutionError):
+    """The execution hit its step/round budget before reaching an output
+    configuration.
+
+    The partially executed result is attached so callers can inspect how far
+    the run progressed.
+    """
+
+    def __init__(self, message: str, result: object | None = None) -> None:
+        super().__init__(message)
+        self.result = result
+
+
+class GraphError(StoneAgeError):
+    """A graph argument is malformed (e.g. self loop, unknown endpoint)."""
+
+
+class CompilationError(StoneAgeError):
+    """A protocol compiler (synchronizer / multi-query lowering) was applied
+    to a protocol it cannot handle."""
+
+
+class AutomatonError(StoneAgeError):
+    """A linear bounded automaton definition or execution is invalid."""
+
+
+class VerificationError(StoneAgeError):
+    """A produced solution failed verification against the problem spec."""

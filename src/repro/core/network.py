@@ -1,0 +1,107 @@
+"""Runtime network state shared by the execution engines.
+
+The paper's communication substrate is deliberately minimal: every node ``v``
+keeps, for each neighbour ``u``, a single *port* ``ψ_v(u)`` holding the last
+letter delivered from ``u``.  There are no buffers — a later delivery simply
+overwrites the port — and at the beginning of the execution every port holds
+the initial letter ``σ0``.
+
+:class:`PortTable` implements exactly that storage discipline and
+:class:`NetworkState` bundles it with per-node protocol states and step
+counters.  Both engines (synchronous and asynchronous) operate on these
+objects, which keeps their semantics aligned and easy to test in isolation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.alphabet import Letter
+from repro.core.errors import ExecutionError
+from repro.core.protocol import State
+from repro.graphs.graph import Graph
+
+
+class PortTable:
+    """The ports ``ψ_v(u)`` of every node of a network.
+
+    For each node ``v`` the table stores one letter per neighbour ``u``; the
+    letter is the last message delivered from ``u`` to ``v`` (initially the
+    protocol's initial letter ``σ0``).  The table never stores the empty
+    symbol: transmitting ``ε`` means the sender's previous letter stays put.
+    """
+
+    __slots__ = ("_graph", "_ports", "_slot")
+
+    def __init__(self, graph: Graph, initial_letter: Letter) -> None:
+        self._graph = graph
+        # _slot[v][u] is the index of u within v's neighbour tuple, so port
+        # contents can live in flat lists parallel to the adjacency tuples.
+        self._slot: list[dict[int, int]] = [
+            {u: i for i, u in enumerate(graph.neighbors(v))} for v in graph.nodes
+        ]
+        self._ports: list[list[Letter]] = [
+            [initial_letter] * graph.degree(v) for v in graph.nodes
+        ]
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    def contents(self, node: int) -> tuple[Letter, ...]:
+        """All letters currently stored in *node*'s ports (one per neighbour)."""
+        return tuple(self._ports[node])
+
+    def get(self, receiver: int, sender: int) -> Letter:
+        """The letter stored in port ``ψ_receiver(sender)``."""
+        try:
+            slot = self._slot[receiver][sender]
+        except KeyError:
+            raise ExecutionError(
+                f"node {sender} is not adjacent to node {receiver}"
+            ) from None
+        return self._ports[receiver][slot]
+
+    def deliver(self, receiver: int, sender: int, letter: Letter) -> None:
+        """Deliver *letter* from *sender* into *receiver*'s port (overwrite)."""
+        try:
+            slot = self._slot[receiver][sender]
+        except KeyError:
+            raise ExecutionError(
+                f"node {sender} is not adjacent to node {receiver}"
+            ) from None
+        self._ports[receiver][slot] = letter
+
+    def broadcast(self, sender: int, letter: Letter) -> None:
+        """Deliver *letter* from *sender* to all of its neighbours at once.
+
+        This is the synchronous-engine shortcut; the asynchronous engine
+        delivers to each neighbour individually at adversary-chosen times.
+        """
+        for receiver in self._graph.neighbors(sender):
+            self._ports[receiver][self._slot[receiver][sender]] = letter
+
+    def snapshot(self) -> tuple[tuple[Letter, ...], ...]:
+        """Immutable copy of all port contents (for tracing / debugging)."""
+        return tuple(tuple(ports) for ports in self._ports)
+
+
+class NetworkState:
+    """Mutable execution state: per-node protocol states, ports and counters."""
+
+    __slots__ = ("graph", "states", "ports", "steps_taken")
+
+    def __init__(self, graph: Graph, initial_states: Iterable[State], initial_letter: Letter) -> None:
+        states = list(initial_states)
+        if len(states) != graph.num_nodes:
+            raise ExecutionError(
+                f"expected {graph.num_nodes} initial states, got {len(states)}"
+            )
+        self.graph = graph
+        self.states: list[State] = states
+        self.ports = PortTable(graph, initial_letter)
+        self.steps_taken = [0] * graph.num_nodes
+
+    def all_in(self, predicate) -> bool:
+        """Whether *predicate* holds for every node's current state."""
+        return all(predicate(state) for state in self.states)

@@ -1,0 +1,428 @@
+"""Protocol abstractions for the nFSM model (paper Sections 2 and 3).
+
+Two levels of abstraction are provided, mirroring the paper:
+
+* :class:`Protocol` — the *strict* model of Section 2.  Every state has a
+  single query letter ``λ(q)`` and the transition relation
+  ``δ(q, f_b(#σ))`` yields a finite set of ``(next state, emitted letter)``
+  options from which the node picks uniformly at random.  Strict protocols
+  can be executed by both the round-based synchronous engine and the
+  asynchronous adversarial engine.
+
+* :class:`ExtendedProtocol` — the "user-friendly" level of Section 3: the
+  node observes the saturated count of *every* letter simultaneously
+  (multiple-letter queries, Theorem 3.4) and is executed in a locally
+  synchronous environment (Theorem 3.1).  The MIS protocol of Section 4 and
+  the tree 3-coloring protocol of Section 5 are written at this level,
+  exactly as in the paper.
+
+Both kinds can be given either as explicit tables
+(:class:`TableProtocol` / :class:`TableExtendedProtocol`) or as subclasses
+that compute the option set on demand.  Lazy computation is essential for
+compiled protocols (Section 3) whose state sets, while finite and of
+constant size in ``n``, are large enough that materialising the full
+transition table would be wasteful.
+
+Randomness never lives inside a protocol: a protocol maps a (state,
+observation) pair to the *tuple of options* of the transition function, and
+the execution engine draws uniformly from that tuple.  This matches the
+paper's definition of ``δ`` and keeps protocols deterministic, hashable and
+easy to test.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.alphabet import (
+    EPSILON,
+    Alphabet,
+    BoundingParameter,
+    Letter,
+    Observation,
+    is_epsilon,
+)
+from repro.core.errors import ProtocolSpecificationError
+
+State = Any
+"""Type alias for a protocol state (any hashable value)."""
+
+
+@dataclass(frozen=True)
+class TransitionChoice:
+    """One option of the transition relation: a target state and an emission.
+
+    ``emit`` is either a letter of the communication alphabet or
+    :data:`~repro.core.alphabet.EPSILON` (transmit nothing).
+    """
+
+    state: State
+    emit: Letter = EPSILON
+
+    def transmits(self) -> bool:
+        """Whether this option actually transmits a letter."""
+        return not is_epsilon(self.emit)
+
+
+@dataclass(frozen=True)
+class ProtocolCensus:
+    """Size census of a protocol, used to check model requirement (M4).
+
+    Requirement (M4) demands that the number of states, the alphabet size and
+    the bounding parameter are constants independent of the network.  The
+    census records those quantities; ``num_states`` is ``None`` for lazily
+    defined protocols whose state set is finite but not enumerated.
+    """
+
+    name: str
+    num_states: int | None
+    alphabet_size: int
+    bounding: int
+
+    def is_constant_size(self, limit: int = 1_000_000) -> bool:
+        """Heuristic check that all components are bounded by *limit*."""
+        states_ok = self.num_states is None or self.num_states <= limit
+        return states_ok and self.alphabet_size <= limit and self.bounding <= limit
+
+
+class _ProtocolBase(ABC):
+    """State/alphabet bookkeeping shared by strict and extended protocols."""
+
+    def __init__(
+        self,
+        name: str,
+        alphabet: Alphabet | Iterable[Letter],
+        initial_letter: Letter,
+        bounding: BoundingParameter | int,
+        input_states: Sequence[State],
+        output_states: Iterable[State] = (),
+    ) -> None:
+        if not isinstance(alphabet, Alphabet):
+            alphabet = Alphabet(alphabet)
+        if not isinstance(bounding, BoundingParameter):
+            bounding = BoundingParameter(bounding)
+        if initial_letter not in alphabet:
+            raise ProtocolSpecificationError(
+                f"initial letter {initial_letter!r} is not in the alphabet"
+            )
+        input_states = tuple(input_states)
+        if not input_states:
+            raise ProtocolSpecificationError("protocol needs at least one input state")
+        self._name = name
+        self._alphabet = alphabet
+        self._initial_letter = initial_letter
+        self._bounding = bounding
+        self._input_states = input_states
+        self._output_states = frozenset(output_states)
+
+    # ------------------------------------------------------------------ #
+    # Static protocol data                                               #
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Human-readable protocol name (used in reports)."""
+        return self._name
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The communication alphabet Σ."""
+        return self._alphabet
+
+    @property
+    def initial_letter(self) -> Letter:
+        """The letter σ0 stored in every port at the start of the execution."""
+        return self._initial_letter
+
+    @property
+    def bounding(self) -> BoundingParameter:
+        """The one-two-many bounding parameter ``b``."""
+        return self._bounding
+
+    @property
+    def input_states(self) -> tuple[State, ...]:
+        """The set Q_I of admissible initial states."""
+        return self._input_states
+
+    @property
+    def output_states(self) -> frozenset:
+        """The declared output states (may be empty for lazily defined ones)."""
+        return self._output_states
+
+    # ------------------------------------------------------------------ #
+    # Per-node behaviour                                                 #
+    # ------------------------------------------------------------------ #
+    def initial_state(self, input_value: Any = None) -> State:
+        """Initial state of a node given its input value.
+
+        The default implementation supports the common case of the paper's
+        graph problems: no input, hence a single input state.  Protocols
+        whose nodes receive input symbols (e.g. the LBA-on-a-path protocol of
+        Lemma 6.2) override this method.
+        """
+        if input_value is None:
+            return self._input_states[0]
+        raise ProtocolSpecificationError(
+            f"protocol {self._name!r} does not accept per-node inputs "
+            f"(got {input_value!r})"
+        )
+
+    def is_output_state(self, state: State) -> bool:
+        """Whether *state* belongs to Q_O (node has committed to an output)."""
+        return state in self._output_states
+
+    def output_value(self, state: State) -> Any:
+        """Decode the output carried by an output state (default: the state)."""
+        return state
+
+    def census(self) -> ProtocolCensus:
+        """Size census for requirement (M4) checks."""
+        return ProtocolCensus(
+            name=self._name,
+            num_states=self._count_states(),
+            alphabet_size=len(self._alphabet),
+            bounding=self._bounding.value,
+        )
+
+    def _count_states(self) -> int | None:
+        """Number of states if enumerable, ``None`` otherwise."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._name!r}>"
+
+
+class Protocol(_ProtocolBase):
+    """A strict nFSM protocol (single query letter per state, Section 2)."""
+
+    @abstractmethod
+    def query_letter(self, state: State) -> Letter:
+        """The query letter ``λ(state)``."""
+
+    @abstractmethod
+    def options(self, state: State, count: int) -> Sequence[TransitionChoice]:
+        """The option set ``δ(state, f_b(count))``.
+
+        ``count`` is already saturated (``0 <= count <= b``).  The returned
+        sequence must be non-empty; the engine picks an element uniformly at
+        random.
+        """
+
+    def validate_option_set(self, choices: Sequence[TransitionChoice]) -> Sequence[TransitionChoice]:
+        """Shared sanity check used by engines before drawing an option."""
+        if not choices:
+            raise ProtocolSpecificationError(
+                f"protocol {self.name!r} returned an empty option set"
+            )
+        return choices
+
+
+class ExtendedProtocol(_ProtocolBase):
+    """A multi-letter-query protocol for locally synchronous execution."""
+
+    @abstractmethod
+    def options(self, state: State, observation: Observation) -> Sequence[TransitionChoice]:
+        """The option set given the full observation vector ``⟨f_b(#σ)⟩``."""
+
+    def queried_letters(self, state: State) -> tuple[Letter, ...]:
+        """Letters whose counts actually influence ``options`` in *state*.
+
+        Defaults to the whole alphabet.  Protocols may override this to
+        declare a smaller per-state footprint; the synchronizer compiler uses
+        it to shrink the number of querying steps it generates.
+        """
+        return self.alphabet.letters
+
+    def validate_option_set(self, choices: Sequence[TransitionChoice]) -> Sequence[TransitionChoice]:
+        if not choices:
+            raise ProtocolSpecificationError(
+                f"protocol {self.name!r} returned an empty option set"
+            )
+        return choices
+
+
+class TableProtocol(Protocol):
+    """A strict protocol given by explicit λ and δ tables.
+
+    Parameters
+    ----------
+    states:
+        The finite state set Q.
+    query:
+        Mapping from state to its query letter (λ).
+    delta:
+        Mapping from ``(state, saturated_count)`` to a sequence of
+        :class:`TransitionChoice` (or plain ``(state, emit)`` tuples).
+        Missing entries default to "stay in the same state, transmit
+        nothing", which keeps tables small for sink states.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[State],
+        alphabet: Alphabet | Iterable[Letter],
+        initial_letter: Letter,
+        bounding: BoundingParameter | int,
+        query: Mapping[State, Letter],
+        delta: Mapping[tuple[State, int], Sequence[TransitionChoice] | Sequence[tuple]],
+        input_states: Sequence[State],
+        output_states: Iterable[State] = (),
+    ) -> None:
+        super().__init__(name, alphabet, initial_letter, bounding, input_states, output_states)
+        self._states = tuple(dict.fromkeys(states))
+        state_set = set(self._states)
+        for state in self._input_states:
+            if state not in state_set:
+                raise ProtocolSpecificationError(f"input state {state!r} not in state set")
+        for state in self._output_states:
+            if state not in state_set:
+                raise ProtocolSpecificationError(f"output state {state!r} not in state set")
+        self._query = dict(query)
+        for state in self._states:
+            if state not in self._query:
+                raise ProtocolSpecificationError(f"state {state!r} has no query letter")
+            if self._query[state] not in self.alphabet:
+                raise ProtocolSpecificationError(
+                    f"query letter {self._query[state]!r} of state {state!r} "
+                    "is not in the alphabet"
+                )
+        self._delta: dict[tuple[State, int], tuple[TransitionChoice, ...]] = {}
+        for key, raw_choices in delta.items():
+            state, count = key
+            if state not in state_set:
+                raise ProtocolSpecificationError(f"transition from unknown state {state!r}")
+            if not (0 <= count <= self.bounding.value):
+                raise ProtocolSpecificationError(
+                    f"transition key {key!r} uses a count outside B = 0..{self.bounding.value}"
+                )
+            choices = tuple(self._coerce_choice(c, state_set) for c in raw_choices)
+            if not choices:
+                raise ProtocolSpecificationError(f"empty option set for {key!r}")
+            self._delta[(state, count)] = choices
+
+    def _coerce_choice(self, choice: Any, state_set: set) -> TransitionChoice:
+        if not isinstance(choice, TransitionChoice):
+            state, emit = choice
+            choice = TransitionChoice(state, emit)
+        if choice.state not in state_set:
+            raise ProtocolSpecificationError(f"transition targets unknown state {choice.state!r}")
+        if not is_epsilon(choice.emit) and choice.emit not in self.alphabet:
+            raise ProtocolSpecificationError(
+                f"transition emits {choice.emit!r} which is not in the alphabet"
+            )
+        return choice
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        """The explicit state set Q."""
+        return self._states
+
+    def _count_states(self) -> int | None:
+        return len(self._states)
+
+    def query_letter(self, state: State) -> Letter:
+        return self._query[state]
+
+    def options(self, state: State, count: int) -> Sequence[TransitionChoice]:
+        key = (state, min(count, self.bounding.value))
+        found = self._delta.get(key)
+        if found is None:
+            return (TransitionChoice(state, EPSILON),)
+        return found
+
+
+class TableExtendedProtocol(ExtendedProtocol):
+    """A multi-letter-query protocol given by an explicit observation table.
+
+    ``delta`` maps ``(state, observation_tuple)`` to an option sequence where
+    ``observation_tuple`` lists the saturated counts in alphabet order.
+    Missing entries default to "stay, transmit nothing".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[State],
+        alphabet: Alphabet | Iterable[Letter],
+        initial_letter: Letter,
+        bounding: BoundingParameter | int,
+        delta: Mapping[tuple[State, tuple[int, ...]], Sequence[TransitionChoice] | Sequence[tuple]],
+        input_states: Sequence[State],
+        output_states: Iterable[State] = (),
+    ) -> None:
+        super().__init__(name, alphabet, initial_letter, bounding, input_states, output_states)
+        self._states = tuple(dict.fromkeys(states))
+        state_set = set(self._states)
+        self._delta: dict[tuple[State, tuple[int, ...]], tuple[TransitionChoice, ...]] = {}
+        for (state, obs_tuple), raw_choices in delta.items():
+            if state not in state_set:
+                raise ProtocolSpecificationError(f"transition from unknown state {state!r}")
+            obs_tuple = tuple(int(v) for v in obs_tuple)
+            if len(obs_tuple) != len(self.alphabet):
+                raise ProtocolSpecificationError(
+                    f"observation tuple {obs_tuple!r} has wrong arity for the alphabet"
+                )
+            choices = []
+            for choice in raw_choices:
+                if not isinstance(choice, TransitionChoice):
+                    choice = TransitionChoice(*choice)
+                if choice.state not in state_set:
+                    raise ProtocolSpecificationError(
+                        f"transition targets unknown state {choice.state!r}"
+                    )
+                if not is_epsilon(choice.emit) and choice.emit not in self.alphabet:
+                    raise ProtocolSpecificationError(
+                        f"transition emits {choice.emit!r} which is not in the alphabet"
+                    )
+                choices.append(choice)
+            if not choices:
+                raise ProtocolSpecificationError(f"empty option set for ({state!r}, {obs_tuple!r})")
+            self._delta[(state, obs_tuple)] = tuple(choices)
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return self._states
+
+    def _count_states(self) -> int | None:
+        return len(self._states)
+
+    def options(self, state: State, observation: Observation) -> Sequence[TransitionChoice]:
+        found = self._delta.get((state, observation.as_tuple()))
+        if found is None:
+            return (TransitionChoice(state, EPSILON),)
+        return found
+
+
+def tabulate_extended(protocol: ExtendedProtocol, states: Iterable[State]) -> TableExtendedProtocol:
+    """Materialise a rule-based :class:`ExtendedProtocol` into an explicit table.
+
+    All ``(b+1)^{|Σ|}`` observations are enumerated for every given state, so
+    this is only sensible for small alphabets / bounding parameters (for the
+    MIS protocol of Section 4 this is 7 states × 2^7 observations).  The
+    result is useful to verify finiteness (requirement (M4)) and to compare
+    rule-based and table-based executions.
+    """
+    from itertools import product
+
+    states = tuple(dict.fromkeys(states))
+    alphabet = protocol.alphabet
+    b = protocol.bounding.value
+    delta: dict[tuple[State, tuple[int, ...]], tuple[TransitionChoice, ...]] = {}
+    for state in states:
+        for counts in product(range(b + 1), repeat=len(alphabet)):
+            observation = Observation(alphabet, counts)
+            choices = tuple(protocol.options(state, observation))
+            delta[(state, counts)] = choices
+    return TableExtendedProtocol(
+        name=f"{protocol.name}[tabulated]",
+        states=states,
+        alphabet=alphabet,
+        initial_letter=protocol.initial_letter,
+        bounding=protocol.bounding,
+        delta=delta,
+        input_states=protocol.input_states,
+        output_states=[s for s in states if protocol.is_output_state(s)],
+    )

@@ -1,0 +1,96 @@
+"""Execution results and trace records returned by the engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.protocol import State
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One applied transition of one node (asynchronous engine trace entry).
+
+    Attributes
+    ----------
+    node:
+        The node that applied its transition function.
+    step:
+        The node-local step index ``t`` (1-based, as in the paper).
+    time:
+        The absolute (adversary-clock) time at which the transition fired.
+    old_state / new_state:
+        Protocol states before and after the transition.
+    emitted:
+        The transmitted letter, or ``None`` when the node transmitted ``ε``.
+    """
+
+    node: int
+    step: int
+    time: float
+    old_state: State
+    new_state: State
+    emitted: Any
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a protocol on a graph.
+
+    The run-time fields follow the paper's two measures:
+
+    * ``rounds`` — number of synchronous rounds (locally synchronous
+      executions, Section 3), ``None`` for asynchronous runs;
+    * ``time_units`` — the asynchronous run-time of Section 2: elapsed
+      adversary-clock time divided by the largest step-length / delivery-delay
+      parameter used before the output configuration was reached, ``None``
+      for synchronous runs.
+    """
+
+    protocol_name: str
+    graph: Graph
+    reached_output: bool
+    final_states: tuple[State, ...]
+    outputs: dict[int, Any]
+    rounds: int | None = None
+    time_units: float | None = None
+    elapsed_time: float | None = None
+    total_node_steps: int = 0
+    total_messages: int = 0
+    seed: int | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def nodes_with_output(self, value: Any) -> list[int]:
+        """All nodes whose decoded output equals *value*."""
+        return sorted(node for node, output in self.outputs.items() if output == value)
+
+    def output_vector(self) -> tuple[Any, ...]:
+        """Outputs indexed by node (``None`` for nodes without an output)."""
+        return tuple(self.outputs.get(node) for node in self.graph.nodes)
+
+    @property
+    def cost(self) -> float:
+        """The natural cost of this run: rounds if synchronous, time units otherwise."""
+        if self.rounds is not None:
+            return float(self.rounds)
+        if self.time_units is not None:
+            return float(self.time_units)
+        return float("nan")
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used by examples and reports)."""
+        parts = [
+            f"protocol={self.protocol_name}",
+            f"n={self.graph.num_nodes}",
+            f"m={self.graph.num_edges}",
+            f"reached_output={self.reached_output}",
+        ]
+        if self.rounds is not None:
+            parts.append(f"rounds={self.rounds}")
+        if self.time_units is not None:
+            parts.append(f"time_units={self.time_units:.2f}")
+        parts.append(f"steps={self.total_node_steps}")
+        parts.append(f"messages={self.total_messages}")
+        return " ".join(parts)

@@ -1,0 +1,229 @@
+"""Graph generators for the workloads used throughout the reproduction.
+
+The paper's results are stated for arbitrary graphs (MIS, Section 4) and for
+undirected trees (3-coloring, Section 5).  The experiment harness exercises
+them on the standard families below; every generator takes an explicit
+``seed`` (or a :class:`random.Random`) so that experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.core.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+# ---------------------------------------------------------------------- #
+# Deterministic families                                                 #
+# ---------------------------------------------------------------------- #
+def empty_graph(num_nodes: int) -> Graph:
+    """``n`` isolated nodes (degenerate but useful for edge-case tests)."""
+    return Graph(num_nodes, [])
+
+
+def complete_graph(num_nodes: int) -> Graph:
+    """The clique K_n."""
+    edges = [(u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)]
+    return Graph(num_nodes, edges)
+
+
+def path_graph(num_nodes: int) -> Graph:
+    """The path P_n (used by the LBA-on-a-path simulation of Lemma 6.2)."""
+    return Graph(num_nodes, [(i, i + 1) for i in range(num_nodes - 1)])
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """The cycle C_n (requires at least 3 nodes)."""
+    if num_nodes < 3:
+        raise GraphError("a cycle needs at least 3 nodes")
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    return Graph(num_nodes, edges)
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """A star with one centre (node 0) and *num_leaves* leaves."""
+    return Graph(num_leaves + 1, [(0, i) for i in range(1, num_leaves + 1)])
+
+
+def complete_bipartite_graph(left: int, right: int) -> Graph:
+    """The complete bipartite graph K_{left,right}."""
+    edges = [(u, left + v) for u in range(left) for v in range(right)]
+    return Graph(left + right, edges)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A rows × cols grid (the classical cellular-automaton topology)."""
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    return Graph(rows * cols, edges)
+
+
+def binary_tree(num_nodes: int) -> Graph:
+    """A complete binary tree on *num_nodes* nodes (array layout)."""
+    edges = []
+    for child in range(1, num_nodes):
+        parent = (child - 1) // 2
+        edges.append((parent, child))
+    return Graph(num_nodes, edges)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> Graph:
+    """A caterpillar: a spine path with *legs_per_node* leaves per spine node."""
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    next_node = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((s, next_node))
+            next_node += 1
+    return Graph(next_node, edges)
+
+
+# ---------------------------------------------------------------------- #
+# Random families                                                        #
+# ---------------------------------------------------------------------- #
+def gnp_random_graph(num_nodes: int, probability: float, seed: int | random.Random | None = None) -> Graph:
+    """Erdős–Rényi G(n, p)."""
+    if not (0.0 <= probability <= 1.0):
+        raise GraphError(f"edge probability must be in [0, 1], got {probability}")
+    rng = _rng(seed)
+    edges = [
+        (u, v)
+        for u in range(num_nodes)
+        for v in range(u + 1, num_nodes)
+        if rng.random() < probability
+    ]
+    return Graph(num_nodes, edges)
+
+
+def random_tree(num_nodes: int, seed: int | random.Random | None = None) -> Graph:
+    """A uniformly random labelled tree via a random Prüfer sequence."""
+    if num_nodes <= 0:
+        raise GraphError("a tree needs at least one node")
+    if num_nodes == 1:
+        return Graph(1, [])
+    if num_nodes == 2:
+        return Graph(2, [(0, 1)])
+    rng = _rng(seed)
+    pruefer = [rng.randrange(num_nodes) for _ in range(num_nodes - 2)]
+    return tree_from_pruefer(pruefer)
+
+
+def tree_from_pruefer(pruefer: Iterable[int]) -> Graph:
+    """Decode a Prüfer sequence into the corresponding labelled tree."""
+    pruefer = list(pruefer)
+    num_nodes = len(pruefer) + 2
+    degree = [1] * num_nodes
+    for value in pruefer:
+        if not (0 <= value < num_nodes):
+            raise GraphError(f"Prüfer entry {value} outside 0..{num_nodes - 1}")
+        degree[value] += 1
+    edges = []
+    import heapq
+
+    leaves = [node for node in range(num_nodes) if degree[node] == 1]
+    heapq.heapify(leaves)
+    for value in pruefer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, value))
+        degree[value] -= 1
+        if degree[value] == 1:
+            heapq.heappush(leaves, value)
+    # Exactly two leaves remain after the sequence is consumed; join them.
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return Graph(num_nodes, edges)
+
+
+def random_bipartite_graph(
+    left: int, right: int, probability: float, seed: int | random.Random | None = None
+) -> Graph:
+    """Random bipartite graph where each cross pair is an edge w.p. *probability*."""
+    rng = _rng(seed)
+    edges = [
+        (u, left + v)
+        for u in range(left)
+        for v in range(right)
+        if rng.random() < probability
+    ]
+    return Graph(left + right, edges)
+
+
+def random_regular_graph(num_nodes: int, degree: int, seed: int | random.Random | None = None, max_tries: int = 200) -> Graph:
+    """A random *degree*-regular graph via the configuration model.
+
+    Retries until a simple graph (no loops, no multi-edges) is produced;
+    raises :class:`GraphError` if that fails ``max_tries`` times (which only
+    happens for infeasible parameter combinations).
+    """
+    if degree >= num_nodes:
+        raise GraphError("degree must be smaller than the number of nodes")
+    if (num_nodes * degree) % 2 != 0:
+        raise GraphError("num_nodes * degree must be even")
+    rng = _rng(seed)
+    stubs_template = [node for node in range(num_nodes) for _ in range(degree)]
+    for _ in range(max_tries):
+        stubs = stubs_template[:]
+        rng.shuffle(stubs)
+        edges: set[tuple[int, int]] = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v:
+                ok = False
+                break
+            key = (min(u, v), max(u, v))
+            if key in edges:
+                ok = False
+                break
+            edges.add(key)
+        if ok:
+            return Graph(num_nodes, sorted(edges))
+    raise GraphError(
+        f"failed to generate a simple {degree}-regular graph on {num_nodes} nodes"
+    )
+
+
+def random_connected_gnp(
+    num_nodes: int, probability: float, seed: int | random.Random | None = None
+) -> Graph:
+    """G(n, p) conditioned on connectivity by adding a random spanning tree.
+
+    A uniformly random tree is generated first and the G(n, p) edges are
+    layered on top, which guarantees connectivity while keeping the expected
+    density close to the target.
+    """
+    rng = _rng(seed)
+    base = random_tree(num_nodes, rng)
+    extra = gnp_random_graph(num_nodes, probability, rng)
+    return base.with_edges(extra.edges)
+
+
+GRAPH_FAMILIES = {
+    "path": lambda n, seed=None: path_graph(n),
+    "cycle": lambda n, seed=None: cycle_graph(max(n, 3)),
+    "star": lambda n, seed=None: star_graph(max(n - 1, 1)),
+    "binary_tree": lambda n, seed=None: binary_tree(n),
+    "random_tree": lambda n, seed=None: random_tree(n, seed),
+    "grid": lambda n, seed=None: grid_graph(max(int(round(n ** 0.5)), 1), max(int(round(n ** 0.5)), 1)),
+    "gnp_sparse": lambda n, seed=None: gnp_random_graph(n, min(4.0 / max(n, 2), 1.0), seed),
+    "gnp_dense": lambda n, seed=None: gnp_random_graph(n, 0.5, seed),
+    "complete": lambda n, seed=None: complete_graph(n),
+}
+"""Named graph families used by the sweep harness; each maps (n, seed) -> Graph."""

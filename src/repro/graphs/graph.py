@@ -1,0 +1,200 @@
+"""Lightweight immutable undirected graphs used by all execution engines.
+
+The paper models the network as a finite undirected graph ``G = (V, E)``.
+Engines run tight loops over adjacency lists, so we keep our own minimal
+graph type (nodes are the integers ``0 .. n-1``, adjacency is a tuple of
+sorted tuples) instead of carrying a heavyweight dependency.  Conversion
+helpers to and from :mod:`networkx` are provided for interoperability, but
+nothing in the library requires networkx at runtime.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.errors import GraphError
+
+
+class Graph:
+    """A finite, simple, undirected graph on nodes ``0 .. n-1``.
+
+    Instances are immutable; all mutation-style operations return new graphs.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``; nodes are the integers ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected, duplicate
+        edges (in either orientation) are collapsed.
+    """
+
+    __slots__ = ("_n", "_adjacency", "_edges")
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._n = int(num_nodes)
+        neighbour_sets: list[set[int]] = [set() for _ in range(self._n)]
+        edge_set: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise GraphError(f"self loop on node {u} is not allowed")
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise GraphError(f"edge ({u}, {v}) references a node outside 0..{self._n - 1}")
+            if u > v:
+                u, v = v, u
+            if (u, v) in edge_set:
+                continue
+            edge_set.add((u, v))
+            neighbour_sets[u].add(v)
+            neighbour_sets[v].add(u)
+        self._adjacency: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(neighbours)) for neighbours in neighbour_sets
+        )
+        self._edges: tuple[tuple[int, int], ...] = tuple(sorted(edge_set))
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors                                                    #
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return len(self._edges)
+
+    @property
+    def nodes(self) -> range:
+        """The node identifiers ``0 .. n-1``."""
+        return range(self._n)
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """All edges as sorted ``(u, v)`` pairs with ``u < v``."""
+        return self._edges
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """The neighbourhood ``N(node)`` as a sorted tuple."""
+        return self._adjacency[node]
+
+    def degree(self, node: int) -> int:
+        """Degree of *node*."""
+        return len(self._adjacency[node])
+
+    def max_degree(self) -> int:
+        """The maximum degree Δ(G) (0 for the empty graph)."""
+        if self._n == 0:
+            return 0
+        return max(len(neighbours) for neighbours in self._adjacency)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        if not (0 <= u < self._n and 0 <= v < self._n) or u == v:
+            return False
+        return v in self._adjacency[u]
+
+    def adjacency(self) -> tuple[tuple[int, ...], ...]:
+        """The full adjacency structure (tuple of sorted neighbour tuples)."""
+        return self._adjacency
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Graph)
+            and other._n == self._n
+            and other._edges == self._edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self._n}, num_edges={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs                                                     #
+    # ------------------------------------------------------------------ #
+    def subgraph(self, keep_nodes: Iterable[int]) -> "Graph":
+        """Induced subgraph on *keep_nodes*, relabelled to ``0..k-1``.
+
+        The relabelling preserves the relative order of the original node
+        identifiers.
+        """
+        keep = sorted(set(int(v) for v in keep_nodes))
+        for v in keep:
+            if not (0 <= v < self._n):
+                raise GraphError(f"node {v} is not in the graph")
+        relabel = {old: new for new, old in enumerate(keep)}
+        edges = [
+            (relabel[u], relabel[v])
+            for (u, v) in self._edges
+            if u in relabel and v in relabel
+        ]
+        return Graph(len(keep), edges)
+
+    def line_graph(self) -> tuple["Graph", tuple[tuple[int, int], ...]]:
+        """The line graph L(G) together with the edge-to-node mapping.
+
+        Node ``i`` of the line graph corresponds to ``edge_order[i]`` of this
+        graph; two line-graph nodes are adjacent when the original edges share
+        an endpoint.  Used by the maximal-matching-via-MIS reduction.
+        """
+        edge_order = self._edges
+        index = {edge: i for i, edge in enumerate(edge_order)}
+        line_edges: set[tuple[int, int]] = set()
+        for v in range(self._n):
+            incident = [
+                index[(min(v, u), max(v, u))] for u in self._adjacency[v]
+            ]
+            for a_pos in range(len(incident)):
+                for b_pos in range(a_pos + 1, len(incident)):
+                    a, b = incident[a_pos], incident[b_pos]
+                    line_edges.add((min(a, b), max(a, b)))
+        return Graph(len(edge_order), sorted(line_edges)), edge_order
+
+    def with_edges(self, extra_edges: Iterable[tuple[int, int]]) -> "Graph":
+        """A new graph with *extra_edges* added."""
+        return Graph(self._n, list(self._edges) + list(extra_edges))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers / interop                                     #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edge_list(cls, edges: Sequence[tuple[int, int]]) -> "Graph":
+        """Build a graph whose node count is inferred from the edge list."""
+        if not edges:
+            return cls(0, [])
+        num_nodes = max(max(u, v) for u, v in edges) + 1
+        return cls(num_nodes, edges)
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> tuple["Graph", dict]:
+        """Convert a networkx graph; returns ``(graph, label_of_index)``.
+
+        Node labels are mapped to ``0..n-1`` in sorted-by-string order; the
+        returned dictionary maps our integer identifiers back to the original
+        labels.
+        """
+        labels = sorted(nx_graph.nodes(), key=repr)
+        position = {label: i for i, label in enumerate(labels)}
+        edges = [(position[u], position[v]) for u, v in nx_graph.edges()]
+        return cls(len(labels), edges), dict(enumerate(labels))
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (requires networkx)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self._n))
+        nx_graph.add_edges_from(self._edges)
+        return nx_graph

@@ -1,0 +1,143 @@
+"""Structural graph properties used by checkers, analyses and experiments."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.core.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """All connected components as sorted node lists (BFS)."""
+    seen = [False] * graph.num_nodes
+    components: list[list[int]] = []
+    for start in graph.nodes:
+        if seen[start]:
+            continue
+        queue = deque([start])
+        seen[start] = True
+        component = []
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbour in graph.neighbors(node):
+                if not seen[neighbour]:
+                    seen[neighbour] = True
+                    queue.append(neighbour)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.num_nodes <= 1:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def is_forest(graph: Graph) -> bool:
+    """Whether the graph contains no cycle."""
+    return graph.num_edges == graph.num_nodes - len(connected_components(graph))
+
+
+def is_tree(graph: Graph) -> bool:
+    """Whether the graph is a tree (connected and acyclic)."""
+    return graph.num_nodes > 0 and is_connected(graph) and graph.num_edges == graph.num_nodes - 1
+
+
+def bfs_distances(graph: Graph, source: int) -> list[int | None]:
+    """Hop distances from *source*; ``None`` for unreachable nodes."""
+    if not (0 <= source < graph.num_nodes):
+        raise GraphError(f"source {source} not in graph")
+    distance: list[int | None] = [None] * graph.num_nodes
+    distance[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbour in graph.neighbors(node):
+            if distance[neighbour] is None:
+                distance[neighbour] = distance[node] + 1
+                queue.append(neighbour)
+    return distance
+
+
+def eccentricity(graph: Graph, source: int) -> int:
+    """Maximum finite distance from *source* (0 if the node is isolated)."""
+    finite = [d for d in bfs_distances(graph, source) if d is not None]
+    return max(finite) if finite else 0
+
+
+def diameter(graph: Graph) -> int:
+    """Largest eccentricity over all nodes (per connected component)."""
+    if graph.num_nodes == 0:
+        return 0
+    return max(eccentricity(graph, node) for node in graph.nodes)
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Mapping from degree value to the number of nodes with that degree."""
+    histogram: dict[int, int] = {}
+    for node in graph.nodes:
+        d = graph.degree(node)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def good_nodes_mis(graph: Graph, subset: Iterable[int] | None = None) -> list[int]:
+    """Good nodes in the sense of Section 4 (Alon–Babai–Itai).
+
+    A node ``v`` is *good* if at least a third of its neighbours have degree
+    at most ``deg(v)``.  When *subset* is given, degrees and neighbourhoods
+    are taken in the induced subgraph on that subset (this is the virtual
+    graph ``G^i`` of the tournament analysis).
+    """
+    if subset is None:
+        nodes = set(graph.nodes)
+    else:
+        nodes = set(subset)
+    good = []
+    for v in sorted(nodes):
+        neighbours = [u for u in graph.neighbors(v) if u in nodes]
+        d = len(neighbours)
+        if d == 0:
+            continue
+        small = sum(
+            1
+            for u in neighbours
+            if sum(1 for w in graph.neighbors(u) if w in nodes) <= d
+        )
+        if 3 * small >= d:
+            good.append(v)
+    return good
+
+
+def good_nodes_tree(graph: Graph, subset: Iterable[int] | None = None) -> list[int]:
+    """Good nodes in the sense of Section 5 (Observation 5.2).
+
+    In a tree, a node is *good* if it is a leaf, or has degree 2 with both
+    neighbours of degree at most 2.  Degrees are taken in the induced
+    subgraph on *subset* when given (the active forest ``F^i``).
+    Isolated nodes also count as good (they colour themselves immediately).
+    """
+    nodes = set(graph.nodes) if subset is None else set(subset)
+    induced_degree = {
+        v: sum(1 for u in graph.neighbors(v) if u in nodes) for v in nodes
+    }
+    good = []
+    for v in sorted(nodes):
+        d = induced_degree[v]
+        if d <= 1:
+            good.append(v)
+        elif d == 2:
+            neighbours = [u for u in graph.neighbors(v) if u in nodes]
+            if all(induced_degree[u] <= 2 for u in neighbours):
+                good.append(v)
+    return good
+
+
+def count_edges_in_subset(graph: Graph, subset: Iterable[int]) -> int:
+    """Number of edges of the induced subgraph on *subset*."""
+    nodes = set(subset)
+    return sum(1 for u, v in graph.edges if u in nodes and v in nodes)

@@ -1,0 +1,17 @@
+"""The paper's nFSM protocols: broadcast, MIS, tree 3-coloring, matching."""
+
+from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
+from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
+from repro.protocols.matching import maximal_matching_via_line_graph, matched_nodes
+from repro.protocols.mis import MISProtocol, mis_from_result
+
+__all__ = [
+    "BroadcastProtocol",
+    "MISProtocol",
+    "TreeColoringProtocol",
+    "broadcast_inputs",
+    "coloring_from_result",
+    "matched_nodes",
+    "maximal_matching_via_line_graph",
+    "mis_from_result",
+]

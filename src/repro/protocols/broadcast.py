@@ -1,0 +1,95 @@
+"""Single-source broadcast: the simplest useful strict nFSM protocol.
+
+Broadcast is not one of the paper's headline results, but it is the canonical
+"hello world" of the model and the library uses it pervasively:
+
+* it is a *strict* protocol (single query letter, no compilation needed), so
+  it exercises the asynchronous engine directly;
+* its synchronous run-time equals ``eccentricity(source) + 1`` rounds, which
+  gives an exact ground truth for engine tests;
+* it is the running example of the quickstart and of the compiler tests
+  (Theorems 3.1 and 3.4 promise constant-factor overheads, which are easy to
+  read off a protocol whose baseline cost is known exactly).
+
+Protocol description
+--------------------
+Alphabet ``Σ = {QUIET, TOKEN}`` with initial letter ``QUIET`` and bounding
+parameter ``b = 1``.  The source starts in state ``SOURCE``; every other node
+starts in state ``IDLE``.
+
+* ``SOURCE`` immediately moves to the output state ``INFORMED`` and transmits
+  ``TOKEN`` (regardless of its ports).
+* ``IDLE`` queries for ``TOKEN``; when at least one port contains it, the
+  node moves to ``INFORMED`` and retransmits ``TOKEN``, otherwise it stays
+  idle.
+* ``INFORMED`` is a sink output state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.alphabet import EPSILON
+from repro.core.protocol import Protocol, TransitionChoice
+
+QUIET = "QUIET"
+TOKEN = "TOKEN"
+
+IDLE = "IDLE"
+SOURCE = "SOURCE"
+INFORMED = "INFORMED"
+
+
+class BroadcastProtocol(Protocol):
+    """Strict nFSM protocol flooding a token from one source node.
+
+    Nodes are given the input value ``"source"`` (exactly one node should
+    receive it) or ``None``.  The output value of every node is ``True`` once
+    informed.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="broadcast",
+            alphabet=[QUIET, TOKEN],
+            initial_letter=QUIET,
+            bounding=1,
+            input_states=(IDLE, SOURCE),
+            output_states=(INFORMED,),
+        )
+
+    def initial_state(self, input_value: Any = None) -> str:
+        if input_value in (None, "idle", False):
+            return IDLE
+        if input_value in ("source", True):
+            return SOURCE
+        raise ValueError(f"unsupported broadcast input {input_value!r}")
+
+    def query_letter(self, state: str) -> str:
+        # Every state watches for the token; SOURCE/INFORMED ignore the count.
+        return TOKEN
+
+    def options(self, state: str, count: int) -> tuple[TransitionChoice, ...]:
+        if state == SOURCE:
+            return (TransitionChoice(INFORMED, TOKEN),)
+        if state == IDLE:
+            if count >= 1:
+                return (TransitionChoice(INFORMED, TOKEN),)
+            return (TransitionChoice(IDLE, EPSILON),)
+        # INFORMED is a sink.
+        return (TransitionChoice(INFORMED, EPSILON),)
+
+    def output_value(self, state: str) -> bool:
+        return state == INFORMED
+
+    def states(self) -> tuple[str, ...]:
+        """The full (tiny) state set, exposed for census tests."""
+        return (IDLE, SOURCE, INFORMED)
+
+    def _count_states(self) -> int:
+        return 3
+
+
+def broadcast_inputs(source: int) -> dict[int, str]:
+    """Input mapping marking *source* as the broadcast origin."""
+    return {source: "source"}

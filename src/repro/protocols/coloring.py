@@ -1,0 +1,265 @@
+"""The Stone Age tree 3-coloring protocol (paper Section 5, Theorem 5.4).
+
+The protocol properly colors any undirected tree with 3 colors in
+``O(log n)`` rounds under the nFSM model with bounding parameter ``b = 3``
+(just enough for a node to classify its active degree as 0, 1, 2 or ">= 3"
+according to the one-two-many principle).
+
+Structure (paper wording)
+-------------------------
+Every node is in one of three modes:
+
+* ``COLORED`` — the node's color is fixed; it transmitted a final
+  ``my color is c`` message and is silent forever (output state);
+* ``ACTIVE``  — the node still competes for a color;
+* ``WAITING`` — the node parked itself until the (unique) active neighbour it
+  *waits on* gets colored.
+
+The execution proceeds in phases of four rounds.  For an ``ACTIVE`` node
+``v`` with active degree ``d = d^i(v)`` the phase looks as follows.
+
+1. transmit ``I am ACTIVE``;
+2. count the ``ACTIVE`` letters in the ports — this is ``f_3(d)`` — and
+   transmit it as a ``DEG_x`` letter;
+3. based on its own degree and the neighbours' ``DEG`` letters decide:
+
+   * ``d = 0``, or ``d = 1`` with the neighbour also of degree 1, or
+     ``d = 2`` with both neighbours of degree at most 2 → run Procedure
+     *RandColor*: pick a color ``c`` uniformly from the colors not taken by
+     already-colored neighbours and transmit ``proposing color c``;
+   * ``d = 1`` with the neighbour of degree at least 2 → move to mode
+     ``WAITING`` (transmit ``I am WAITING``);
+   * otherwise → stay ``ACTIVE`` and do nothing this phase;
+
+4. a proposing node checks whether any port shows the same proposal; if not
+   it moves to ``COLORED`` and transmits ``my color is c``, otherwise it
+   stays ``ACTIVE`` and retries in a later phase.
+
+A ``WAITING`` node rejoins (mode ``ACTIVE``) at a phase boundary once it
+spots that a neighbour moved to ``COLORED`` while it was parked.  The paper
+phrases this as "v spots this event by querying on 'my color is c'
+messages"; we implement it by remembering the saturated ``COLOR_c`` counts
+at parking time and waking when any of them increased.  The counts involved
+are at most 2 on trees (a node parks with at most one colored neighbour and
+only the neighbour it waits on can color while it is parked), so the
+``b = 3`` saturation never hides an increase.
+
+The implementation below keeps a per-node round-in-phase counter, the
+measured degree, the pending proposal and (while parked) the remembered
+color counts in the protocol state.  All fields range over constant-size
+domains, so the state set remains a universal constant as required by model
+requirement (M4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.alphabet import EPSILON, Observation
+from repro.core.protocol import ExtendedProtocol, TransitionChoice
+
+# Modes ------------------------------------------------------------------- #
+ACTIVE = "ACTIVE"
+WAITING = "WAITING"
+COLORED = "COLORED"
+
+# Communication alphabet --------------------------------------------------- #
+MSG_ACTIVE = "ACTIVE"
+MSG_WAITING = "WAITING"
+MSG_DEG = ("DEG0", "DEG1", "DEG2", "DEG3+")
+MSG_PROPOSE = {1: "PROPOSE1", 2: "PROPOSE2", 3: "PROPOSE3"}
+MSG_COLOR = {1: "COLOR1", 2: "COLOR2", 3: "COLOR3"}
+
+COLORING_ALPHABET = (
+    MSG_ACTIVE,
+    MSG_WAITING,
+    *MSG_DEG,
+    *MSG_PROPOSE.values(),
+    *MSG_COLOR.values(),
+)
+
+#: Letters that can only originate from a currently ACTIVE neighbour.  A
+#: waiting node wakes up when none of its ports shows any of these.
+ACTIVE_INDICATING = (MSG_ACTIVE, *MSG_DEG, *MSG_PROPOSE.values())
+
+COLORS = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class ColoringState:
+    """Protocol state of one node.
+
+    ``next_round`` is the round-within-phase (1..4) the node is about to
+    execute; ``degree`` is the saturated active degree measured in round 2 of
+    the current phase; ``proposal`` is the color proposed in round 3 (``None``
+    when the node did not run RandColor this phase); ``color`` is the final
+    color once the node is ``COLORED``; ``parked_colors`` is the snapshot of
+    saturated ``COLOR_c`` counts taken when the node moved to ``WAITING``
+    (used to detect that a neighbour got colored in the meantime).
+    """
+
+    mode: str = ACTIVE
+    next_round: int = 1
+    degree: int | None = None
+    proposal: int | None = None
+    color: int | None = None
+    parked_colors: tuple[int, int, int] | None = None
+
+
+INITIAL_STATE = ColoringState()
+
+
+def _stay(state: ColoringState) -> tuple[TransitionChoice, ...]:
+    return (TransitionChoice(state, EPSILON),)
+
+
+class TreeColoringProtocol(ExtendedProtocol):
+    """The Stone Age 3-coloring protocol for undirected trees.
+
+    The protocol is correct on forests; the ``O(log n)`` run-time bound of
+    Theorem 5.4 applies to trees (and, per component, to forests).  On graphs
+    with cycles it may simply never terminate (2-coloring-style symmetric
+    configurations), which matches the paper's scope.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="stone-age-tree-3-coloring",
+            alphabet=COLORING_ALPHABET,
+            initial_letter=MSG_ACTIVE,
+            bounding=3,
+            input_states=(INITIAL_STATE,),
+            output_states=(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Output handling                                                     #
+    # ------------------------------------------------------------------ #
+    def is_output_state(self, state: ColoringState) -> bool:
+        return state.mode == COLORED
+
+    def output_value(self, state: ColoringState) -> int | None:
+        return state.color
+
+    # ------------------------------------------------------------------ #
+    # Transition relation                                                 #
+    # ------------------------------------------------------------------ #
+    def options(self, state: ColoringState, observation: Observation) -> tuple[TransitionChoice, ...]:
+        if state.mode == COLORED:
+            return _stay(state)
+        if state.mode == WAITING:
+            return self._waiting_options(state, observation)
+        return self._active_options(state, observation)
+
+    # -- WAITING ---------------------------------------------------------- #
+    @staticmethod
+    def _color_counts(observation: Observation) -> tuple[int, int, int]:
+        return tuple(observation.count(MSG_COLOR[c]) for c in COLORS)
+
+    def _waiting_options(self, state: ColoringState, observation: Observation) -> tuple[TransitionChoice, ...]:
+        next_round = state.next_round % 4 + 1
+        if state.next_round == 4:
+            # Phase boundary: rejoin once some neighbour got colored while we
+            # were parked (a 'my color is c' count increased since parking).
+            current = self._color_counts(observation)
+            parked = state.parked_colors or (0, 0, 0)
+            if any(now > before for now, before in zip(current, parked)):
+                woken = ColoringState(mode=ACTIVE, next_round=1)
+                return (TransitionChoice(woken, EPSILON),)
+        return (TransitionChoice(replace(state, next_round=next_round), EPSILON),)
+
+    # -- ACTIVE ------------------------------------------------------------ #
+    def _active_options(self, state: ColoringState, observation: Observation) -> tuple[TransitionChoice, ...]:
+        if state.next_round == 1:
+            return self._round_announce(state)
+        if state.next_round == 2:
+            return self._round_measure_degree(state, observation)
+        if state.next_round == 3:
+            return self._round_decide(state, observation)
+        return self._round_commit(state, observation)
+
+    def _round_announce(self, state: ColoringState) -> tuple[TransitionChoice, ...]:
+        new_state = ColoringState(mode=ACTIVE, next_round=2)
+        return (TransitionChoice(new_state, MSG_ACTIVE),)
+
+    def _round_measure_degree(self, state: ColoringState, observation: Observation) -> tuple[TransitionChoice, ...]:
+        degree = observation.count(MSG_ACTIVE)  # already saturated at b = 3
+        new_state = ColoringState(mode=ACTIVE, next_round=3, degree=degree)
+        return (TransitionChoice(new_state, MSG_DEG[degree]),)
+
+    def _available_colors(self, observation: Observation) -> tuple[int, ...]:
+        return tuple(c for c in COLORS if observation.count(MSG_COLOR[c]) == 0)
+
+    def _round_decide(self, state: ColoringState, observation: Observation) -> tuple[TransitionChoice, ...]:
+        degree = state.degree if state.degree is not None else 0
+        runs_randcolor = False
+        goes_waiting = False
+        if degree == 0:
+            runs_randcolor = True
+        elif degree == 1:
+            # The unique active neighbour announced its degree in round 2.
+            if observation.count(MSG_DEG[1]) >= 1:
+                runs_randcolor = True
+            else:
+                goes_waiting = True
+        elif degree == 2:
+            runs_randcolor = observation.count(MSG_DEG[3]) == 0
+        # degree >= 3: neither — simply wait for the tree around to shrink.
+
+        if goes_waiting:
+            waiting = ColoringState(
+                mode=WAITING,
+                next_round=4,
+                parked_colors=self._color_counts(observation),
+            )
+            return (TransitionChoice(waiting, MSG_WAITING),)
+
+        if runs_randcolor:
+            available = self._available_colors(observation)
+            if not available:
+                # Cannot happen on forests (Observation in Section 5); guard
+                # against malformed inputs by retrying next phase.
+                return (TransitionChoice(ColoringState(mode=ACTIVE, next_round=4, degree=degree), EPSILON),)
+            return tuple(
+                TransitionChoice(
+                    ColoringState(mode=ACTIVE, next_round=4, degree=degree, proposal=c),
+                    MSG_PROPOSE[c],
+                )
+                for c in available
+            )
+
+        idle = ColoringState(mode=ACTIVE, next_round=4, degree=degree)
+        return (TransitionChoice(idle, EPSILON),)
+
+    def _round_commit(self, state: ColoringState, observation: Observation) -> tuple[TransitionChoice, ...]:
+        fresh = ColoringState(mode=ACTIVE, next_round=1)
+        if state.proposal is None:
+            return (TransitionChoice(fresh, EPSILON),)
+        contested = observation.count(MSG_PROPOSE[state.proposal]) >= 1
+        if contested:
+            return (TransitionChoice(fresh, EPSILON),)
+        colored = ColoringState(mode=COLORED, color=state.proposal)
+        return (TransitionChoice(colored, MSG_COLOR[state.proposal]),)
+
+    # ------------------------------------------------------------------ #
+    # Compiler hints                                                      #
+    # ------------------------------------------------------------------ #
+    def queried_letters(self, state: ColoringState) -> tuple[str, ...]:
+        if state.mode == COLORED:
+            return ()
+        if state.mode == WAITING:
+            return tuple(MSG_COLOR.values()) if state.next_round == 4 else ()
+        if state.next_round == 1:
+            return ()
+        if state.next_round == 2:
+            return (MSG_ACTIVE,)
+        if state.next_round == 3:
+            return (MSG_DEG[1], MSG_DEG[3], *MSG_COLOR.values())
+        if state.proposal is None:
+            return ()
+        return (MSG_PROPOSE[state.proposal],)
+
+
+def coloring_from_result(result) -> dict[int, int]:
+    """Extract the node → color assignment from an execution result."""
+    return {node: color for node, color in result.outputs.items() if color is not None}

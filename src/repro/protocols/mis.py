@@ -1,0 +1,171 @@
+"""The Stone Age MIS protocol (paper Section 4, Figure 1, Theorem 4.5).
+
+The protocol computes a maximal independent set in an arbitrary graph with
+run-time ``O(log² n)`` rounds, using only
+
+* seven states ``{DOWN1, DOWN2, UP0, UP1, UP2, WIN, LOSE}``,
+* a communication alphabet identical to the state set,
+* bounding parameter ``b = 1`` (a node only distinguishes "none of my
+  neighbours said σ" from "at least one did"),
+* and fair coin flips.
+
+Mechanics (paper wording)
+-------------------------
+A node transmits a letter exactly when it *changes* state — the transmitted
+letter is the name of the new state — and transmits nothing (``ε``) in a
+round in which it stays put.  Because ports keep the last received letter,
+the port of a neighbour therefore always shows that neighbour's current
+state.
+
+Each active state ``q`` has a set of *delaying states* ``D(q)``: the node
+stays in ``q`` (transmitting nothing) as long as at least one port contains a
+letter of ``D(q)``.  Concretely
+
+* ``DOWN1`` is delayed by ``DOWN2``,
+* ``DOWN2`` is delayed by ``UP0``, ``UP1`` and ``UP2``,
+* ``UPj`` is delayed by ``UP(j-1 mod 3)``, and ``UP0`` additionally by
+  ``DOWN1``.
+
+When not delayed:
+
+* ``DOWN1 → UP0``;
+* ``DOWN2 → DOWN1`` if no port shows ``WIN``, otherwise ``DOWN2 → LOSE``;
+* from ``UPj`` the node flips a fair coin; on heads it moves to
+  ``UP(j+1 mod 3)``; on tails it moves to ``WIN`` if no port shows ``UPj`` or
+  ``UP(j+1 mod 3)``, and to ``DOWN2`` otherwise.
+
+``WIN`` and ``LOSE`` are sink output states indicating membership and
+non-membership in the MIS.
+
+A maximal contiguous block of rounds spent in the same active state is a
+*turn*; the block of turns between two visits of ``DOWN1`` is a *tournament*.
+The number of turns of a tournament is ``2 + Geom(1/2)`` distributed, which
+is what drives the ``O(log² n)`` analysis (Lemma 4.3); the analysis helpers
+in :mod:`repro.analysis.tournaments` recover turns and tournaments from
+execution traces.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import EPSILON, Observation
+from repro.core.protocol import ExtendedProtocol, TransitionChoice
+
+DOWN1 = "DOWN1"
+DOWN2 = "DOWN2"
+UP0 = "UP0"
+UP1 = "UP1"
+UP2 = "UP2"
+WIN = "WIN"
+LOSE = "LOSE"
+
+MIS_STATES = (DOWN1, DOWN2, UP0, UP1, UP2, WIN, LOSE)
+ACTIVE_STATES = (DOWN1, DOWN2, UP0, UP1, UP2)
+UP_STATES = (UP0, UP1, UP2)
+
+#: Delaying states D(q) of every active state (paper Section 4).
+DELAYING_STATES: dict[str, tuple[str, ...]] = {
+    DOWN1: (DOWN2,),
+    DOWN2: (UP0, UP1, UP2),
+    UP0: (UP2, DOWN1),
+    UP1: (UP0,),
+    UP2: (UP1,),
+}
+
+
+class MISProtocol(ExtendedProtocol):
+    """The seven-state Stone Age maximal-independent-set protocol.
+
+    Written as an :class:`~repro.core.protocol.ExtendedProtocol`
+    (multi-letter queries, locally synchronous environment), exactly as the
+    paper does after invoking Theorems 3.1 and 3.4.  Use
+    :func:`repro.compilers.compile_to_asynchronous` to obtain the fully
+    compiled strict protocol for the adversarial asynchronous engine.
+
+    Parameters
+    ----------
+    climb_weight, decide_weight:
+        Relative weights of the two UP-state coin outcomes ("keep climbing"
+        vs "try to decide").  The paper uses a fair coin (1, 1); other
+        weights are exposed for the ablation experiment A1, which measures
+        how the tournament-length distribution (and hence the run-time)
+        reacts to biasing the coin.  Weights are realised by duplicating
+        options in the transition relation, so the protocol stays a legal
+        nFSM protocol (the engine always draws uniformly from the option
+        set).
+    """
+
+    def __init__(self, climb_weight: int = 1, decide_weight: int = 1) -> None:
+        if climb_weight < 1 or decide_weight < 1:
+            raise ValueError("coin weights must be positive integers")
+        suffix = "" if (climb_weight, decide_weight) == (1, 1) else f"[coin {climb_weight}:{decide_weight}]"
+        super().__init__(
+            name=f"stone-age-mis{suffix}",
+            alphabet=MIS_STATES,
+            initial_letter=DOWN1,
+            bounding=1,
+            input_states=(DOWN1,),
+            output_states=(WIN, LOSE),
+        )
+        self._climb_weight = int(climb_weight)
+        self._decide_weight = int(decide_weight)
+
+    # ------------------------------------------------------------------ #
+    # Transition relation                                                 #
+    # ------------------------------------------------------------------ #
+    def options(self, state: str, observation: Observation) -> tuple[TransitionChoice, ...]:
+        if state in (WIN, LOSE):
+            return (TransitionChoice(state, EPSILON),)
+
+        # Delaying rule: stay (and keep silent) while any delaying letter is
+        # visible in the ports.
+        if any(observation.count(delayer) >= 1 for delayer in DELAYING_STATES[state]):
+            return (TransitionChoice(state, EPSILON),)
+
+        if state == DOWN1:
+            return (TransitionChoice(UP0, UP0),)
+
+        if state == DOWN2:
+            if observation.count(WIN) >= 1:
+                return (TransitionChoice(LOSE, LOSE),)
+            return (TransitionChoice(DOWN1, DOWN1),)
+
+        # UP states: fair coin between "keep climbing" and "try to decide"
+        # (weights other than 1:1 only appear in the A1 ablation).
+        j = UP_STATES.index(state)
+        next_up = UP_STATES[(j + 1) % 3]
+        heads = TransitionChoice(next_up, next_up)
+        if observation.count(state) == 0 and observation.count(next_up) == 0:
+            tails = TransitionChoice(WIN, WIN)
+        else:
+            tails = TransitionChoice(DOWN2, DOWN2)
+        return (heads,) * self._climb_weight + (tails,) * self._decide_weight
+
+    def queried_letters(self, state: str) -> tuple[str, ...]:
+        """Letters whose counts the transition of *state* depends on."""
+        if state in (WIN, LOSE):
+            return ()
+        letters = list(DELAYING_STATES[state])
+        if state == DOWN2:
+            letters.append(WIN)
+        elif state in UP_STATES:
+            j = UP_STATES.index(state)
+            letters.extend([state, UP_STATES[(j + 1) % 3]])
+        return tuple(dict.fromkeys(letters))
+
+    # ------------------------------------------------------------------ #
+    # Output decoding                                                     #
+    # ------------------------------------------------------------------ #
+    def output_value(self, state: str) -> bool:
+        """``True`` iff the node joined the MIS."""
+        return state == WIN
+
+    def states(self) -> tuple[str, ...]:
+        return MIS_STATES
+
+    def _count_states(self) -> int:
+        return len(MIS_STATES)
+
+
+def mis_from_result(result) -> set[int]:
+    """Extract the computed independent set from an execution result."""
+    return {node for node, joined in result.outputs.items() if joined}

@@ -1,0 +1,36 @@
+"""Execution engines and adversarial asynchrony policies."""
+
+from repro.scheduling.adversary import (
+    AdversaryPolicy,
+    AdversarySchedule,
+    BurstyAdversary,
+    ExponentialAdversary,
+    SkewedRatesAdversary,
+    SynchronousAdversary,
+    TargetedLaggardAdversary,
+    UniformRandomAdversary,
+    default_adversary_suite,
+)
+from repro.scheduling.async_engine import AsynchronousEngine, run_asynchronous
+from repro.scheduling.sync_engine import (
+    SynchronousEngine,
+    repeat_synchronous,
+    run_synchronous,
+)
+
+__all__ = [
+    "AdversaryPolicy",
+    "AdversarySchedule",
+    "AsynchronousEngine",
+    "BurstyAdversary",
+    "ExponentialAdversary",
+    "SkewedRatesAdversary",
+    "SynchronousAdversary",
+    "SynchronousEngine",
+    "TargetedLaggardAdversary",
+    "UniformRandomAdversary",
+    "default_adversary_suite",
+    "repeat_synchronous",
+    "run_asynchronous",
+    "run_synchronous",
+]

@@ -1,0 +1,247 @@
+"""Adversarial asynchrony policies (paper Section 2, "Asynchrony").
+
+An adversarial policy fixes, for every node ``v`` and step ``t``, the step
+length ``L_{v,t}`` and, for every neighbour ``u``, the delivery delay
+``D_{v,t,u}`` of the message transmitted by ``v`` in step ``t``.  The
+adversary is *oblivious*: it cannot observe the protocol's coin tosses, so a
+policy is drawn from its own random stream before/independently of the
+protocol execution.
+
+The paper quantifies over *all* policies.  We obviously cannot enumerate
+them, so the library ships a family of representative policies (synchronous,
+uniformly random, exponential, skewed per-node rates, bursty, targeted
+laggard) and the correctness experiments run against every member of the
+family.  New policies are easy to add: subclass :class:`AdversaryPolicy` and
+return an :class:`AdversarySchedule` from :meth:`AdversaryPolicy.start`.
+
+All timings are positive finite floats; the engine normalises the measured
+run-time by the maximum parameter it actually used, as required by the
+paper's run-time definition.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.errors import ExecutionError
+from repro.graphs.graph import Graph
+
+
+class AdversarySchedule(ABC):
+    """A concrete schedule bound to one graph and one random stream."""
+
+    @abstractmethod
+    def step_length(self, node: int, step: int) -> float:
+        """The length ``L_{node,step}`` of the given step (must be > 0)."""
+
+    @abstractmethod
+    def delivery_delay(self, sender: int, step: int, receiver: int) -> float:
+        """The delay ``D_{sender,step,receiver}`` of one delivery (must be > 0)."""
+
+
+class AdversaryPolicy(ABC):
+    """Factory for :class:`AdversarySchedule` instances.
+
+    Policies are stateless descriptions; binding one to a graph and a random
+    stream (via :meth:`start`) yields the actual schedule used by a run, so a
+    single policy object can be reused across many experiments.
+    """
+
+    name: str = "adversary"
+
+    @abstractmethod
+    def start(self, graph: Graph, rng: random.Random) -> AdversarySchedule:
+        """Create a schedule for *graph* using the adversary's own *rng*."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class _FunctionalSchedule(AdversarySchedule):
+    """Schedule defined by two callables (helper for simple policies)."""
+
+    def __init__(self, length_fn, delay_fn) -> None:
+        self._length_fn = length_fn
+        self._delay_fn = delay_fn
+
+    def step_length(self, node: int, step: int) -> float:
+        value = float(self._length_fn(node, step))
+        if value <= 0:
+            raise ExecutionError(f"step length must be positive, got {value}")
+        return value
+
+    def delivery_delay(self, sender: int, step: int, receiver: int) -> float:
+        value = float(self._delay_fn(sender, step, receiver))
+        if value <= 0:
+            raise ExecutionError(f"delivery delay must be positive, got {value}")
+        return value
+
+
+class SynchronousAdversary(AdversaryPolicy):
+    """The benign adversary: every step lasts one unit, every delay is one unit.
+
+    Useful as a sanity baseline; under it the asynchronous engine behaves like
+    a (slightly staggered) synchronous system.
+    """
+
+    name = "synchronous"
+
+    def start(self, graph: Graph, rng: random.Random) -> AdversarySchedule:
+        return _FunctionalSchedule(lambda v, t: 1.0, lambda v, t, u: 1.0)
+
+
+class UniformRandomAdversary(AdversaryPolicy):
+    """Step lengths and delays drawn i.i.d. uniformly from ``[low, high]``."""
+
+    name = "uniform"
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if not (0 < low <= high):
+            raise ExecutionError("need 0 < low <= high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def start(self, graph: Graph, rng: random.Random) -> AdversarySchedule:
+        low, high = self.low, self.high
+        return _FunctionalSchedule(
+            lambda v, t: rng.uniform(low, high),
+            lambda v, t, u: rng.uniform(low, high),
+        )
+
+
+class ExponentialAdversary(AdversaryPolicy):
+    """Memoryless timing: step lengths and delays are exponential with the given means.
+
+    A small floor keeps every parameter strictly positive as the model
+    requires.
+    """
+
+    name = "exponential"
+
+    def __init__(self, mean_step: float = 1.0, mean_delay: float = 1.0, floor: float = 1e-3) -> None:
+        self.mean_step = float(mean_step)
+        self.mean_delay = float(mean_delay)
+        self.floor = float(floor)
+
+    def start(self, graph: Graph, rng: random.Random) -> AdversarySchedule:
+        floor = self.floor
+        return _FunctionalSchedule(
+            lambda v, t: max(rng.expovariate(1.0 / self.mean_step), floor),
+            lambda v, t, u: max(rng.expovariate(1.0 / self.mean_delay), floor),
+        )
+
+
+class SkewedRatesAdversary(AdversaryPolicy):
+    """A random fraction of the nodes runs much slower than the rest.
+
+    Each slow node's steps are ``slow_factor`` times longer; deliveries from
+    slow nodes are similarly stretched.  This is the canonical situation the
+    synchronizer's pausing feature has to cope with: fast nodes must not race
+    ahead of their slow neighbours by more than one simulated round.
+    """
+
+    name = "skewed-rates"
+
+    def __init__(self, slow_fraction: float = 0.25, slow_factor: float = 8.0) -> None:
+        if not (0.0 <= slow_fraction <= 1.0):
+            raise ExecutionError("slow_fraction must lie in [0, 1]")
+        if slow_factor < 1.0:
+            raise ExecutionError("slow_factor must be >= 1")
+        self.slow_fraction = float(slow_fraction)
+        self.slow_factor = float(slow_factor)
+
+    def start(self, graph: Graph, rng: random.Random) -> AdversarySchedule:
+        slow = {
+            node for node in graph.nodes if rng.random() < self.slow_fraction
+        }
+        factor = self.slow_factor
+
+        def length(node: int, step: int) -> float:
+            base = rng.uniform(0.5, 1.0)
+            return base * factor if node in slow else base
+
+        def delay(sender: int, step: int, receiver: int) -> float:
+            base = rng.uniform(0.5, 1.0)
+            return base * factor if sender in slow else base
+
+        return _FunctionalSchedule(length, delay)
+
+
+class BurstyAdversary(AdversaryPolicy):
+    """Alternates between fast and slow phases of ``period`` steps per node.
+
+    Models devices that stall periodically (e.g. duty-cycled sensors): during
+    a slow phase both the node's steps and its outgoing deliveries are slowed
+    by ``slow_factor``.
+    """
+
+    name = "bursty"
+
+    def __init__(self, period: int = 8, slow_factor: float = 6.0) -> None:
+        if period < 1:
+            raise ExecutionError("period must be at least 1")
+        self.period = int(period)
+        self.slow_factor = float(slow_factor)
+
+    def start(self, graph: Graph, rng: random.Random) -> AdversarySchedule:
+        offsets = {node: rng.randrange(2 * self.period) for node in graph.nodes}
+        period = self.period
+        factor = self.slow_factor
+
+        def in_slow_phase(node: int, step: int) -> bool:
+            return ((step + offsets[node]) // period) % 2 == 1
+
+        def length(node: int, step: int) -> float:
+            base = rng.uniform(0.5, 1.0)
+            return base * factor if in_slow_phase(node, step) else base
+
+        def delay(sender: int, step: int, receiver: int) -> float:
+            base = rng.uniform(0.5, 1.0)
+            return base * factor if in_slow_phase(sender, step) else base
+
+        return _FunctionalSchedule(length, delay)
+
+
+class TargetedLaggardAdversary(AdversaryPolicy):
+    """Slows down the highest-degree nodes and every delivery touching them.
+
+    High-degree nodes are exactly the ones most protocols depend on, so this
+    policy stresses the worst case more aggressively than uniformly random
+    timing does.
+    """
+
+    name = "targeted-laggard"
+
+    def __init__(self, num_victims: int = 2, slow_factor: float = 10.0) -> None:
+        if num_victims < 1:
+            raise ExecutionError("need at least one victim")
+        self.num_victims = int(num_victims)
+        self.slow_factor = float(slow_factor)
+
+    def start(self, graph: Graph, rng: random.Random) -> AdversarySchedule:
+        by_degree = sorted(graph.nodes, key=lambda v: (-graph.degree(v), v))
+        victims = set(by_degree[: self.num_victims])
+        factor = self.slow_factor
+
+        def length(node: int, step: int) -> float:
+            base = rng.uniform(0.8, 1.0)
+            return base * factor if node in victims else base
+
+        def delay(sender: int, step: int, receiver: int) -> float:
+            base = rng.uniform(0.8, 1.0)
+            return base * factor if sender in victims or receiver in victims else base
+
+        return _FunctionalSchedule(length, delay)
+
+
+def default_adversary_suite() -> tuple[AdversaryPolicy, ...]:
+    """The adversary family used by correctness experiments and benchmarks."""
+    return (
+        SynchronousAdversary(),
+        UniformRandomAdversary(),
+        ExponentialAdversary(),
+        SkewedRatesAdversary(),
+        BurstyAdversary(),
+        TargetedLaggardAdversary(),
+    )

@@ -1,0 +1,265 @@
+"""Event-driven execution of strict nFSM protocols under adversarial timing.
+
+This engine implements the raw model of Section 2:
+
+* every node executes discrete steps whose lengths ``L_{v,t}`` are chosen by
+  an adversary policy; the transition function is applied instantaneously at
+  the end of each step;
+* a transmitted letter is delivered to each neighbour's port after an
+  adversary-chosen delay ``D_{v,t,u}``; deliveries from the same sender to
+  the same receiver respect FIFO order, but there is **no buffering** — a
+  later delivery overwrites the port, so a message can be lost without the
+  receiver ever observing it;
+* the measured run-time is the elapsed time until the first output
+  configuration, divided by the largest step-length / delay parameter the
+  adversary used up to that point (the paper's "time unit").
+
+Only strict (single-query-letter) protocols can run here; multi-letter
+protocols are first lowered through the compilers of
+:mod:`repro.compilers`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.core.alphabet import is_epsilon
+from repro.core.errors import ExecutionError, OutputNotReachedError
+from repro.core.network import NetworkState
+from repro.core.protocol import Protocol, State
+from repro.core.results import ExecutionResult, TransitionRecord
+from repro.graphs.graph import Graph
+from repro.scheduling.adversary import AdversaryPolicy, SynchronousAdversary
+
+TransitionObserver = Callable[[TransitionRecord], None]
+"""Callback invoked after every applied node transition."""
+
+DEFAULT_MAX_EVENTS = 5_000_000
+
+_STEP = 0
+_DELIVERY = 1
+
+
+class AsynchronousEngine:
+    """Executes a strict protocol under an adversarial asynchronous schedule.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.
+    protocol:
+        A strict :class:`~repro.core.protocol.Protocol`.
+    adversary:
+        The :class:`~repro.scheduling.adversary.AdversaryPolicy` supplying
+        step lengths and delivery delays (default: the benign synchronous
+        adversary).
+    seed:
+        Seed for the protocol's random choices.
+    adversary_seed:
+        Separate seed for the adversary's random stream, keeping the
+        adversary oblivious to the protocol's coins as the model requires.
+    inputs:
+        Optional per-node input values.
+    observer:
+        Optional per-transition callback (used by trace-based tests).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: Protocol,
+        *,
+        adversary: AdversaryPolicy | None = None,
+        seed: int | None = None,
+        adversary_seed: int | None = None,
+        inputs: Mapping[int, Any] | None = None,
+        observer: TransitionObserver | None = None,
+    ) -> None:
+        if not isinstance(protocol, Protocol):
+            raise ExecutionError(
+                "the asynchronous engine executes strict protocols only; "
+                "lower multi-letter protocols through repro.compilers first"
+            )
+        self._graph = graph
+        self._protocol = protocol
+        self._seed = seed
+        self._rng = random.Random(seed)
+        adversary = adversary if adversary is not None else SynchronousAdversary()
+        adversary_rng = random.Random(
+            adversary_seed if adversary_seed is not None else (seed, "adversary").__hash__()
+        )
+        self._schedule = adversary.start(graph, adversary_rng)
+        self._adversary_name = adversary.name
+        self._observer = observer
+        inputs = dict(inputs or {})
+        initial_states = [
+            protocol.initial_state(inputs.get(node)) for node in graph.nodes
+        ]
+        self._state = NetworkState(graph, initial_states, protocol.initial_letter)
+        self._messages = 0
+        self._max_parameter = 0.0
+        self._now = 0.0
+        self._event_counter = itertools.count()
+        self._queue: list[tuple[float, int, int, tuple]] = []
+        # FIFO guard: last scheduled arrival time per (sender, receiver).
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        self._output_time: float | None = None
+        for node in graph.nodes:
+            self._schedule_step(node, step=1, start_time=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing                                                      #
+    # ------------------------------------------------------------------ #
+    def _push(self, time: float, kind: int, payload: tuple) -> None:
+        heapq.heappush(self._queue, (time, next(self._event_counter), kind, payload))
+
+    def _schedule_step(self, node: int, step: int, start_time: float) -> None:
+        length = self._schedule.step_length(node, step)
+        self._max_parameter = max(self._max_parameter, length)
+        self._push(start_time + length, _STEP, (node, step))
+
+    def _schedule_deliveries(self, sender: int, step: int, letter: Any, now: float) -> None:
+        for receiver in self._graph.neighbors(sender):
+            delay = self._schedule.delivery_delay(sender, step, receiver)
+            self._max_parameter = max(self._max_parameter, delay)
+            arrival = now + delay
+            # FIFO: a later transmission must not arrive before an earlier one.
+            previous = self._last_arrival.get((sender, receiver), 0.0)
+            arrival = max(arrival, previous)
+            self._last_arrival[(sender, receiver)] = arrival
+            self._push(arrival, _DELIVERY, (sender, receiver, letter))
+        self._messages += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def states(self) -> tuple[State, ...]:
+        return tuple(self._state.states)
+
+    @property
+    def now(self) -> float:
+        """Current adversary-clock time."""
+        return self._now
+
+    def in_output_configuration(self) -> bool:
+        return all(self._protocol.is_output_state(s) for s in self._state.states)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+    def _apply_step(self, node: int, step: int, time: float) -> None:
+        protocol = self._protocol
+        old_state = self._state.states[node]
+        letter = protocol.query_letter(old_state)
+        raw = sum(1 for content in self._state.ports.contents(node) if content == letter)
+        choices = protocol.validate_option_set(
+            protocol.options(old_state, protocol.bounding(raw))
+        )
+        chosen = choices[0] if len(choices) == 1 else choices[self._rng.randrange(len(choices))]
+        self._state.states[node] = chosen.state
+        self._state.steps_taken[node] += 1
+        if not is_epsilon(chosen.emit):
+            self._schedule_deliveries(node, step, chosen.emit, time)
+        if self._observer is not None:
+            self._observer(
+                TransitionRecord(
+                    node=node,
+                    step=step,
+                    time=time,
+                    old_state=old_state,
+                    new_state=chosen.state,
+                    emitted=None if is_epsilon(chosen.emit) else chosen.emit,
+                )
+            )
+        self._schedule_step(node, step + 1, time)
+
+    def run(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        *,
+        raise_on_timeout: bool = False,
+    ) -> ExecutionResult:
+        """Process events until the first output configuration.
+
+        ``max_events`` bounds the total number of processed step/delivery
+        events so that a broken protocol cannot loop forever.
+        """
+        events_processed = 0
+        while self._queue and events_processed < max_events and self._output_time is None:
+            time, _, kind, payload = heapq.heappop(self._queue)
+            self._now = time
+            events_processed += 1
+            if kind == _DELIVERY:
+                sender, receiver, letter = payload
+                self._state.ports.deliver(receiver, sender, letter)
+            else:
+                node, step = payload
+                self._apply_step(node, step, time)
+                if self.in_output_configuration():
+                    self._output_time = time
+        reached = self._output_time is not None
+        result = self._build_result(reached)
+        if not reached and raise_on_timeout:
+            raise OutputNotReachedError(
+                f"no output configuration within {max_events} events", result
+            )
+        return result
+
+    def _build_result(self, reached: bool) -> ExecutionResult:
+        protocol = self._protocol
+        outputs = {
+            node: protocol.output_value(state)
+            for node, state in enumerate(self._state.states)
+            if protocol.is_output_state(state)
+        }
+        elapsed = self._output_time if reached else self._now
+        time_units = None
+        if elapsed is not None and self._max_parameter > 0:
+            time_units = elapsed / self._max_parameter
+        return ExecutionResult(
+            protocol_name=protocol.name,
+            graph=self._graph,
+            reached_output=reached,
+            final_states=tuple(self._state.states),
+            outputs=outputs,
+            rounds=None,
+            time_units=time_units,
+            elapsed_time=elapsed,
+            total_node_steps=sum(self._state.steps_taken),
+            total_messages=self._messages,
+            seed=self._seed,
+            metadata={
+                "adversary": self._adversary_name,
+                "max_parameter": self._max_parameter,
+            },
+        )
+
+
+def run_asynchronous(
+    graph: Graph,
+    protocol: Protocol,
+    *,
+    adversary: AdversaryPolicy | None = None,
+    seed: int | None = None,
+    adversary_seed: int | None = None,
+    inputs: Mapping[int, Any] | None = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    raise_on_timeout: bool = True,
+    observer: TransitionObserver | None = None,
+) -> ExecutionResult:
+    """Convenience wrapper: build an :class:`AsynchronousEngine` and run it."""
+    engine = AsynchronousEngine(
+        graph,
+        protocol,
+        adversary=adversary,
+        seed=seed,
+        adversary_seed=adversary_seed,
+        inputs=inputs,
+        observer=observer,
+    )
+    return engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)

@@ -1,0 +1,230 @@
+"""Round-based execution of (locally) synchronous protocols.
+
+The synchronous engine provides the "user-friendly" environment of
+Section 3: all nodes advance in lockstep rounds and the letter transmitted by
+a node in round ``t`` is visible in its neighbours' ports from round ``t+1``
+on (synchronisation properties (S1) and (S2) hold trivially).  Both
+:class:`~repro.core.protocol.ExtendedProtocol` instances (multi-letter
+queries) and strict :class:`~repro.core.protocol.Protocol` instances
+(single-letter queries) can be executed.
+
+The engine is used for the large-scale scaling experiments (Theorems 4.5 and
+5.4); the asynchronous engine of :mod:`repro.scheduling.async_engine`
+executes the *compiled* protocols under adversarial timing and is used to
+validate Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+from repro.core.alphabet import Observation, is_epsilon
+from repro.core.errors import ExecutionError, OutputNotReachedError
+from repro.core.network import NetworkState
+from repro.core.protocol import ExtendedProtocol, Protocol, State
+from repro.core.results import ExecutionResult
+from repro.graphs.graph import Graph
+
+RoundObserver = Callable[[int, tuple[State, ...]], None]
+"""Callback invoked after every round with ``(round_index, states)``."""
+
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+class SynchronousEngine:
+    """Executes a protocol in fully synchronous rounds.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.
+    protocol:
+        Either an :class:`ExtendedProtocol` (multi-letter queries) or a strict
+        :class:`Protocol` (single query letter per state).
+    seed:
+        Seed for the protocol's random choices (uniform draws from the option
+        sets of the transition function).
+    inputs:
+        Optional mapping from node to input value, forwarded to
+        ``protocol.initial_state``.
+    observer:
+        Optional callback invoked after every round with the round index and
+        the tuple of node states; used by the tournament / decay analyses.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: ExtendedProtocol | Protocol,
+        *,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        inputs: Mapping[int, Any] | None = None,
+        observer: RoundObserver | None = None,
+    ) -> None:
+        self._graph = graph
+        self._protocol = protocol
+        self._multi_letter = isinstance(protocol, ExtendedProtocol)
+        if not self._multi_letter and not isinstance(protocol, Protocol):
+            raise ExecutionError(
+                f"cannot execute object of type {type(protocol).__name__}"
+            )
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._seed = seed
+        self._observer = observer
+        inputs = dict(inputs or {})
+        initial_states = [
+            protocol.initial_state(inputs.get(node)) for node in graph.nodes
+        ]
+        self._state = NetworkState(graph, initial_states, protocol.initial_letter)
+        self._round = 0
+        self._messages = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def protocol(self) -> ExtendedProtocol | Protocol:
+        return self._protocol
+
+    @property
+    def round_index(self) -> int:
+        """Number of rounds executed so far."""
+        return self._round
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        """Current per-node states."""
+        return tuple(self._state.states)
+
+    def in_output_configuration(self) -> bool:
+        """Whether every node currently resides in an output state."""
+        return all(self._protocol.is_output_state(s) for s in self._state.states)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+    def _decide(self, node: int) -> tuple[State, Any]:
+        """Compute one node's transition from the current port contents."""
+        protocol = self._protocol
+        state = self._state.states[node]
+        ports = self._state.ports.contents(node)
+        if self._multi_letter:
+            observation = Observation.from_port_contents(
+                protocol.alphabet, ports, protocol.bounding
+            )
+            choices = protocol.options(state, observation)
+        else:
+            letter = protocol.query_letter(state)
+            raw = sum(1 for content in ports if content == letter)
+            choices = protocol.options(state, protocol.bounding(raw))
+        choices = protocol.validate_option_set(choices)
+        if len(choices) == 1:
+            chosen = choices[0]
+        else:
+            chosen = choices[self._rng.randrange(len(choices))]
+        return chosen.state, chosen.emit
+
+    def step_round(self) -> None:
+        """Execute one fully synchronous round for all nodes."""
+        decisions = [self._decide(node) for node in self._graph.nodes]
+        emitters = []
+        for node, (new_state, emit) in enumerate(decisions):
+            self._state.states[node] = new_state
+            self._state.steps_taken[node] += 1
+            if not is_epsilon(emit):
+                emitters.append((node, emit))
+        # Deliver after all decisions: round-t messages become visible in
+        # round t+1, as required by synchronisation property (S2).
+        for node, letter in emitters:
+            self._state.ports.broadcast(node, letter)
+            self._messages += 1
+        self._round += 1
+        if self._observer is not None:
+            self._observer(self._round, tuple(self._state.states))
+
+    def run(
+        self,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        *,
+        raise_on_timeout: bool = False,
+    ) -> ExecutionResult:
+        """Run until an output configuration is reached (or *max_rounds*).
+
+        When the bound is hit, the result has ``reached_output=False``; with
+        ``raise_on_timeout=True`` an :class:`OutputNotReachedError` carrying
+        the partial result is raised instead.
+        """
+        while self._round < max_rounds and not self.in_output_configuration():
+            self.step_round()
+        reached = self.in_output_configuration()
+        result = self._build_result(reached)
+        if not reached and raise_on_timeout:
+            raise OutputNotReachedError(
+                f"no output configuration within {max_rounds} rounds", result
+            )
+        return result
+
+    def _build_result(self, reached: bool) -> ExecutionResult:
+        protocol = self._protocol
+        outputs = {
+            node: protocol.output_value(state)
+            for node, state in enumerate(self._state.states)
+            if protocol.is_output_state(state)
+        }
+        return ExecutionResult(
+            protocol_name=protocol.name,
+            graph=self._graph,
+            reached_output=reached,
+            final_states=tuple(self._state.states),
+            outputs=outputs,
+            rounds=self._round,
+            total_node_steps=sum(self._state.steps_taken),
+            total_messages=self._messages,
+            seed=self._seed,
+        )
+
+
+def run_synchronous(
+    graph: Graph,
+    protocol: ExtendedProtocol | Protocol,
+    *,
+    seed: int | None = None,
+    inputs: Mapping[int, Any] | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    observer: RoundObserver | None = None,
+    raise_on_timeout: bool = True,
+) -> ExecutionResult:
+    """Convenience wrapper: build a :class:`SynchronousEngine` and run it."""
+    engine = SynchronousEngine(
+        graph, protocol, seed=seed, inputs=inputs, observer=observer
+    )
+    return engine.run(max_rounds=max_rounds, raise_on_timeout=raise_on_timeout)
+
+
+def repeat_synchronous(
+    graph: Graph,
+    protocol_factory: Callable[[], ExtendedProtocol | Protocol],
+    *,
+    repetitions: int,
+    base_seed: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> Sequence[ExecutionResult]:
+    """Run *repetitions* independent executions with derived seeds."""
+    results = []
+    for repetition in range(repetitions):
+        results.append(
+            run_synchronous(
+                graph,
+                protocol_factory(),
+                seed=base_seed + repetition,
+                max_rounds=max_rounds,
+            )
+        )
+    return results

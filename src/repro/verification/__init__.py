@@ -1,0 +1,27 @@
+"""Solution checkers used by tests, benchmarks and the experiment harness."""
+
+from repro.verification.checkers import (
+    assert_maximal_independent_set,
+    assert_maximal_matching,
+    assert_proper_coloring,
+    colors_used,
+    independent_set_quality,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+)
+
+__all__ = [
+    "assert_maximal_independent_set",
+    "assert_maximal_matching",
+    "assert_proper_coloring",
+    "colors_used",
+    "independent_set_quality",
+    "is_independent_set",
+    "is_matching",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+    "is_proper_coloring",
+]

@@ -1,0 +1,147 @@
+"""Solution checkers for the graph problems studied in the paper.
+
+Every protocol result in the test-suite and in the experiment harness is
+validated through these checkers, so a protocol bug cannot silently inflate
+the reproduction numbers.  Checkers come in two flavours: ``is_*`` predicates
+returning a boolean, and ``assert_*`` helpers raising
+:class:`~repro.core.errors.VerificationError` with a precise explanation
+(used by tests for readable failures).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.errors import VerificationError
+from repro.graphs.graph import Graph
+
+
+# --------------------------------------------------------------------- #
+# Maximal independent set (Section 4)                                    #
+# --------------------------------------------------------------------- #
+def is_independent_set(graph: Graph, nodes: Iterable[int]) -> bool:
+    """Whether no two nodes of *nodes* are adjacent."""
+    selected = set(nodes)
+    return all(not (u in selected and v in selected) for u, v in graph.edges)
+
+
+def is_maximal_independent_set(graph: Graph, nodes: Iterable[int]) -> bool:
+    """Whether *nodes* is independent and no node can be added to it."""
+    selected = set(nodes)
+    if not is_independent_set(graph, selected):
+        return False
+    for node in graph.nodes:
+        if node in selected:
+            continue
+        if not any(neighbour in selected for neighbour in graph.neighbors(node)):
+            return False
+    return True
+
+
+def assert_maximal_independent_set(graph: Graph, nodes: Iterable[int]) -> None:
+    """Raise :class:`VerificationError` unless *nodes* is an MIS of *graph*."""
+    selected = set(nodes)
+    for u, v in graph.edges:
+        if u in selected and v in selected:
+            raise VerificationError(f"nodes {u} and {v} are adjacent and both selected")
+    for node in graph.nodes:
+        if node in selected:
+            continue
+        if not any(neighbour in selected for neighbour in graph.neighbors(node)):
+            raise VerificationError(
+                f"node {node} is not selected and has no selected neighbour "
+                "(set is not maximal)"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Coloring (Section 5)                                                   #
+# --------------------------------------------------------------------- #
+def is_proper_coloring(graph: Graph, colors: Mapping[int, object]) -> bool:
+    """Whether *colors* assigns every node a color and no edge is monochromatic."""
+    if any(node not in colors or colors[node] is None for node in graph.nodes):
+        return False
+    return all(colors[u] != colors[v] for u, v in graph.edges)
+
+
+def assert_proper_coloring(
+    graph: Graph, colors: Mapping[int, object], max_colors: int | None = None
+) -> None:
+    """Raise :class:`VerificationError` unless *colors* is a proper coloring.
+
+    When *max_colors* is given, also checks that at most that many distinct
+    colors are used (e.g. 3 for the tree-coloring protocol of Section 5).
+    """
+    for node in graph.nodes:
+        if node not in colors or colors[node] is None:
+            raise VerificationError(f"node {node} has no color")
+    for u, v in graph.edges:
+        if colors[u] == colors[v]:
+            raise VerificationError(
+                f"edge ({u}, {v}) is monochromatic (color {colors[u]!r})"
+            )
+    if max_colors is not None:
+        used = {colors[node] for node in graph.nodes}
+        if len(used) > max_colors:
+            raise VerificationError(
+                f"{len(used)} colors used, but at most {max_colors} allowed"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Matching                                                               #
+# --------------------------------------------------------------------- #
+def is_matching(graph: Graph, edges: Iterable[tuple[int, int]]) -> bool:
+    """Whether *edges* are graph edges and no two of them share an endpoint."""
+    chosen = [tuple(sorted(edge)) for edge in edges]
+    if len(set(chosen)) != len(chosen):
+        return False
+    endpoints: set[int] = set()
+    for u, v in chosen:
+        if not graph.has_edge(u, v):
+            return False
+        if u in endpoints or v in endpoints:
+            return False
+        endpoints.update((u, v))
+    return True
+
+
+def is_maximal_matching(graph: Graph, edges: Iterable[tuple[int, int]]) -> bool:
+    """Whether *edges* is a matching and no further graph edge can be added."""
+    chosen = [tuple(sorted(edge)) for edge in edges]
+    if not is_matching(graph, chosen):
+        return False
+    matched: set[int] = {endpoint for edge in chosen for endpoint in edge}
+    return all(u in matched or v in matched for u, v in graph.edges)
+
+
+def assert_maximal_matching(graph: Graph, edges: Iterable[tuple[int, int]]) -> None:
+    """Raise :class:`VerificationError` unless *edges* is a maximal matching."""
+    chosen = [tuple(sorted(edge)) for edge in edges]
+    endpoints: set[int] = set()
+    for u, v in chosen:
+        if not graph.has_edge(u, v):
+            raise VerificationError(f"({u}, {v}) is not an edge of the graph")
+        if u in endpoints or v in endpoints:
+            raise VerificationError(f"edge ({u}, {v}) shares an endpoint with the matching")
+        endpoints.update((u, v))
+    for u, v in graph.edges:
+        if u not in endpoints and v not in endpoints:
+            raise VerificationError(
+                f"edge ({u}, {v}) could be added — the matching is not maximal"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Generic helpers                                                        #
+# --------------------------------------------------------------------- #
+def independent_set_quality(graph: Graph, nodes: Iterable[int]) -> float:
+    """Size of the set divided by the number of nodes (1.0 for empty graphs)."""
+    if graph.num_nodes == 0:
+        return 1.0
+    return len(set(nodes)) / graph.num_nodes
+
+
+def colors_used(colors: Mapping[int, object]) -> int:
+    """Number of distinct colors appearing in the assignment."""
+    return len({color for color in colors.values() if color is not None})

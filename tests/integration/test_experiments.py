@@ -1,0 +1,104 @@
+"""Integration tests of the experiment harness (E1–E12).
+
+Each experiment is run with a deliberately small workload so the whole module
+stays fast; the assertions check both that the harness produces a complete
+report and that the paper's qualitative shape holds even at these sizes.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_baseline_comparison,
+    experiment_coloring_decay,
+    experiment_coloring_scaling,
+    experiment_edge_decay,
+    experiment_lba_on_path,
+    experiment_linear_space,
+    experiment_message_budget,
+    experiment_mis_scaling,
+    experiment_model_requirements,
+    experiment_multiquery_overhead,
+    experiment_synchronizer_overhead,
+    experiment_tournaments,
+)
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_are_registered(self):
+        expected = {f"E{i}" for i in range(1, 13)} | {"A1", "A2"}
+        assert set(ALL_EXPERIMENTS) == expected
+
+
+class TestScalingExperiments:
+    def test_e1_mis_scaling(self):
+        report = experiment_mis_scaling(sizes=[16, 32, 64, 128], repetitions=2)
+        assert report.rows
+        assert report.passed is True
+
+    def test_e2_coloring_scaling(self):
+        report = experiment_coloring_scaling(sizes=[16, 32, 64, 128], repetitions=2)
+        assert report.rows
+        assert report.passed is True
+
+
+class TestCompilerExperiments:
+    def test_e3_synchronizer_overhead(self):
+        report = experiment_synchronizer_overhead(sizes=(6, 8))
+        assert report.rows
+        assert report.passed is True
+
+    def test_e4_multiquery_overhead(self):
+        report = experiment_multiquery_overhead(sizes=(16, 24))
+        assert report.passed is True
+
+
+class TestAutomataExperiments:
+    def test_e5_linear_space(self):
+        report = experiment_linear_space(sizes=(16, 48))
+        assert report.passed is True
+
+    def test_e6_lba_on_path(self):
+        report = experiment_lba_on_path(word_lengths=(0, 2, 4))
+        assert report.passed is True
+
+
+class TestStructuralExperiments:
+    def test_e7_tournaments(self):
+        report = experiment_tournaments(sizes=(24,))
+        assert report.passed is True
+
+    def test_e8_edge_decay(self):
+        report = experiment_edge_decay(sizes=(48,), repetitions=2)
+        assert report.passed is True
+
+    def test_e9_coloring_decay(self):
+        report = experiment_coloring_decay(sizes=(48,), repetitions=2)
+        assert report.passed is True
+
+
+class TestComparisonExperiments:
+    def test_e10_baseline_comparison(self):
+        report = experiment_baseline_comparison(sizes=(48,))
+        assert report.passed is True
+
+    def test_e11_message_budget(self):
+        report = experiment_message_budget(sizes=(48, 96))
+        assert report.passed is True
+
+    def test_e12_model_requirements(self):
+        report = experiment_model_requirements()
+        assert report.passed is True
+        assert len(report.rows) >= 6
+
+
+class TestReportRendering:
+    @pytest.mark.parametrize("factory, kwargs", [
+        (experiment_model_requirements, {}),
+        (experiment_lba_on_path, {"word_lengths": (0, 2)}),
+    ])
+    def test_reports_render_to_text(self, factory, kwargs):
+        report = factory(**kwargs)
+        text = report.render()
+        assert report.experiment_id in text
+        assert "paper claim" in text

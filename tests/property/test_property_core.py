@@ -1,0 +1,122 @@
+"""Property-based tests for the core data structures (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import Alphabet, BoundingParameter, Observation
+from repro.core.network import PortTable
+from repro.graphs.graph import Graph
+
+bounding_params = st.integers(min_value=1, max_value=6).map(BoundingParameter)
+
+
+class TestOneTwoManyCounting:
+    @given(b=st.integers(1, 8), x=st.integers(0, 100))
+    def test_saturation_is_idempotent(self, b, x):
+        f = BoundingParameter(b)
+        assert f(f(x)) == f(x)
+
+    @given(b=st.integers(1, 8), x=st.integers(0, 100), y=st.integers(0, 100))
+    def test_saturating_add_matches_the_paper_identity(self, b, x, y):
+        """f_b(x + y) = min(f_b(x) + f_b(y), b) — the identity Section 3.1 uses."""
+        f = BoundingParameter(b)
+        assert f.saturating_add(x, y) == f(x + y)
+
+    @given(b=st.integers(1, 8), xs=st.lists(st.integers(0, 20), min_size=1, max_size=10))
+    def test_saturated_folding_is_order_independent(self, b, xs):
+        f = BoundingParameter(b)
+        total = 0
+        for x in xs:
+            total = min(total + f(x), b)
+        assert total == f(sum(xs))
+
+    @given(b=st.integers(1, 8), x=st.integers(0, 100), y=st.integers(0, 100))
+    def test_monotonicity(self, b, x, y):
+        f = BoundingParameter(b)
+        if x <= y:
+            assert f(x) <= f(y)
+
+
+class TestObservations:
+    @given(
+        counts=st.lists(st.integers(0, 30), min_size=1, max_size=6),
+        b=st.integers(1, 5),
+    )
+    def test_port_contents_roundtrip(self, counts, b):
+        """Building an observation from explicit port contents matches the counts."""
+        letters = [f"L{i}" for i in range(len(counts))]
+        alphabet = Alphabet(letters)
+        bounding = BoundingParameter(b)
+        ports = [letter for letter, count in zip(letters, counts) for _ in range(count)]
+        observation = Observation.from_port_contents(alphabet, ports, bounding)
+        for letter, count in zip(letters, counts):
+            assert observation[letter] == bounding(count)
+
+    @given(counts=st.lists(st.integers(0, 5), min_size=2, max_size=6))
+    def test_as_tuple_is_stable_and_hashable(self, counts):
+        alphabet = Alphabet([f"L{i}" for i in range(len(counts))])
+        observation = Observation(alphabet, counts)
+        assert hash(observation) == hash(Observation(alphabet, counts))
+        assert observation.as_tuple() == tuple(counts)
+
+
+@st.composite
+def graphs(draw, max_nodes=12):
+    n = draw(st.integers(1, max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible)) if possible else st.just([]))
+    return Graph(n, edges)
+
+
+class TestPortTableProperties:
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=40)
+    def test_port_always_holds_the_last_delivered_letter(self, graph, data):
+        ports = PortTable(graph, initial_letter="init")
+        letters = ["a", "b", "c"]
+        last_delivery: dict[tuple[int, int], str] = {}
+        deliveries = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, graph.num_nodes - 1), st.sampled_from(letters)),
+                max_size=30,
+            )
+        )
+        for sender, letter in deliveries:
+            neighbours = graph.neighbors(sender)
+            if not neighbours:
+                continue
+            ports.broadcast(sender, letter)
+            for receiver in neighbours:
+                last_delivery[(receiver, sender)] = letter
+        for node in graph.nodes:
+            for neighbour in graph.neighbors(node):
+                expected = last_delivery.get((node, neighbour), "init")
+                assert ports.get(node, neighbour) == expected
+
+    @given(graph=graphs())
+    @settings(max_examples=30)
+    def test_snapshot_shape_matches_degrees(self, graph):
+        ports = PortTable(graph, initial_letter="x")
+        snapshot = ports.snapshot()
+        assert len(snapshot) == graph.num_nodes
+        for node in graph.nodes:
+            assert len(snapshot[node]) == graph.degree(node)
+
+
+class TestGraphProperties:
+    @given(graph=graphs())
+    @settings(max_examples=50)
+    def test_handshake_lemma(self, graph):
+        assert sum(graph.degree(v) for v in graph.nodes) == 2 * graph.num_edges
+
+    @given(graph=graphs())
+    @settings(max_examples=50)
+    def test_line_graph_node_count_equals_edge_count(self, graph):
+        line, edge_of_node = graph.line_graph()
+        assert line.num_nodes == graph.num_edges
+        assert len(edge_of_node) == graph.num_edges
+
+    @given(graph=graphs())
+    @settings(max_examples=50)
+    def test_subgraph_of_all_nodes_is_the_graph_itself(self, graph):
+        assert graph.subgraph(graph.nodes) == graph

@@ -1,0 +1,119 @@
+"""Unit tests for the adversarial timing policies."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.graphs import complete_graph, star_graph
+from repro.scheduling.adversary import (
+    BurstyAdversary,
+    ExponentialAdversary,
+    SkewedRatesAdversary,
+    SynchronousAdversary,
+    TargetedLaggardAdversary,
+    UniformRandomAdversary,
+    default_adversary_suite,
+)
+
+
+@pytest.mark.parametrize("policy", default_adversary_suite(), ids=lambda p: p.name)
+class TestEveryPolicy:
+    def test_all_parameters_are_positive_and_finite(self, policy):
+        graph = complete_graph(6)
+        schedule = policy.start(graph, random.Random(1))
+        for node in graph.nodes:
+            for step in range(1, 20):
+                length = schedule.step_length(node, step)
+                assert 0 < length < float("inf")
+                for neighbour in graph.neighbors(node):
+                    delay = schedule.delivery_delay(node, step, neighbour)
+                    assert 0 < delay < float("inf")
+
+    def test_policy_repr_mentions_its_name(self, policy):
+        assert policy.name in repr(policy)
+
+
+class TestSynchronousAdversary:
+    def test_everything_is_one_time_unit(self):
+        schedule = SynchronousAdversary().start(complete_graph(3), random.Random(0))
+        assert schedule.step_length(0, 1) == 1.0
+        assert schedule.delivery_delay(0, 1, 1) == 1.0
+
+
+class TestUniformRandomAdversary:
+    def test_values_respect_bounds(self):
+        policy = UniformRandomAdversary(low=2.0, high=3.0)
+        schedule = policy.start(complete_graph(4), random.Random(7))
+        samples = [schedule.step_length(0, t) for t in range(50)]
+        assert all(2.0 <= value <= 3.0 for value in samples)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ExecutionError):
+            UniformRandomAdversary(low=0.0, high=1.0)
+        with pytest.raises(ExecutionError):
+            UniformRandomAdversary(low=3.0, high=1.0)
+
+
+class TestExponentialAdversary:
+    def test_floor_keeps_values_positive(self):
+        policy = ExponentialAdversary(mean_step=0.01, floor=0.5)
+        schedule = policy.start(complete_graph(3), random.Random(3))
+        assert all(schedule.step_length(0, t) >= 0.5 for t in range(30))
+
+
+class TestSkewedRatesAdversary:
+    def test_slow_nodes_are_actually_slower(self):
+        policy = SkewedRatesAdversary(slow_fraction=0.5, slow_factor=20.0)
+        graph = complete_graph(30)
+        schedule = policy.start(graph, random.Random(5))
+        means = []
+        for node in graph.nodes:
+            samples = [schedule.step_length(node, t) for t in range(30)]
+            means.append(sum(samples) / len(samples))
+        assert max(means) > 5 * min(means)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ExecutionError):
+            SkewedRatesAdversary(slow_fraction=2.0)
+        with pytest.raises(ExecutionError):
+            SkewedRatesAdversary(slow_factor=0.5)
+
+
+class TestBurstyAdversary:
+    def test_period_validation(self):
+        with pytest.raises(ExecutionError):
+            BurstyAdversary(period=0)
+
+    def test_alternation_produces_both_regimes(self):
+        policy = BurstyAdversary(period=4, slow_factor=10.0)
+        schedule = policy.start(complete_graph(2), random.Random(2))
+        samples = [schedule.step_length(0, t) for t in range(40)]
+        assert max(samples) > 4 * min(samples)
+
+
+class TestTargetedLaggardAdversary:
+    def test_victims_are_the_highest_degree_nodes(self):
+        policy = TargetedLaggardAdversary(num_victims=1, slow_factor=50.0)
+        star = star_graph(8)
+        schedule = policy.start(star, random.Random(9))
+        centre_mean = sum(schedule.step_length(0, t) for t in range(20)) / 20
+        leaf_mean = sum(schedule.step_length(3, t) for t in range(20)) / 20
+        assert centre_mean > 10 * leaf_mean
+
+    def test_needs_at_least_one_victim(self):
+        with pytest.raises(ExecutionError):
+            TargetedLaggardAdversary(num_victims=0)
+
+
+class TestSuite:
+    def test_default_suite_contains_all_six_policies(self):
+        names = {policy.name for policy in default_adversary_suite()}
+        assert names == {
+            "synchronous",
+            "uniform",
+            "exponential",
+            "skewed-rates",
+            "bursty",
+            "targeted-laggard",
+        }

@@ -1,0 +1,164 @@
+"""Unit tests for letters, alphabets and one-two-many counting."""
+
+import pytest
+
+from repro.core.alphabet import (
+    EPSILON,
+    Alphabet,
+    BoundingParameter,
+    Observation,
+    is_epsilon,
+)
+from repro.core.errors import ProtocolSpecificationError
+
+
+class TestEpsilon:
+    def test_epsilon_is_singleton(self):
+        from repro.core.alphabet import _EpsilonType
+
+        assert _EpsilonType() is EPSILON
+
+    def test_is_epsilon_recognises_the_marker(self):
+        assert is_epsilon(EPSILON)
+
+    def test_is_epsilon_rejects_ordinary_values(self):
+        assert not is_epsilon("TOKEN")
+        assert not is_epsilon(None)
+        assert not is_epsilon(0)
+
+    def test_epsilon_repr(self):
+        assert repr(EPSILON) == "ε"
+
+
+class TestBoundingParameter:
+    def test_counts_below_b_are_exact(self):
+        f3 = BoundingParameter(3)
+        assert [f3(x) for x in range(3)] == [0, 1, 2]
+
+    def test_counts_at_or_above_b_saturate(self):
+        f3 = BoundingParameter(3)
+        assert f3(3) == 3
+        assert f3(100) == 3
+
+    def test_b_equal_one_only_distinguishes_zero_from_positive(self):
+        f1 = BoundingParameter(1)
+        assert f1(0) == 0
+        assert f1(1) == 1
+        assert f1(7) == 1
+
+    def test_symbols_enumerate_b_plus_one_values(self):
+        assert BoundingParameter(2).symbols == (0, 1, 2)
+
+    def test_saturating_add_matches_paper_identity(self):
+        f2 = BoundingParameter(2)
+        for x in range(5):
+            for y in range(5):
+                assert f2.saturating_add(x, y) == f2(x + y)
+
+    def test_is_saturated(self):
+        f2 = BoundingParameter(2)
+        assert not f2.is_saturated(1)
+        assert f2.is_saturated(2)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingParameter(2)(-1)
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, True])
+    def test_invalid_bounding_parameter_rejected(self, bad):
+        with pytest.raises(ProtocolSpecificationError):
+            BoundingParameter(bad)
+
+    def test_equality_and_hash(self):
+        assert BoundingParameter(2) == BoundingParameter(2)
+        assert BoundingParameter(2) != BoundingParameter(3)
+        assert hash(BoundingParameter(2)) == hash(BoundingParameter(2))
+
+
+class TestAlphabet:
+    def test_letters_keep_their_order(self):
+        alphabet = Alphabet(["B", "A", "C"])
+        assert alphabet.letters == ("B", "A", "C")
+        assert alphabet.index("A") == 1
+
+    def test_membership_and_length(self):
+        alphabet = Alphabet(["x", "y"])
+        assert "x" in alphabet
+        assert "z" not in alphabet
+        assert len(alphabet) == 2
+
+    def test_unhashable_membership_query_is_false(self):
+        assert ["x"] not in Alphabet(["x"])
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(ProtocolSpecificationError):
+            Alphabet(["a", "a"])
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ProtocolSpecificationError):
+            Alphabet([])
+
+    def test_epsilon_cannot_be_a_letter(self):
+        with pytest.raises(ProtocolSpecificationError):
+            Alphabet(["a", EPSILON])
+
+    def test_tuple_letters_are_supported(self):
+        alphabet = Alphabet([("a", 0), ("a", 1)])
+        assert alphabet.index(("a", 1)) == 1
+
+    def test_equality(self):
+        assert Alphabet(["a", "b"]) == Alphabet(["a", "b"])
+        assert Alphabet(["a", "b"]) != Alphabet(["b", "a"])
+
+
+class TestObservation:
+    def setup_method(self):
+        self.alphabet = Alphabet(["a", "b", "c"])
+
+    def test_from_mapping(self):
+        observation = Observation(self.alphabet, {"a": 1, "c": 2})
+        assert observation.as_tuple() == (1, 0, 2)
+
+    def test_from_sequence(self):
+        observation = Observation(self.alphabet, [0, 1, 2])
+        assert observation["b"] == 1
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Observation(self.alphabet, [1, 2])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Observation(self.alphabet, [0, -1, 0])
+
+    def test_count_of_foreign_letter_is_zero(self):
+        observation = Observation(self.alphabet, [1, 1, 1])
+        assert observation.count("zzz") == 0
+
+    def test_from_port_contents_saturates(self):
+        bounding = BoundingParameter(2)
+        ports = ["a", "a", "a", "b"]
+        observation = Observation.from_port_contents(self.alphabet, ports, bounding)
+        assert observation["a"] == 2  # saturated
+        assert observation["b"] == 1
+        assert observation["c"] == 0
+
+    def test_from_port_contents_ignores_foreign_letters(self):
+        bounding = BoundingParameter(3)
+        observation = Observation.from_port_contents(self.alphabet, ["a", "zzz"], bounding)
+        assert observation.as_tuple() == (1, 0, 0)
+
+    def test_total_sums_counts(self):
+        observation = Observation(self.alphabet, [1, 2, 3])
+        assert observation.total(["a", "c"]) == 4
+
+    def test_mapping_interface(self):
+        observation = Observation(self.alphabet, [1, 0, 2])
+        assert dict(observation) == {"a": 1, "b": 0, "c": 2}
+        assert len(observation) == 3
+
+    def test_equality_and_hash(self):
+        first = Observation(self.alphabet, [1, 0, 2])
+        second = Observation(self.alphabet, {"a": 1, "c": 2})
+        assert first == second
+        assert hash(first) == hash(second)

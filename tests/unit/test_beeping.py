@@ -1,0 +1,103 @@
+"""Unit tests for the beeping substrate and the SOP-selection MIS."""
+
+import pytest
+
+from repro.baselines.beeping import (
+    BeepingAlgorithm,
+    BeepingEngine,
+    SOPSelectionMIS,
+    sop_selection_mis,
+)
+from repro.core.errors import OutputNotReachedError
+from repro.graphs import complete_graph, cycle_graph, gnp_random_graph, star_graph
+from repro.verification import is_maximal_independent_set
+
+
+class _BeepOnce(BeepingAlgorithm):
+    """Everyone beeps in round 0 and outputs whether it heard a neighbour."""
+
+    name = "beep-once"
+
+    def initialize(self, node, degree, num_nodes, rng):
+        return {}
+
+    def beeps(self, node, state, round_index, rng):
+        return round_index == 0
+
+    def listen(self, node, state, heard_beep, own_beep, round_index, rng):
+        return state, heard_beep
+
+
+class TestBeepingEngine:
+    def test_listeners_only_learn_whether_someone_beeped(self):
+        graph = star_graph(3)
+        result = BeepingEngine(graph, _BeepOnce(), seed=1).run()
+        # Everybody has a neighbour in a star, so everybody heard a beep.
+        assert all(result.outputs.values())
+        assert result.rounds == 1
+        assert result.total_beeps == graph.num_nodes
+
+    def test_isolated_nodes_hear_silence(self):
+        from repro.graphs import empty_graph
+
+        result = BeepingEngine(empty_graph(3), _BeepOnce(), seed=1).run()
+        assert not any(result.outputs.values())
+
+    def test_round_budget_raises(self):
+        class Silent(BeepingAlgorithm):
+            name = "silent"
+
+            def initialize(self, node, degree, num_nodes, rng):
+                return {}
+
+            def beeps(self, node, state, round_index, rng):
+                return False
+
+            def listen(self, node, state, heard_beep, own_beep, round_index, rng):
+                return state, None
+
+        with pytest.raises(OutputNotReachedError):
+            BeepingEngine(star_graph(2), Silent(), seed=1).run(max_rounds=4)
+
+    def test_round_index_accessor(self):
+        engine = BeepingEngine(star_graph(2), _BeepOnce(), seed=1)
+        engine.step_round()
+        assert engine.round_index == 1
+
+
+class TestSOPSelection:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_result_is_a_maximal_independent_set(self, seed):
+        graph = gnp_random_graph(50, 0.12, seed=seed)
+        winners, result = sop_selection_mis(graph, seed=seed)
+        assert result.reached_output
+        assert is_maximal_independent_set(graph, winners)
+
+    def test_on_a_clique_exactly_one_winner(self):
+        winners, _ = sop_selection_mis(complete_graph(12), seed=3)
+        assert len(winners) == 1
+
+    def test_on_a_cycle(self):
+        graph = cycle_graph(21)
+        winners, _ = sop_selection_mis(graph, seed=4)
+        assert is_maximal_independent_set(graph, winners)
+
+    def test_probability_ramp_is_capped_at_one_half(self):
+        algorithm = SOPSelectionMIS()
+        state = algorithm.initialize(0, 3, 1024, rng=None)
+        assert algorithm._probability(state, 0) == pytest.approx(1 / 1024)
+        assert algorithm._probability(state, 10_000) == pytest.approx(0.5)
+
+    def test_phase_structure_two_rounds(self):
+        # Candidacy happens on even rounds, victory announcements on odd ones.
+        import random
+
+        algorithm = SOPSelectionMIS()
+        state = algorithm.initialize(0, 0, 2, random.Random(1))
+        rng = random.Random(1)
+        algorithm.beeps(0, state, 0, rng)
+        new_state, output = algorithm.listen(0, state, heard_beep=False, own_beep=state["candidate"], round_index=0, rng=rng)
+        assert output is None
+        if new_state["victorious"]:
+            _, output = algorithm.listen(0, new_state, False, True, 1, rng)
+            assert output is True

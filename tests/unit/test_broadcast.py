@@ -1,0 +1,65 @@
+"""Unit tests for the broadcast protocol."""
+
+import pytest
+
+from repro.core.alphabet import EPSILON
+from repro.protocols.broadcast import (
+    IDLE,
+    INFORMED,
+    SOURCE,
+    TOKEN,
+    BroadcastProtocol,
+    broadcast_inputs,
+)
+
+
+class TestBroadcastProtocol:
+    def setup_method(self):
+        self.protocol = BroadcastProtocol()
+
+    def test_initial_states_follow_the_input(self):
+        assert self.protocol.initial_state(None) == IDLE
+        assert self.protocol.initial_state("source") == SOURCE
+        assert self.protocol.initial_state(True) == SOURCE
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ValueError):
+            self.protocol.initial_state("boss")
+
+    def test_source_fires_unconditionally(self):
+        for count in (0, 1):
+            (choice,) = self.protocol.options(SOURCE, count)
+            assert choice.state == INFORMED
+            assert choice.emit == TOKEN
+
+    def test_idle_waits_for_the_token(self):
+        (stay,) = self.protocol.options(IDLE, 0)
+        assert stay.state == IDLE
+        assert stay.emit is EPSILON or not stay.transmits()
+        (fire,) = self.protocol.options(IDLE, 1)
+        assert fire.state == INFORMED
+        assert fire.emit == TOKEN
+
+    def test_informed_is_a_silent_sink(self):
+        (choice,) = self.protocol.options(INFORMED, 1)
+        assert choice.state == INFORMED
+        assert not choice.transmits()
+
+    def test_every_state_queries_the_token(self):
+        for state in self.protocol.states():
+            assert self.protocol.query_letter(state) == TOKEN
+
+    def test_output_decoding(self):
+        assert self.protocol.is_output_state(INFORMED)
+        assert not self.protocol.is_output_state(IDLE)
+        assert self.protocol.output_value(INFORMED) is True
+        assert self.protocol.output_value(IDLE) is False
+
+    def test_census_is_tiny_and_constant(self):
+        census = self.protocol.census()
+        assert census.num_states == 3
+        assert census.alphabet_size == 2
+        assert census.bounding == 1
+
+    def test_broadcast_inputs_helper(self):
+        assert broadcast_inputs(3) == {3: "source"}

@@ -1,0 +1,113 @@
+"""Unit tests for the centralized reference algorithms."""
+
+import pytest
+
+from repro.baselines.centralized import (
+    greedy_coloring,
+    greedy_maximal_matching,
+    greedy_mis,
+    maximum_independent_set_exact,
+    random_order_mis,
+    two_color_tree,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.verification import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+)
+
+
+class TestGreedyMIS:
+    def test_on_a_path_default_order(self):
+        assert greedy_mis(path_graph(5)) == {0, 2, 4}
+
+    def test_respects_custom_order(self):
+        assert greedy_mis(path_graph(5), order=[1, 3, 0, 2, 4]) == {1, 3}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_order_mis_is_maximal(self, seed):
+        graph = gnp_random_graph(40, 0.15, seed=seed)
+        assert is_maximal_independent_set(graph, random_order_mis(graph, seed=seed))
+
+    def test_clique_gives_a_single_node(self):
+        assert len(greedy_mis(complete_graph(7))) == 1
+
+
+class TestGreedyColoring:
+    def test_path_uses_two_colors(self):
+        colors = greedy_coloring(path_graph(6))
+        assert is_proper_coloring(path_graph(6), colors)
+        assert max(colors.values()) <= 2
+
+    def test_clique_uses_n_colors(self):
+        colors = greedy_coloring(complete_graph(5))
+        assert len(set(colors.values())) == 5
+
+    def test_at_most_delta_plus_one_colors(self):
+        graph = gnp_random_graph(50, 0.2, seed=2)
+        colors = greedy_coloring(graph)
+        assert is_proper_coloring(graph, colors)
+        assert max(colors.values()) <= graph.max_degree() + 1
+
+
+class TestTwoColoring:
+    @pytest.mark.parametrize("n", [2, 17, 64])
+    def test_trees_get_two_colors(self, n):
+        tree = random_tree(n, seed=n)
+        colors = two_color_tree(tree)
+        assert is_proper_coloring(tree, colors)
+        assert set(colors.values()) <= {1, 2}
+
+    def test_forest_support(self):
+        forest = Graph(5, [(0, 1), (2, 3)])
+        colors = two_color_tree(forest)
+        assert is_proper_coloring(forest, colors)
+
+
+class TestGreedyMatching:
+    def test_path_matching(self):
+        matching = greedy_maximal_matching(path_graph(6))
+        assert is_maximal_matching(path_graph(6), matching)
+        assert len(matching) == 3
+
+    def test_star_matching_has_one_edge(self):
+        assert len(greedy_maximal_matching(star_graph(5))) == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        graph = gnp_random_graph(30, 0.2, seed=seed)
+        assert is_maximal_matching(graph, greedy_maximal_matching(graph))
+
+
+class TestExactMIS:
+    def test_cycle_optimum(self):
+        assert len(maximum_independent_set_exact(cycle_graph(6))) == 3
+        assert len(maximum_independent_set_exact(cycle_graph(7))) == 3
+
+    def test_star_optimum_is_the_leaves(self):
+        best = maximum_independent_set_exact(star_graph(6))
+        assert best == set(range(1, 7))
+
+    def test_result_is_independent(self):
+        graph = gnp_random_graph(16, 0.3, seed=4)
+        best = maximum_independent_set_exact(graph)
+        assert is_maximal_independent_set(graph, best) or all(
+            not graph.has_edge(u, v) for u in best for v in best if u != v
+        )
+
+    def test_large_graphs_are_refused(self):
+        with pytest.raises(ValueError):
+            maximum_independent_set_exact(gnp_random_graph(40, 0.1, seed=1))
+
+    def test_exact_is_at_least_as_large_as_greedy(self):
+        graph = gnp_random_graph(18, 0.25, seed=6)
+        assert len(maximum_independent_set_exact(graph)) >= len(greedy_mis(graph))

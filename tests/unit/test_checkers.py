@@ -1,0 +1,115 @@
+"""Unit tests for the solution checkers."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.verification import (
+    assert_maximal_independent_set,
+    assert_maximal_matching,
+    assert_proper_coloring,
+    colors_used,
+    independent_set_quality,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+)
+
+
+class TestIndependentSetCheckers:
+    def setup_method(self):
+        self.path = path_graph(5)
+
+    def test_is_independent_set(self):
+        assert is_independent_set(self.path, {0, 2, 4})
+        assert not is_independent_set(self.path, {0, 1})
+        assert is_independent_set(self.path, set())
+
+    def test_is_maximal_independent_set(self):
+        assert is_maximal_independent_set(self.path, {0, 2, 4})
+        assert is_maximal_independent_set(self.path, {1, 3})
+        assert not is_maximal_independent_set(self.path, {0, 2})   # 4 could join
+        assert not is_maximal_independent_set(self.path, {0, 1, 3})  # not independent
+
+    def test_assert_maximal_passes_on_valid_input(self):
+        assert_maximal_independent_set(self.path, {1, 3})
+
+    def test_assert_flags_adjacent_pair(self):
+        with pytest.raises(VerificationError, match="adjacent"):
+            assert_maximal_independent_set(self.path, {0, 1, 3})
+
+    def test_assert_flags_missing_maximality(self):
+        with pytest.raises(VerificationError, match="maximal"):
+            assert_maximal_independent_set(self.path, {0})
+
+    def test_quality_measure(self):
+        assert independent_set_quality(self.path, {0, 2, 4}) == pytest.approx(0.6)
+        from repro.graphs import Graph
+
+        assert independent_set_quality(Graph(0, []), set()) == 1.0
+
+
+class TestColoringCheckers:
+    def setup_method(self):
+        self.cycle = cycle_graph(4)
+
+    def test_is_proper_coloring(self):
+        assert is_proper_coloring(self.cycle, {0: 1, 1: 2, 2: 1, 3: 2})
+        assert not is_proper_coloring(self.cycle, {0: 1, 1: 1, 2: 2, 3: 2})
+
+    def test_missing_color_fails(self):
+        assert not is_proper_coloring(self.cycle, {0: 1, 1: 2, 2: 1})
+        assert not is_proper_coloring(self.cycle, {0: 1, 1: 2, 2: 1, 3: None})
+
+    def test_assert_proper_coloring_passes(self):
+        assert_proper_coloring(self.cycle, {0: 1, 1: 2, 2: 1, 3: 2}, max_colors=2)
+
+    def test_assert_flags_monochromatic_edge(self):
+        with pytest.raises(VerificationError, match="monochromatic"):
+            assert_proper_coloring(self.cycle, {0: 1, 1: 1, 2: 2, 3: 2})
+
+    def test_assert_flags_uncolored_node(self):
+        with pytest.raises(VerificationError, match="no color"):
+            assert_proper_coloring(self.cycle, {0: 1, 1: 2, 2: 1})
+
+    def test_assert_flags_too_many_colors(self):
+        with pytest.raises(VerificationError, match="colors used"):
+            assert_proper_coloring(path_graph(4), {0: 1, 1: 2, 2: 3, 3: 4}, max_colors=3)
+
+    def test_colors_used(self):
+        assert colors_used({0: 1, 1: 2, 2: 1, 3: None}) == 2
+
+
+class TestMatchingCheckers:
+    def setup_method(self):
+        self.star = star_graph(4)
+        self.path = path_graph(6)
+
+    def test_is_matching(self):
+        assert is_matching(self.path, [(0, 1), (2, 3)])
+        assert not is_matching(self.path, [(0, 1), (1, 2)])       # shares node 1
+        assert not is_matching(self.path, [(0, 2)])               # not an edge
+        assert not is_matching(self.path, [(0, 1), (1, 0)])       # duplicate edge
+        assert is_matching(self.path, [])
+
+    def test_is_maximal_matching(self):
+        assert is_maximal_matching(self.path, [(0, 1), (2, 3), (4, 5)])
+        assert not is_maximal_matching(self.path, [(0, 1), (2, 3)])  # (4,5) addable
+        assert is_maximal_matching(self.star, [(0, 2)])
+
+    def test_assert_maximal_matching_passes(self):
+        assert_maximal_matching(self.star, [(0, 1)])
+
+    def test_assert_flags_non_edges(self):
+        with pytest.raises(VerificationError, match="not an edge"):
+            assert_maximal_matching(self.star, [(1, 2)])
+
+    def test_assert_flags_shared_endpoints(self):
+        with pytest.raises(VerificationError, match="shares an endpoint"):
+            assert_maximal_matching(self.path, [(0, 1), (1, 2)])
+
+    def test_assert_flags_missing_maximality(self):
+        with pytest.raises(VerificationError, match="not maximal"):
+            assert_maximal_matching(self.path, [(2, 3)])

@@ -1,0 +1,96 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_every_subcommand_is_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("mis", "color", "matching", "broadcast", "lba", "experiment", "census"):
+            assert command in text
+
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestProtocolCommands:
+    def test_mis_synchronous(self, capsys):
+        exit_code = main(["mis", "--nodes", "32", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "maximal independent set" in output
+        assert "valid" in output and "True" in output
+
+    def test_mis_asynchronous_with_adversary(self, capsys):
+        exit_code = main([
+            "mis", "--nodes", "8", "--family", "gnp_dense", "--seed", "2",
+            "--asynchronous", "--adversary", "skewed-rates",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "asynchronous" in output
+
+    def test_mis_json_output(self, capsys):
+        exit_code = main(["mis", "--nodes", "16", "--seed", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["valid"] is True
+
+    def test_color_command(self, capsys):
+        exit_code = main(["color", "--nodes", "40", "--seed", "5"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "3-coloring" in output
+
+    def test_matching_command(self, capsys):
+        exit_code = main(["matching", "--nodes", "24", "--seed", "6"])
+        assert exit_code == 0
+        assert "matching size" in capsys.readouterr().out
+
+    def test_broadcast_command(self, capsys):
+        exit_code = main(["broadcast", "--nodes", "20", "--seed", "7", "--source", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "informed nodes" in output
+
+
+class TestLBACommand:
+    def test_palindrome_word(self, capsys):
+        exit_code = main(["lba", "--language", "palindromes", "--word", "abba"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "agrees" in output
+
+    def test_empty_word(self, capsys):
+        exit_code = main(["lba", "--language", "parity", "--word", ""])
+        assert exit_code == 0
+
+    def test_bad_symbols_are_rejected(self, capsys):
+        exit_code = main(["lba", "--language", "parity", "--word", "abc"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not in the alphabet" in captured.err
+
+
+class TestExperimentCommands:
+    def test_quick_experiment(self, capsys):
+        exit_code = main(["experiment", "E12", "--quick"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "E12" in output and "shape holds : yes" in output
+
+    def test_quick_e4(self, capsys):
+        exit_code = main(["experiment", "E4", "--quick"])
+        assert exit_code == 0
+
+    def test_census_command(self, capsys):
+        exit_code = main(["census"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stone-age-mis" in output

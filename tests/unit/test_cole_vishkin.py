@@ -1,0 +1,87 @@
+"""Unit tests for the Cole–Vishkin baseline."""
+
+import pytest
+
+from repro.baselines.cole_vishkin import (
+    cole_vishkin_3_coloring,
+    root_tree,
+    tree_depth,
+    _lowest_differing_bit,
+)
+from repro.core.errors import VerificationError
+from repro.graphs import (
+    Graph,
+    binary_tree,
+    caterpillar_graph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.verification import is_proper_coloring
+
+
+class TestRooting:
+    def test_root_tree_parents(self):
+        parents = root_tree(path_graph(4), root=0)
+        assert parents[0] is None
+        assert parents[1] == 0
+        assert parents[3] == 2
+
+    def test_forest_gets_one_root_per_component(self):
+        forest = Graph(4, [(0, 1), (2, 3)])
+        parents = root_tree(forest, root=0)
+        assert parents.count(None) == 2
+
+    def test_tree_depth(self):
+        assert tree_depth(path_graph(5), root=0) == 4
+        assert tree_depth(star_graph(6), root=0) == 1
+
+
+class TestBitTricks:
+    @pytest.mark.parametrize("a, b, expected", [
+        (0b1010, 0b1000, 1),
+        (0b1010, 0b1011, 0),
+        (5, 1, 2),
+    ])
+    def test_lowest_differing_bit(self, a, b, expected):
+        assert _lowest_differing_bit(a, b) == expected
+
+
+class TestColoring:
+    @pytest.mark.parametrize("tree_builder", [
+        lambda: path_graph(50),
+        lambda: star_graph(40),
+        lambda: binary_tree(63),
+        lambda: caterpillar_graph(10, 3),
+        lambda: random_tree(200, seed=3),
+        lambda: random_tree(500, seed=9),
+    ])
+    def test_produces_a_proper_3_coloring(self, tree_builder):
+        tree = tree_builder()
+        result = cole_vishkin_3_coloring(tree)
+        assert is_proper_coloring(tree, result.colors)
+        assert set(result.colors.values()) <= {0, 1, 2}
+
+    def test_single_node_tree(self):
+        result = cole_vishkin_3_coloring(Graph(1, []))
+        assert result.colors == {0: 0}
+
+    def test_empty_graph(self):
+        result = cole_vishkin_3_coloring(Graph(0, []))
+        assert result.colors == {}
+
+    def test_forest_input_is_supported(self):
+        forest = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        result = cole_vishkin_3_coloring(forest)
+        assert is_proper_coloring(forest, result.colors)
+
+    def test_cycles_are_rejected(self):
+        with pytest.raises(VerificationError):
+            cole_vishkin_3_coloring(cycle_graph(5))
+
+    def test_round_count_is_tiny_even_for_large_trees(self):
+        result = cole_vishkin_3_coloring(random_tree(4000, seed=1))
+        # O(log* n) reduction plus six shift-down rounds.
+        assert result.rounds <= 20
+        assert result.shift_down_phases == 3

@@ -1,0 +1,209 @@
+"""Unit tests for the tree 3-coloring protocol's round-by-round logic."""
+
+import pytest
+
+from repro.core.alphabet import Observation
+from repro.protocols.coloring import (
+    ACTIVE,
+    COLORED,
+    COLORING_ALPHABET,
+    INITIAL_STATE,
+    MSG_ACTIVE,
+    MSG_COLOR,
+    MSG_DEG,
+    MSG_PROPOSE,
+    MSG_WAITING,
+    WAITING,
+    ColoringState,
+    TreeColoringProtocol,
+    coloring_from_result,
+)
+
+
+def observe(protocol, **counts):
+    return Observation(
+        protocol.alphabet, {letter: counts.get(letter, 0) for letter in protocol.alphabet}
+    )
+
+
+class TestStaticStructure:
+    def setup_method(self):
+        self.protocol = TreeColoringProtocol()
+
+    def test_alphabet_and_bounding(self):
+        assert set(self.protocol.alphabet.letters) == set(COLORING_ALPHABET)
+        assert self.protocol.bounding.value == 3
+
+    def test_initial_state_is_active_round_one(self):
+        state = self.protocol.initial_state()
+        assert state.mode == ACTIVE
+        assert state.next_round == 1
+
+    def test_output_states_are_colored_modes(self):
+        colored = ColoringState(mode=COLORED, color=2)
+        assert self.protocol.is_output_state(colored)
+        assert self.protocol.output_value(colored) == 2
+        assert not self.protocol.is_output_state(INITIAL_STATE)
+
+    def test_census_alphabet_size(self):
+        assert self.protocol.census().alphabet_size == 12
+
+
+class TestActiveRounds:
+    def setup_method(self):
+        self.protocol = TreeColoringProtocol()
+
+    def test_round_one_announces_activity(self):
+        (choice,) = self.protocol.options(INITIAL_STATE, observe(self.protocol))
+        assert choice.emit == MSG_ACTIVE
+        assert choice.state.next_round == 2
+
+    @pytest.mark.parametrize("active_neighbours, expected_letter", [
+        (0, MSG_DEG[0]),
+        (1, MSG_DEG[1]),
+        (2, MSG_DEG[2]),
+        (3, MSG_DEG[3]),
+        (7, MSG_DEG[3]),  # counts saturate at b = 3
+    ])
+    def test_round_two_measures_and_announces_the_degree(self, active_neighbours, expected_letter):
+        state = ColoringState(mode=ACTIVE, next_round=2)
+        observation = observe(self.protocol, ACTIVE=min(active_neighbours, 3))
+        (choice,) = self.protocol.options(state, observation)
+        assert choice.emit == expected_letter
+        assert choice.state.degree == min(active_neighbours, 3)
+
+    def test_round_three_isolated_node_proposes_any_color(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=0)
+        options = self.protocol.options(state, observe(self.protocol))
+        assert len(options) == 3
+        assert {choice.emit for choice in options} == set(MSG_PROPOSE.values())
+
+    def test_round_three_proposals_exclude_neighbour_colors(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=0)
+        observation = observe(self.protocol, COLOR1=1, COLOR3=2)
+        options = self.protocol.options(state, observation)
+        assert [choice.state.proposal for choice in options] == [2]
+
+    def test_round_three_degree_one_with_leaf_partner_proposes(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=1)
+        observation = observe(self.protocol, DEG1=1)
+        options = self.protocol.options(state, observation)
+        assert all(choice.state.proposal is not None for choice in options)
+
+    def test_round_three_degree_one_with_big_neighbour_waits(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=1)
+        observation = observe(self.protocol, **{"DEG3+": 1})
+        (choice,) = self.protocol.options(state, observation)
+        assert choice.state.mode == WAITING
+        assert choice.emit == MSG_WAITING
+
+    def test_round_three_waiting_snapshot_records_color_counts(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=1)
+        observation = observe(self.protocol, DEG2=1, COLOR2=2)
+        (choice,) = self.protocol.options(state, observation)
+        assert choice.state.parked_colors == (0, 2, 0)
+
+    def test_round_three_degree_two_with_small_neighbours_proposes(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=2)
+        observation = observe(self.protocol, DEG2=2)
+        options = self.protocol.options(state, observation)
+        assert all(choice.state.proposal is not None for choice in options)
+
+    def test_round_three_degree_two_with_a_big_neighbour_idles(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=2)
+        observation = observe(self.protocol, DEG2=1, **{"DEG3+": 1})
+        (choice,) = self.protocol.options(state, observation)
+        assert choice.state.mode == ACTIVE
+        assert choice.state.proposal is None
+        assert not choice.transmits()
+
+    def test_round_three_degree_three_never_runs_randcolor(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=3)
+        (choice,) = self.protocol.options(state, observe(self.protocol, DEG1=3))
+        assert choice.state.proposal is None
+
+    def test_round_three_with_exhausted_palette_retries(self):
+        state = ColoringState(mode=ACTIVE, next_round=3, degree=0)
+        observation = observe(self.protocol, COLOR1=1, COLOR2=1, COLOR3=1)
+        (choice,) = self.protocol.options(state, observation)
+        assert choice.state.mode == ACTIVE
+        assert choice.state.proposal is None
+
+    def test_round_four_uncontested_proposal_colors_the_node(self):
+        state = ColoringState(mode=ACTIVE, next_round=4, degree=1, proposal=2)
+        (choice,) = self.protocol.options(state, observe(self.protocol))
+        assert choice.state.mode == COLORED
+        assert choice.state.color == 2
+        assert choice.emit == MSG_COLOR[2]
+
+    def test_round_four_contested_proposal_retries(self):
+        state = ColoringState(mode=ACTIVE, next_round=4, degree=1, proposal=2)
+        observation = observe(self.protocol, PROPOSE2=1)
+        (choice,) = self.protocol.options(state, observation)
+        assert choice.state.mode == ACTIVE
+        assert choice.state.next_round == 1
+
+    def test_round_four_different_proposal_does_not_block(self):
+        state = ColoringState(mode=ACTIVE, next_round=4, degree=1, proposal=2)
+        observation = observe(self.protocol, PROPOSE1=1)
+        (choice,) = self.protocol.options(state, observation)
+        assert choice.state.mode == COLORED
+
+    def test_round_four_without_proposal_starts_a_new_phase(self):
+        state = ColoringState(mode=ACTIVE, next_round=4, degree=3)
+        (choice,) = self.protocol.options(state, observe(self.protocol))
+        assert choice.state.mode == ACTIVE
+        assert choice.state.next_round == 1
+
+
+class TestWaitingAndColored:
+    def setup_method(self):
+        self.protocol = TreeColoringProtocol()
+
+    def test_colored_nodes_are_silent_sinks(self):
+        colored = ColoringState(mode=COLORED, color=1)
+        (choice,) = self.protocol.options(colored, observe(self.protocol, ACTIVE=3))
+        assert choice.state == colored
+        assert not choice.transmits()
+
+    def test_waiting_node_counts_rounds_silently(self):
+        waiting = ColoringState(mode=WAITING, next_round=2, parked_colors=(0, 0, 0))
+        (choice,) = self.protocol.options(waiting, observe(self.protocol, ACTIVE=2))
+        assert choice.state.mode == WAITING
+        assert choice.state.next_round == 3
+        assert not choice.transmits()
+
+    def test_waiting_node_wakes_when_a_neighbour_colors(self):
+        waiting = ColoringState(mode=WAITING, next_round=4, parked_colors=(0, 1, 0))
+        observation = observe(self.protocol, COLOR2=2)
+        (choice,) = self.protocol.options(waiting, observation)
+        assert choice.state.mode == ACTIVE
+        assert choice.state.next_round == 1
+
+    def test_waiting_node_ignores_colors_seen_before_parking(self):
+        waiting = ColoringState(mode=WAITING, next_round=4, parked_colors=(0, 1, 0))
+        observation = observe(self.protocol, COLOR2=1)
+        (choice,) = self.protocol.options(waiting, observation)
+        assert choice.state.mode == WAITING
+        assert choice.state.next_round == 1  # wraps to the next phase
+
+    def test_queried_letters_are_a_subset_of_the_alphabet(self):
+        states = [
+            INITIAL_STATE,
+            ColoringState(mode=ACTIVE, next_round=2),
+            ColoringState(mode=ACTIVE, next_round=3, degree=1),
+            ColoringState(mode=ACTIVE, next_round=4, degree=1, proposal=1),
+            ColoringState(mode=WAITING, next_round=4, parked_colors=(0, 0, 0)),
+            ColoringState(mode=COLORED, color=3),
+        ]
+        for state in states:
+            for letter in self.protocol.queried_letters(state):
+                assert letter in self.protocol.alphabet
+
+
+class TestResultExtraction:
+    def test_coloring_from_result_drops_none_values(self):
+        class FakeResult:
+            outputs = {0: 1, 1: None, 2: 3}
+
+        assert coloring_from_result(FakeResult()) == {0: 1, 2: 3}

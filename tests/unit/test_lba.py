@@ -1,0 +1,170 @@
+"""Unit tests for the linear bounded automaton substrate and sample languages."""
+
+import random
+
+import pytest
+
+from repro.automata.lba import (
+    LEFT,
+    LEFT_MARKER,
+    RIGHT,
+    RIGHT_MARKER,
+    STAY,
+    LBATransition,
+    LinearBoundedAutomaton,
+)
+from repro.automata.languages import SAMPLE_LANGUAGES, palindrome_lba, parity_lba
+from repro.core.errors import AutomatonError
+
+
+def simple_machine(**overrides):
+    spec = dict(
+        name="sink",
+        states=["scan", "accept", "reject"],
+        input_alphabet=["a"],
+        tape_alphabet=["a"],
+        transitions={
+            ("scan", "a"): [("scan", "a", RIGHT)],
+            ("scan", RIGHT_MARKER): [("accept", RIGHT_MARKER, STAY)],
+        },
+        initial_state="scan",
+        accept_states=["accept"],
+        reject_states=["reject"],
+    )
+    spec.update(overrides)
+    return LinearBoundedAutomaton(**spec)
+
+
+class TestValidation:
+    def test_valid_machine_builds(self):
+        machine = simple_machine()
+        assert machine.is_deterministic()
+
+    def test_unknown_initial_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            simple_machine(initial_state="ghost")
+
+    def test_unknown_halting_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            simple_machine(accept_states=["ghost"])
+
+    def test_input_alphabet_must_be_in_tape_alphabet(self):
+        with pytest.raises(AutomatonError):
+            simple_machine(input_alphabet=["a", "b"])
+
+    def test_markers_are_reserved(self):
+        with pytest.raises(AutomatonError):
+            simple_machine(tape_alphabet=["a", LEFT_MARKER])
+
+    def test_transition_from_unknown_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            simple_machine(transitions={("ghost", "a"): [("scan", "a", RIGHT)]})
+
+    def test_transition_to_unknown_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            simple_machine(transitions={("scan", "a"): [("ghost", "a", RIGHT)]})
+
+    def test_transition_writing_unknown_symbol_rejected(self):
+        with pytest.raises(AutomatonError):
+            simple_machine(transitions={("scan", "a"): [("scan", "z", RIGHT)]})
+
+    def test_empty_option_set_rejected(self):
+        with pytest.raises(AutomatonError):
+            simple_machine(transitions={("scan", "a"): []})
+
+    def test_invalid_head_move_rejected(self):
+        with pytest.raises(AutomatonError):
+            LBATransition("scan", "a", 5)
+
+
+class TestExecution:
+    def test_accepting_run(self):
+        run = simple_machine().run("aaa")
+        assert run.accepted is True
+        assert run.halted
+        assert run.steps == 4  # three cells plus the right marker
+
+    def test_rejecting_on_undefined_configuration(self):
+        machine = simple_machine(transitions={("scan", "a"): [("scan", "a", RIGHT)]})
+        run = machine.run("a")
+        assert run.accepted is False
+
+    def test_input_symbols_are_validated(self):
+        with pytest.raises(AutomatonError):
+            simple_machine().run("ab")
+
+    def test_max_steps_yields_undecided(self):
+        looping = simple_machine(
+            transitions={
+                ("scan", "a"): [("scan", "a", STAY)],
+            }
+        )
+        run = looping.run("a", max_steps=10)
+        assert run.accepted is None
+        assert not run.halted
+
+    def test_space_usage_is_bounded_by_the_tape(self):
+        run = palindrome_lba().run("abba")
+        assert run.space_used <= 4 + 2  # input cells plus the two markers
+
+    def test_history_recording(self):
+        run = simple_machine().run("aa", record_history=True)
+        assert len(run.history) == run.steps
+
+    def test_decides_helper(self):
+        assert simple_machine().decides("aaaa") is True
+
+    def test_markers_cannot_be_overwritten(self):
+        vandal = LinearBoundedAutomaton(
+            name="vandal",
+            states=["scan", "accept"],
+            input_alphabet=["a"],
+            tape_alphabet=["a"],
+            transitions={("scan", LEFT_MARKER): [("accept", "a", STAY)],
+                         ("scan", "a"): [("scan", "a", LEFT)]},
+            initial_state="scan",
+            accept_states=["accept"],
+        )
+        with pytest.raises(AutomatonError):
+            vandal.run("a")
+
+    def test_randomized_machines_draw_from_the_option_set(self):
+        coin = LinearBoundedAutomaton(
+            name="coin",
+            states=["start", "accept", "reject"],
+            input_alphabet=["a"],
+            tape_alphabet=["a"],
+            transitions={("start", "a"): [("accept", "a", STAY), ("reject", "a", STAY)]},
+            initial_state="start",
+            accept_states=["accept"],
+            reject_states=["reject"],
+        )
+        assert not coin.is_deterministic()
+        outcomes = {coin.run("a", seed=seed).accepted for seed in range(20)}
+        assert outcomes == {True, False}
+
+
+class TestSampleLanguages:
+    @pytest.mark.parametrize("name", sorted(SAMPLE_LANGUAGES))
+    def test_machines_agree_with_their_reference_predicates(self, name):
+        factory, reference, alphabet = SAMPLE_LANGUAGES[name]
+        machine = factory()
+        rng = random.Random(hash(name) % (2**32))
+        for trial in range(120):
+            word = [rng.choice(alphabet) for _ in range(rng.randint(0, 14))]
+            assert machine.decides(word, seed=trial) == reference(word), word
+
+    def test_parity_edge_cases(self):
+        machine = parity_lba()
+        assert machine.decides("") is True
+        assert machine.decides("1") is False
+        assert machine.decides("11") is True
+
+    def test_palindrome_edge_cases(self):
+        machine = palindrome_lba()
+        assert machine.decides("") is True
+        assert machine.decides("a") is True
+        assert machine.decides("ab") is False
+        assert machine.decides("abba") is True
+        assert machine.decides("aba") is True
+        assert machine.decides("abab") is False

@@ -1,0 +1,47 @@
+"""Unit tests for maximal matching via the line-graph reduction."""
+
+import pytest
+
+from repro.graphs import complete_graph, cycle_graph, empty_graph, gnp_random_graph, path_graph, star_graph
+from repro.protocols.matching import matched_nodes, maximal_matching_via_line_graph
+from repro.verification import is_maximal_matching
+
+
+class TestLineGraphMatching:
+    @pytest.mark.parametrize("graph_builder, seed", [
+        (lambda: path_graph(9), 1),
+        (lambda: cycle_graph(8), 2),
+        (lambda: star_graph(7), 3),
+        (lambda: complete_graph(6), 4),
+        (lambda: gnp_random_graph(30, 0.15, seed=5), 5),
+    ])
+    def test_result_is_a_maximal_matching(self, graph_builder, seed):
+        graph = graph_builder()
+        matching, result = maximal_matching_via_line_graph(graph, seed=seed)
+        assert is_maximal_matching(graph, matching)
+        assert result is not None and result.reached_output
+
+    def test_star_matching_has_exactly_one_edge(self):
+        matching, _ = maximal_matching_via_line_graph(star_graph(9), seed=7)
+        assert len(matching) == 1
+
+    def test_edgeless_graph_yields_an_empty_matching(self):
+        matching, result = maximal_matching_via_line_graph(empty_graph(5), seed=1)
+        assert matching == []
+        assert result is None
+
+    def test_matching_edges_belong_to_the_graph(self):
+        graph = gnp_random_graph(20, 0.3, seed=9)
+        matching, _ = maximal_matching_via_line_graph(graph, seed=9)
+        for u, v in matching:
+            assert graph.has_edge(u, v)
+
+    def test_seed_determinism(self):
+        graph = gnp_random_graph(20, 0.3, seed=2)
+        first, _ = maximal_matching_via_line_graph(graph, seed=11)
+        second, _ = maximal_matching_via_line_graph(graph, seed=11)
+        assert first == second
+
+    def test_matched_nodes_helper(self):
+        assert matched_nodes([(0, 1), (3, 4)]) == {0, 1, 3, 4}
+        assert matched_nodes([]) == set()

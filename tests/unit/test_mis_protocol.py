@@ -1,0 +1,133 @@
+"""Unit tests for the Stone Age MIS protocol's transition relation."""
+
+import pytest
+
+from repro.core.alphabet import Observation
+from repro.protocols.mis import (
+    DELAYING_STATES,
+    DOWN1,
+    DOWN2,
+    LOSE,
+    MIS_STATES,
+    UP0,
+    UP1,
+    UP2,
+    UP_STATES,
+    WIN,
+    MISProtocol,
+    mis_from_result,
+)
+
+
+def observe(protocol, **counts):
+    """Build an observation with the given letter counts (others zero)."""
+    return Observation(protocol.alphabet, {letter: counts.get(letter, 0) for letter in protocol.alphabet})
+
+
+class TestStaticStructure:
+    def setup_method(self):
+        self.protocol = MISProtocol()
+
+    def test_alphabet_equals_state_set(self):
+        assert set(self.protocol.alphabet.letters) == set(MIS_STATES)
+
+    def test_bounding_parameter_is_one(self):
+        assert self.protocol.bounding.value == 1
+
+    def test_initial_letter_and_state_are_down1(self):
+        assert self.protocol.initial_letter == DOWN1
+        assert self.protocol.initial_state() == DOWN1
+
+    def test_output_states_and_decoding(self):
+        assert self.protocol.is_output_state(WIN)
+        assert self.protocol.is_output_state(LOSE)
+        assert not self.protocol.is_output_state(UP0)
+        assert self.protocol.output_value(WIN) is True
+        assert self.protocol.output_value(LOSE) is False
+
+    def test_census_is_constant(self):
+        census = self.protocol.census()
+        assert census.num_states == 7
+        assert census.alphabet_size == 7
+        assert census.bounding == 1
+
+    def test_delaying_states_match_the_paper(self):
+        assert DELAYING_STATES[DOWN1] == (DOWN2,)
+        assert set(DELAYING_STATES[DOWN2]) == {UP0, UP1, UP2}
+        assert set(DELAYING_STATES[UP0]) == {UP2, DOWN1}
+        assert DELAYING_STATES[UP1] == (UP0,)
+        assert DELAYING_STATES[UP2] == (UP1,)
+
+    def test_queried_letters_cover_what_options_read(self):
+        for state in (DOWN1, DOWN2, UP0, UP1, UP2):
+            queried = set(self.protocol.queried_letters(state))
+            assert set(DELAYING_STATES[state]) <= queried
+
+
+class TestTransitions:
+    def setup_method(self):
+        self.protocol = MISProtocol()
+
+    def test_sinks_stay_and_keep_silent(self):
+        for sink in (WIN, LOSE):
+            (choice,) = self.protocol.options(sink, observe(self.protocol, UP0=1, WIN=1))
+            assert choice.state == sink
+            assert not choice.transmits()
+
+    @pytest.mark.parametrize("state", [DOWN1, DOWN2, UP0, UP1, UP2])
+    def test_delaying_letters_freeze_the_node(self, state):
+        for delayer in DELAYING_STATES[state]:
+            (choice,) = self.protocol.options(state, observe(self.protocol, **{delayer: 1}))
+            assert choice.state == state
+            assert not choice.transmits()
+
+    def test_down1_moves_up_when_not_delayed(self):
+        (choice,) = self.protocol.options(DOWN1, observe(self.protocol))
+        assert choice.state == UP0
+        assert choice.emit == UP0
+
+    def test_down2_returns_to_down1_without_a_winner(self):
+        (choice,) = self.protocol.options(DOWN2, observe(self.protocol))
+        assert choice.state == DOWN1
+        assert choice.emit == DOWN1
+
+    def test_down2_loses_when_a_winner_is_visible(self):
+        (choice,) = self.protocol.options(DOWN2, observe(self.protocol, WIN=1))
+        assert choice.state == LOSE
+        assert choice.emit == LOSE
+
+    @pytest.mark.parametrize("j", [0, 1, 2])
+    def test_up_states_flip_a_fair_coin(self, j):
+        state = UP_STATES[j]
+        next_up = UP_STATES[(j + 1) % 3]
+        options = self.protocol.options(state, observe(self.protocol))
+        assert len(options) == 2
+        heads, tails = options
+        assert heads.state == next_up and heads.emit == next_up
+        # With no competing UP letters in the ports the tail outcome is WIN.
+        assert tails.state == WIN and tails.emit == WIN
+
+    @pytest.mark.parametrize("j", [0, 1, 2])
+    def test_up_states_fall_to_down2_when_contested(self, j):
+        state = UP_STATES[j]
+        next_up = UP_STATES[(j + 1) % 3]
+        for competitor in (state, next_up):
+            options = self.protocol.options(state, observe(self.protocol, **{competitor: 1}))
+            tails = options[1]
+            assert tails.state == DOWN2
+
+    def test_up_letter_transmitted_only_on_state_change(self):
+        # When delayed the node keeps silent; when it advances it announces
+        # the new state.
+        delayed = self.protocol.options(UP1, observe(self.protocol, UP0=1))[0]
+        assert not delayed.transmits()
+        moving = self.protocol.options(UP1, observe(self.protocol))[0]
+        assert moving.transmits()
+
+
+class TestResultExtraction:
+    def test_mis_from_result_picks_true_outputs(self):
+        class FakeResult:
+            outputs = {0: True, 1: False, 2: True}
+
+        assert mis_from_result(FakeResult()) == {0, 2}

@@ -1,0 +1,73 @@
+"""Unit tests for the port table and network state (Section 2 semantics)."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.core.network import NetworkState, PortTable
+from repro.graphs import Graph, path_graph, star_graph
+
+
+class TestPortTable:
+    def setup_method(self):
+        self.graph = path_graph(3)
+        self.ports = PortTable(self.graph, initial_letter="σ0")
+
+    def test_all_ports_start_with_the_initial_letter(self):
+        assert self.ports.contents(1) == ("σ0", "σ0")
+        assert self.ports.contents(0) == ("σ0",)
+
+    def test_deliver_overwrites_single_port(self):
+        self.ports.deliver(receiver=1, sender=0, letter="x")
+        assert self.ports.get(1, 0) == "x"
+        assert self.ports.get(1, 2) == "σ0"
+
+    def test_second_delivery_overwrites_first(self):
+        # No buffering: a later delivery replaces the earlier one (the
+        # receiver never learns the first letter existed).
+        self.ports.deliver(1, 0, "first")
+        self.ports.deliver(1, 0, "second")
+        assert self.ports.get(1, 0) == "second"
+
+    def test_broadcast_reaches_all_neighbours(self):
+        star = star_graph(4)
+        ports = PortTable(star, initial_letter="q")
+        ports.broadcast(0, "hello")
+        for leaf in range(1, 5):
+            assert ports.get(leaf, 0) == "hello"
+        # The sender's own ports are untouched.
+        assert ports.contents(0) == ("q",) * 4
+
+    def test_broadcast_does_not_touch_non_neighbours(self):
+        self.ports.broadcast(0, "x")
+        assert self.ports.get(2, 1) == "σ0"
+
+    def test_delivery_between_non_neighbours_rejected(self):
+        with pytest.raises(ExecutionError):
+            self.ports.deliver(0, 2, "x")
+
+    def test_get_between_non_neighbours_rejected(self):
+        with pytest.raises(ExecutionError):
+            self.ports.get(0, 2)
+
+    def test_snapshot_is_immutable_copy(self):
+        snapshot = self.ports.snapshot()
+        self.ports.deliver(1, 0, "x")
+        assert snapshot[1] == ("σ0", "σ0")
+
+    def test_graph_accessor(self):
+        assert self.ports.graph is self.graph
+
+
+class TestNetworkState:
+    def test_initial_states_must_cover_all_nodes(self):
+        with pytest.raises(ExecutionError):
+            NetworkState(path_graph(3), ["a", "b"], initial_letter="q")
+
+    def test_all_in_predicate(self):
+        state = NetworkState(path_graph(3), ["a", "a", "b"], initial_letter="q")
+        assert state.all_in(lambda s: s in {"a", "b"})
+        assert not state.all_in(lambda s: s == "a")
+
+    def test_steps_taken_starts_at_zero(self):
+        state = NetworkState(Graph(2, [(0, 1)]), ["a", "a"], initial_letter="q")
+        assert state.steps_taken == [0, 0]

@@ -1,0 +1,192 @@
+"""Unit tests for the protocol abstractions (strict and extended)."""
+
+import pytest
+
+from repro.core.alphabet import EPSILON, Observation
+from repro.core.errors import ProtocolSpecificationError
+from repro.core.protocol import (
+    ExtendedProtocol,
+    TableExtendedProtocol,
+    TableProtocol,
+    TransitionChoice,
+    tabulate_extended,
+)
+
+
+def make_table_protocol(**overrides):
+    spec = dict(
+        name="toy",
+        states=["idle", "done"],
+        alphabet=["quiet", "go"],
+        initial_letter="quiet",
+        bounding=1,
+        query={"idle": "go", "done": "go"},
+        delta={
+            ("idle", 1): [("done", "go")],
+            ("idle", 0): [("idle", EPSILON)],
+        },
+        input_states=["idle"],
+        output_states=["done"],
+    )
+    spec.update(overrides)
+    return TableProtocol(**spec)
+
+
+class TestTransitionChoice:
+    def test_transmits_with_letter(self):
+        assert TransitionChoice("s", "go").transmits()
+
+    def test_does_not_transmit_epsilon(self):
+        assert not TransitionChoice("s", EPSILON).transmits()
+
+    def test_default_emission_is_epsilon(self):
+        assert not TransitionChoice("s").transmits()
+
+
+class TestTableProtocol:
+    def test_basic_construction_and_lookup(self):
+        protocol = make_table_protocol()
+        assert protocol.query_letter("idle") == "go"
+        assert protocol.options("idle", 1)[0].state == "done"
+
+    def test_missing_delta_entry_defaults_to_stay_silent(self):
+        protocol = make_table_protocol()
+        (choice,) = protocol.options("done", 0)
+        assert choice.state == "done"
+        assert not choice.transmits()
+
+    def test_counts_above_bound_are_clamped(self):
+        protocol = make_table_protocol()
+        assert protocol.options("idle", 5) == protocol.options("idle", 1)
+
+    def test_initial_state_default(self):
+        assert make_table_protocol().initial_state() == "idle"
+
+    def test_initial_state_rejects_unexpected_input(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol().initial_state("surprise")
+
+    def test_output_state_detection(self):
+        protocol = make_table_protocol()
+        assert protocol.is_output_state("done")
+        assert not protocol.is_output_state("idle")
+
+    def test_census_counts_states_and_letters(self):
+        census = make_table_protocol().census()
+        assert census.num_states == 2
+        assert census.alphabet_size == 2
+        assert census.bounding == 1
+        assert census.is_constant_size()
+
+    def test_initial_letter_must_be_in_alphabet(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(initial_letter="nope")
+
+    def test_query_letter_must_exist_for_every_state(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(query={"idle": "go"})
+
+    def test_query_letter_must_be_in_alphabet(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(query={"idle": "nope", "done": "go"})
+
+    def test_transition_from_unknown_state_rejected(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(delta={("ghost", 0): [("done", "go")]})
+
+    def test_transition_to_unknown_state_rejected(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(delta={("idle", 0): [("ghost", "go")]})
+
+    def test_transition_with_unknown_emission_rejected(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(delta={("idle", 0): [("done", "nope")]})
+
+    def test_transition_count_outside_bound_rejected(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(delta={("idle", 2): [("done", "go")]})
+
+    def test_empty_option_set_rejected(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(delta={("idle", 0): []})
+
+    def test_input_state_must_be_a_state(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(input_states=["ghost"])
+
+    def test_output_state_must_be_a_state(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(output_states=["ghost"])
+
+    def test_at_least_one_input_state_required(self):
+        with pytest.raises(ProtocolSpecificationError):
+            make_table_protocol(input_states=[])
+
+    def test_validate_option_set_rejects_empty(self):
+        protocol = make_table_protocol()
+        with pytest.raises(ProtocolSpecificationError):
+            protocol.validate_option_set(())
+
+
+class _ThresholdProtocol(ExtendedProtocol):
+    """Tiny rule-based extended protocol used for tabulation tests."""
+
+    def __init__(self):
+        super().__init__(
+            name="threshold",
+            alphabet=["a", "b"],
+            initial_letter="a",
+            bounding=1,
+            input_states=["wait"],
+            output_states=["fire"],
+        )
+
+    def options(self, state, observation):
+        if state == "fire":
+            return (TransitionChoice("fire", EPSILON),)
+        if observation.count("a") >= 1 and observation.count("b") >= 1:
+            return (TransitionChoice("fire", "b"),)
+        return (TransitionChoice("wait", EPSILON),)
+
+
+class TestTableExtendedProtocol:
+    def test_observation_keyed_lookup(self):
+        protocol = TableExtendedProtocol(
+            name="ext",
+            states=["s", "t"],
+            alphabet=["a", "b"],
+            initial_letter="a",
+            bounding=1,
+            delta={("s", (1, 1)): [("t", "b")]},
+            input_states=["s"],
+            output_states=["t"],
+        )
+        hot = Observation(protocol.alphabet, [1, 1])
+        cold = Observation(protocol.alphabet, [1, 0])
+        assert protocol.options("s", hot)[0].state == "t"
+        assert protocol.options("s", cold)[0].state == "s"
+
+    def test_wrong_arity_observation_key_rejected(self):
+        with pytest.raises(ProtocolSpecificationError):
+            TableExtendedProtocol(
+                name="ext",
+                states=["s"],
+                alphabet=["a", "b"],
+                initial_letter="a",
+                bounding=1,
+                delta={("s", (1,)): [("s", EPSILON)]},
+                input_states=["s"],
+            )
+
+    def test_tabulate_extended_matches_rule_based_protocol(self):
+        rules = _ThresholdProtocol()
+        table = tabulate_extended(rules, ["wait", "fire"])
+        for counts in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            observation = Observation(rules.alphabet, counts)
+            assert [c.state for c in table.options("wait", observation)] == [
+                c.state for c in rules.options("wait", observation)
+            ]
+
+    def test_tabulated_protocol_census_is_finite(self):
+        table = tabulate_extended(_ThresholdProtocol(), ["wait", "fire"])
+        assert table.census().num_states == 2

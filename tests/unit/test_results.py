@@ -1,0 +1,59 @@
+"""Unit tests for execution result records."""
+
+from repro.core.results import ExecutionResult, TransitionRecord
+from repro.graphs import path_graph
+
+
+def make_result(**overrides):
+    spec = dict(
+        protocol_name="toy",
+        graph=path_graph(3),
+        reached_output=True,
+        final_states=("a", "b", "a"),
+        outputs={0: True, 1: False, 2: True},
+        rounds=7,
+    )
+    spec.update(overrides)
+    return ExecutionResult(**spec)
+
+
+class TestExecutionResult:
+    def test_nodes_with_output(self):
+        result = make_result()
+        assert result.nodes_with_output(True) == [0, 2]
+        assert result.nodes_with_output(False) == [1]
+
+    def test_output_vector_fills_missing_with_none(self):
+        result = make_result(outputs={0: True})
+        assert result.output_vector() == (True, None, None)
+
+    def test_cost_prefers_rounds(self):
+        assert make_result().cost == 7.0
+
+    def test_cost_falls_back_to_time_units(self):
+        result = make_result(rounds=None, time_units=12.5)
+        assert result.cost == 12.5
+
+    def test_cost_is_nan_without_any_measure(self):
+        result = make_result(rounds=None, time_units=None)
+        assert result.cost != result.cost  # NaN
+
+    def test_summary_mentions_key_figures(self):
+        text = make_result().summary()
+        assert "protocol=toy" in text
+        assert "rounds=7" in text
+        assert "n=3" in text
+
+    def test_summary_with_time_units(self):
+        text = make_result(rounds=None, time_units=3.25).summary()
+        assert "time_units=3.25" in text
+
+
+class TestTransitionRecord:
+    def test_fields_are_preserved(self):
+        record = TransitionRecord(
+            node=3, step=5, time=1.25, old_state="a", new_state="b", emitted="x"
+        )
+        assert record.node == 3
+        assert record.step == 5
+        assert record.emitted == "x"

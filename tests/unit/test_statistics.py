@@ -1,0 +1,98 @@
+"""Unit tests for the statistics toolbox."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import (
+    best_growth_fit,
+    confidence_interval,
+    doubling_ratios,
+    fit_growth,
+    least_squares,
+    mean,
+    median,
+    summarize,
+)
+
+
+class TestSummaries:
+    def test_summarize_basic_sample(self):
+        stats = summarize([1, 2, 3, 4])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1 and stats.maximum == 4
+
+    def test_summarize_odd_length_median(self):
+        assert summarize([5, 1, 3]).median == 3
+
+    def test_summarize_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_mean_and_median_helpers(self):
+        assert mean([2, 4, 6]) == pytest.approx(4)
+        assert median([9, 1, 5]) == 5
+
+    def test_confidence_interval_contains_the_mean(self):
+        low, high = confidence_interval([10, 12, 8, 11, 9])
+        assert low < 10 < high
+
+    def test_confidence_interval_of_singleton_is_degenerate(self):
+        assert confidence_interval([3.0]) == (3.0, 3.0)
+
+
+class TestLeastSquares:
+    def test_perfect_line(self):
+        slope, intercept, r_squared = least_squares([1, 2, 3], [3, 5, 7])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+        assert r_squared == pytest.approx(1.0)
+
+    def test_constant_data_has_zero_slope(self):
+        slope, intercept, r_squared = least_squares([1, 1, 1], [4, 4, 4])
+        assert slope == 0.0
+        assert r_squared == pytest.approx(1.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            least_squares([1], [1])
+
+
+class TestGrowthFits:
+    def test_fit_growth_recovers_a_logarithmic_series(self):
+        sizes = [2**k for k in range(4, 11)]
+        costs = [5 * math.log2(n) + 3 for n in sizes]
+        fit = fit_growth(sizes, costs, "log n")
+        assert fit.slope == pytest.approx(5, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_best_growth_fit_identifies_log_squared(self):
+        sizes = [2**k for k in range(4, 12)]
+        costs = [2 * math.log2(n) ** 2 for n in sizes]
+        assert best_growth_fit(sizes, costs).label == "log^2 n"
+
+    def test_best_growth_fit_identifies_linear(self):
+        sizes = [2**k for k in range(4, 12)]
+        costs = [3 * n + 7 for n in sizes]
+        assert best_growth_fit(sizes, costs).label == "n"
+
+    def test_predict(self):
+        fit = fit_growth([10, 100, 1000], [1, 2, 3], "log n")
+        assert fit.predict(0) == pytest.approx(fit.intercept)
+
+
+class TestDoublingRatios:
+    def test_linear_growth_gives_ratio_two(self):
+        ratios = doubling_ratios([16, 32, 64], [16, 32, 64])
+        assert all(ratio == pytest.approx(2.0) for ratio in ratios)
+
+    def test_logarithmic_growth_approaches_one(self):
+        sizes = [2**k for k in range(4, 12)]
+        costs = [math.log2(n) for n in sizes]
+        ratios = doubling_ratios(sizes, costs)
+        assert ratios[-1] < 1.2
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert doubling_ratios([64, 16, 32], [64, 16, 32]) == [pytest.approx(2.0)] * 2

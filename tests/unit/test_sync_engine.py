@@ -1,0 +1,126 @@
+"""Unit tests for the round-based synchronous engine."""
+
+import pytest
+
+from repro.core.errors import ExecutionError, OutputNotReachedError
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.graphs.properties import eccentricity
+from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
+from repro.protocols.mis import MISProtocol
+from repro.scheduling.sync_engine import SynchronousEngine, repeat_synchronous, run_synchronous
+
+
+class TestBroadcastGroundTruth:
+    """Broadcast has an exactly known round complexity: ecc(source) + 1."""
+
+    @pytest.mark.parametrize("source", [0, 4, 9])
+    def test_rounds_equal_eccentricity_plus_one_on_a_path(self, source):
+        graph = path_graph(10)
+        result = run_synchronous(
+            graph, BroadcastProtocol(), inputs=broadcast_inputs(source), seed=1
+        )
+        assert result.rounds == eccentricity(graph, source) + 1
+        assert all(result.outputs[node] for node in graph.nodes)
+
+    def test_star_broadcast_from_centre_takes_two_rounds(self):
+        graph = star_graph(7)
+        result = run_synchronous(graph, BroadcastProtocol(), inputs=broadcast_inputs(0), seed=1)
+        assert result.rounds == 2
+
+    def test_messages_are_counted(self):
+        graph = path_graph(4)
+        result = run_synchronous(graph, BroadcastProtocol(), inputs=broadcast_inputs(0), seed=1)
+        # Every node transmits the token exactly once.
+        assert result.total_messages == 4
+
+
+class TestEngineMechanics:
+    def test_rejects_non_protocol_objects(self):
+        with pytest.raises(ExecutionError):
+            SynchronousEngine(path_graph(2), object())
+
+    def test_same_seed_gives_identical_executions(self):
+        graph = cycle_graph(15)
+        first = run_synchronous(graph, MISProtocol(), seed=3)
+        second = run_synchronous(graph, MISProtocol(), seed=3)
+        assert first.final_states == second.final_states
+        assert first.rounds == second.rounds
+
+    def test_different_seeds_usually_differ(self):
+        graph = cycle_graph(15)
+        first = run_synchronous(graph, MISProtocol(), seed=3)
+        second = run_synchronous(graph, MISProtocol(), seed=4)
+        assert first.final_states != second.final_states or first.rounds != second.rounds
+
+    def test_round_budget_returns_partial_result(self):
+        graph = cycle_graph(9)
+        result = run_synchronous(
+            graph, MISProtocol(), seed=1, max_rounds=1, raise_on_timeout=False
+        )
+        assert not result.reached_output
+        assert result.rounds == 1
+
+    def test_round_budget_can_raise(self):
+        graph = cycle_graph(9)
+        with pytest.raises(OutputNotReachedError) as excinfo:
+            run_synchronous(graph, MISProtocol(), seed=1, max_rounds=1)
+        assert excinfo.value.result is not None
+
+    def test_observer_sees_every_round(self):
+        rounds_seen = []
+        graph = path_graph(6)
+        engine = SynchronousEngine(
+            graph,
+            BroadcastProtocol(),
+            seed=1,
+            inputs=broadcast_inputs(0),
+            observer=lambda index, states: rounds_seen.append((index, len(states))),
+        )
+        result = engine.run()
+        assert len(rounds_seen) == result.rounds
+        assert rounds_seen[0][0] == 1
+        assert all(count == graph.num_nodes for _, count in rounds_seen)
+
+    def test_states_property_reflects_progress(self):
+        graph = path_graph(3)
+        engine = SynchronousEngine(
+            graph, BroadcastProtocol(), seed=1, inputs=broadcast_inputs(0)
+        )
+        assert engine.states == ("SOURCE", "IDLE", "IDLE")
+        engine.step_round()
+        assert engine.states[0] == "INFORMED"
+
+    def test_in_output_configuration_flag(self):
+        graph = path_graph(2)
+        engine = SynchronousEngine(
+            graph, BroadcastProtocol(), seed=1, inputs=broadcast_inputs(0)
+        )
+        assert not engine.in_output_configuration()
+        engine.run()
+        assert engine.in_output_configuration()
+
+    def test_graph_and_protocol_accessors(self):
+        graph = path_graph(2)
+        protocol = BroadcastProtocol()
+        engine = SynchronousEngine(graph, protocol, seed=0)
+        assert engine.graph is graph
+        assert engine.protocol is protocol
+
+    def test_empty_graph_is_immediately_in_output_configuration(self):
+        from repro.graphs import Graph
+
+        result = run_synchronous(Graph(0, []), MISProtocol(), seed=0)
+        assert result.reached_output
+        assert result.rounds == 0
+
+    def test_total_node_steps_accounting(self):
+        graph = path_graph(4)
+        result = run_synchronous(graph, BroadcastProtocol(), inputs=broadcast_inputs(0), seed=1)
+        assert result.total_node_steps == result.rounds * graph.num_nodes
+
+    def test_repeat_synchronous_returns_one_result_per_repetition(self):
+        results = repeat_synchronous(
+            cycle_graph(8), MISProtocol, repetitions=4, base_seed=10
+        )
+        assert len(results) == 4
+        assert all(result.reached_output for result in results)
