@@ -1,4 +1,12 @@
-"""E2 — Theorem 5.4: the Stone Age tree 3-coloring runs in O(log n) rounds."""
+"""E2 — Theorem 5.4: the Stone Age tree 3-coloring runs in O(log n) rounds.
+
+Both synchronous backends are benchmarked on the representative n = 1024
+random tree; they must agree seed-for-seed (the vectorized engine compiles
+the ~280 reachable coloring states into dense tables, then executes whole
+rounds as array operations).
+"""
+
+import pytest
 
 from repro.analysis.experiments import experiment_coloring_scaling
 from repro.graphs import random_tree
@@ -7,15 +15,26 @@ from repro.scheduling.sync_engine import run_synchronous
 from repro.verification import is_proper_coloring
 
 
-def test_bench_coloring_single_run(benchmark, experiment_recorder):
+@pytest.mark.parametrize("backend", ["python", "vectorized"])
+def test_bench_coloring_single_run(benchmark, backend):
     tree = random_tree(1024, seed=2)
 
     def run_once():
-        return run_synchronous(tree, TreeColoringProtocol(), seed=5, max_rounds=50_000)
+        return run_synchronous(
+            tree, TreeColoringProtocol(), seed=5, max_rounds=50_000, backend=backend
+        )
 
     result = benchmark(run_once)
     assert is_proper_coloring(tree, coloring_from_result(result))
+    reference = run_synchronous(
+        tree, TreeColoringProtocol(), seed=5, max_rounds=50_000, backend="python"
+    )
+    assert result.summary_fields() == reference.summary_fields()
 
-    report = experiment_coloring_scaling(sizes=[16, 32, 64, 128, 256, 512, 1024, 2048], repetitions=3)
+
+def test_bench_coloring_scaling_report(experiment_recorder):
+    report = experiment_coloring_scaling(
+        sizes=[16, 32, 64, 128, 256, 512, 1024, 2048], repetitions=3
+    )
     experiment_recorder(report)
     assert report.passed

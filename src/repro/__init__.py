@@ -62,9 +62,12 @@ from repro.protocols import (
 from repro.scheduling import (
     AsynchronousEngine,
     SynchronousEngine,
+    VectorizedEngine,
+    compile_protocol,
     default_adversary_suite,
     run_asynchronous,
     run_synchronous,
+    run_vectorized,
 )
 from repro.verification import (
     is_maximal_independent_set,
@@ -91,10 +94,12 @@ __all__ = [
     "TableProtocol",
     "TransitionChoice",
     "TreeColoringProtocol",
+    "VectorizedEngine",
     "__version__",
     "binary_tree",
     "broadcast_inputs",
     "coloring_from_result",
+    "compile_protocol",
     "compile_to_asynchronous",
     "complete_graph",
     "cycle_graph",
@@ -111,6 +116,7 @@ __all__ = [
     "random_tree",
     "run_asynchronous",
     "run_synchronous",
+    "run_vectorized",
     "star_graph",
     "synchronize",
 ]

@@ -72,8 +72,14 @@ def experiment_mis_scaling(
     sizes: Sequence[int] | None = None,
     repetitions: int = 3,
     base_seed: int = 1,
+    backend: str = "auto",
 ) -> ExperimentReport:
-    """Measure MIS rounds against n and classify the growth (E1)."""
+    """Measure MIS rounds against n and classify the growth (E1).
+
+    The default ``backend="auto"`` routes the sweep through the vectorized
+    batch engine, which is what makes sizes beyond a few thousand nodes
+    practical; results are seed-for-seed identical to the interpreter.
+    """
     sizes = list(sizes) if sizes is not None else geometric_sizes(16, 1024)
     sweep = sweep_protocol(
         MISProtocol,
@@ -82,6 +88,7 @@ def experiment_mis_scaling(
         repetitions=repetitions,
         base_seed=base_seed,
         validator=_mis_validator,
+        backend=backend,
     )
     report = ExperimentReport(
         experiment_id="E1",
@@ -115,6 +122,7 @@ def experiment_coloring_scaling(
     sizes: Sequence[int] | None = None,
     repetitions: int = 3,
     base_seed: int = 2,
+    backend: str = "auto",
 ) -> ExperimentReport:
     """Measure tree-coloring rounds against n and classify the growth (E2)."""
     sizes = list(sizes) if sizes is not None else geometric_sizes(16, 2048)
@@ -125,6 +133,7 @@ def experiment_coloring_scaling(
         repetitions=repetitions,
         base_seed=base_seed,
         validator=_coloring_validator,
+        backend=backend,
     )
     report = ExperimentReport(
         experiment_id="E2",

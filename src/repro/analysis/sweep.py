@@ -75,6 +75,30 @@ class SweepResult:
         return result
 
 
+def _precompile(protocol_factory: ProtocolFactory, backend: str):
+    """Compile the sweep's protocol once so every run skips the compile step.
+
+    Returns ``(effective_backend, compiled_table_or_None)``.  When the
+    protocol is not enumerable under ``backend="auto"`` the whole sweep is
+    downgraded to the interpreter up front — otherwise every single run
+    would re-attempt (and re-pay) the doomed tabulation before falling
+    back.  Sweeps hand the factory's output to every run anyway, so reusing
+    one compiled table assumes the factory builds equivalent protocols —
+    which is what a sweep means.
+    """
+    if backend == "python":
+        return backend, None
+    from repro.core.errors import ProtocolNotVectorizableError
+    from repro.scheduling.vectorized_engine import compile_protocol
+
+    try:
+        return backend, compile_protocol(protocol_factory())
+    except ProtocolNotVectorizableError:
+        if backend == "vectorized":
+            raise
+        return "python", None
+
+
 def sweep_protocol(
     protocol_factory: ProtocolFactory,
     families: Mapping[str, GraphFactory],
@@ -86,16 +110,22 @@ def sweep_protocol(
     validator: Validator | None = None,
     inputs_for: Callable[[Graph], Mapping[int, Any]] | None = None,
     extra_metrics: Callable[[Graph, ExecutionResult], dict[str, Any]] | None = None,
+    backend: str = "auto",
 ) -> SweepResult:
     """Run the protocol over ``families × sizes × repetitions`` synchronously.
 
     ``validator`` receives the graph and the execution result and returns
     whether the produced solution is correct; when omitted every completed run
     counts as valid.  Distinct seeds are derived deterministically from
-    ``base_seed`` so the whole sweep is reproducible.
+    ``base_seed`` so the whole sweep is reproducible.  ``backend`` selects the
+    execution engine (see :func:`~repro.scheduling.sync_engine.run_synchronous`);
+    the default ``"auto"`` uses the vectorized batch backend whenever the
+    protocol compiles — results are identical either way, sweeps over large
+    sizes just finish much faster.
     """
     records: list[SweepRecord] = []
     protocol_name = protocol_factory().name
+    backend, compiled = _precompile(protocol_factory, backend)
     for family_name, factory in families.items():
         for size in sizes:
             for repetition in range(repetitions):
@@ -109,6 +139,8 @@ def sweep_protocol(
                     inputs=run_inputs,
                     max_rounds=max_rounds,
                     raise_on_timeout=False,
+                    backend=backend,
+                    compiled=compiled,
                 )
                 valid = result.reached_output and (
                     validator is None or validator(graph, result)
@@ -155,10 +187,12 @@ def run_many(
     base_seed: int = 0,
     max_rounds: int = 100_000,
     validator: Validator | None = None,
+    backend: str = "auto",
 ) -> SweepResult:
     """Like :func:`sweep_protocol` but over an explicit list of graphs."""
     protocol_name = protocol_factory().name
     records: list[SweepRecord] = []
+    backend, compiled = _precompile(protocol_factory, backend)
     for label, graph in graphs:
         for repetition in range(repetitions):
             seed = _derive_seed(base_seed, label, graph.num_nodes, repetition)
@@ -168,6 +202,8 @@ def run_many(
                 seed=seed,
                 max_rounds=max_rounds,
                 raise_on_timeout=False,
+                backend=backend,
+                compiled=compiled,
             )
             valid = result.reached_output and (validator is None or validator(graph, result))
             records.append(

@@ -93,7 +93,7 @@ def _cmd_mis(args: argparse.Namespace) -> int:
     else:
         result = run_synchronous(
             graph, MISProtocol(), seed=args.seed, max_rounds=args.max_rounds,
-            raise_on_timeout=False,
+            raise_on_timeout=False, backend=args.backend,
         )
     selected = mis_from_result(result)
     valid = result.reached_output and is_maximal_independent_set(graph, selected)
@@ -116,7 +116,7 @@ def _cmd_color(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
     result = run_synchronous(
         graph, TreeColoringProtocol(), seed=args.seed, max_rounds=args.max_rounds,
-        raise_on_timeout=False,
+        raise_on_timeout=False, backend=args.backend,
     )
     colors = coloring_from_result(result)
     valid = (
@@ -139,7 +139,9 @@ def _cmd_color(args: argparse.Namespace) -> int:
 
 def _cmd_matching(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
-    matching, inner = maximal_matching_via_line_graph(graph, seed=args.seed)
+    matching, inner = maximal_matching_via_line_graph(
+        graph, seed=args.seed, backend=args.backend
+    )
     valid = is_maximal_matching(graph, matching)
     _emit(
         {
@@ -159,7 +161,7 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
     result = run_synchronous(
         graph, BroadcastProtocol(), seed=args.seed,
         inputs=broadcast_inputs(args.source), max_rounds=args.max_rounds,
-        raise_on_timeout=False,
+        raise_on_timeout=False, backend=args.backend,
     )
     informed = sum(1 for value in result.outputs.values() if value)
     valid = result.reached_output and informed == graph.num_nodes
@@ -233,6 +235,12 @@ def _add_graph_arguments(parser: argparse.ArgumentParser, default_family: str) -
     parser.add_argument("--nodes", "-n", type=int, default=64, help="number of nodes")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--max-rounds", type=int, default=100_000)
+    parser.add_argument("--backend", choices=("python", "vectorized", "auto"),
+                        default="auto",
+                        help="synchronous execution backend: the interpreted "
+                             "reference engine, the vectorized NumPy engine, or "
+                             "automatic selection (default: %(default)s); all "
+                             "backends give identical results for a seed")
     parser.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
 

@@ -15,10 +15,12 @@ from repro.core.errors import (
     ExecutionError,
     GraphError,
     OutputNotReachedError,
+    ProtocolNotVectorizableError,
     ProtocolSpecificationError,
     StoneAgeError,
     VerificationError,
 )
+from repro.core.interning import Interner, ProtocolTabulation, tabulate_protocol
 from repro.core.network import NetworkState, PortTable
 from repro.core.protocol import (
     ExtendedProtocol,
@@ -30,7 +32,11 @@ from repro.core.protocol import (
     TransitionChoice,
     tabulate_extended,
 )
-from repro.core.results import ExecutionResult, TransitionRecord
+from repro.core.results import (
+    ExecutionResult,
+    TransitionRecord,
+    build_synchronous_result,
+)
 
 __all__ = [
     "EPSILON",
@@ -42,6 +48,7 @@ __all__ = [
     "ExecutionResult",
     "ExtendedProtocol",
     "GraphError",
+    "Interner",
     "Letter",
     "NetworkState",
     "Observation",
@@ -50,7 +57,9 @@ __all__ = [
     "Protocol",
     "ProtocolBuilder",
     "ProtocolCensus",
+    "ProtocolNotVectorizableError",
     "ProtocolSpecificationError",
+    "ProtocolTabulation",
     "State",
     "StoneAgeError",
     "TableExtendedProtocol",
@@ -58,6 +67,8 @@ __all__ = [
     "TransitionChoice",
     "TransitionRecord",
     "VerificationError",
+    "build_synchronous_result",
     "is_epsilon",
     "tabulate_extended",
+    "tabulate_protocol",
 ]

@@ -38,6 +38,17 @@ class OutputNotReachedError(ExecutionError):
         self.result = result
 
 
+class ProtocolNotVectorizableError(ExecutionError):
+    """A protocol cannot be compiled for the vectorized batch backend.
+
+    Raised when the reachable state set cannot be enumerated within the
+    configured limits (lazy protocols with huge state spaces) or when the
+    transition relation rejects one of the observations the tabulation must
+    enumerate.  With ``backend="auto"`` the engines catch this error and fall
+    back to the interpreted engine.
+    """
+
+
 class GraphError(StoneAgeError):
     """A graph argument is malformed (e.g. self loop, unknown endpoint)."""
 

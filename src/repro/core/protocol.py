@@ -231,7 +231,19 @@ class ExtendedProtocol(_ProtocolBase):
 
         Defaults to the whole alphabet.  Protocols may override this to
         declare a smaller per-state footprint; the synchronizer compiler uses
-        it to shrink the number of querying steps it generates.
+        it to shrink the number of querying steps it generates, and the
+        vectorized backend enumerates only ``(b+1)^k`` observations per state
+        for the ``k`` declared letters.
+
+        Overrides must list *every* letter ``options`` reads in *state* — an
+        under-declaration would compile into a wrong table.  As a best-effort
+        guard the tabulation re-evaluates every enumerated cell with the
+        undeclared letters saturated and raises
+        :class:`~repro.core.errors.ProtocolNotVectorizableError` when the
+        option set reacts (such protocols then fall back to the interpreted
+        engine); the probe cannot catch reactions that only occur at
+        intermediate undeclared counts, so the declaration contract is on
+        the protocol author.
         """
         return self.alphabet.letters
 

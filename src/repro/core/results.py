@@ -79,6 +79,24 @@ class ExecutionResult:
             return float(self.time_units)
         return float("nan")
 
+    def summary_fields(self) -> tuple:
+        """The fields every synchronous backend must agree on, as a tuple.
+
+        Used by the backend-parity tests: two engines executing the same
+        (graph, protocol, seed) triple must produce equal tuples.
+        """
+        return (
+            self.protocol_name,
+            self.graph,
+            self.reached_output,
+            self.final_states,
+            self.outputs,
+            self.rounds,
+            self.total_node_steps,
+            self.total_messages,
+            self.seed,
+        )
+
     def summary(self) -> str:
         """One-line human-readable summary (used by examples and reports)."""
         parts = [
@@ -94,3 +112,40 @@ class ExecutionResult:
         parts.append(f"steps={self.total_node_steps}")
         parts.append(f"messages={self.total_messages}")
         return " ".join(parts)
+
+
+def build_synchronous_result(
+    protocol,
+    graph: Graph,
+    final_states,
+    *,
+    reached: bool,
+    rounds: int,
+    total_node_steps: int,
+    total_messages: int,
+    seed: int | None,
+) -> ExecutionResult:
+    """Assemble the :class:`ExecutionResult` of a synchronous execution.
+
+    Shared by the interpreted and the vectorized backend so that both decode
+    outputs identically (nodes in ascending order, only output states
+    contribute an entry) — the backend-parity guarantee depends on the two
+    engines funnelling through this single code path.
+    """
+    final_states = tuple(final_states)
+    outputs = {
+        node: protocol.output_value(state)
+        for node, state in enumerate(final_states)
+        if protocol.is_output_state(state)
+    }
+    return ExecutionResult(
+        protocol_name=protocol.name,
+        graph=graph,
+        reached_output=reached,
+        final_states=final_states,
+        outputs=outputs,
+        rounds=rounds,
+        total_node_steps=total_node_steps,
+        total_messages=total_messages,
+        seed=seed,
+    )

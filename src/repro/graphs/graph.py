@@ -102,6 +102,21 @@ class Graph:
         """The full adjacency structure (tuple of sorted neighbour tuples)."""
         return self._adjacency
 
+    def csr_adjacency(self) -> tuple[list[int], list[int]]:
+        """The adjacency in CSR form: ``(indptr, indices)``.
+
+        ``indices[indptr[v]:indptr[v+1]]`` are the (sorted) neighbours of
+        ``v``; both directions of every edge appear.  The lists are plain
+        Python so this module stays dependency-free — the vectorized engine
+        wraps them into NumPy arrays.
+        """
+        indptr = [0] * (self._n + 1)
+        indices: list[int] = []
+        for v, neighbours in enumerate(self._adjacency):
+            indices.extend(neighbours)
+            indptr[v + 1] = len(indices)
+        return indptr, indices
+
     def __len__(self) -> int:
         return self._n
 

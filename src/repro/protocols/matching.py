@@ -35,6 +35,7 @@ def maximal_matching_via_line_graph(
     *,
     seed: int | None = None,
     max_rounds: int = 100_000,
+    backend: str = "auto",
 ) -> tuple[list[tuple[int, int]], ExecutionResult | None]:
     """Compute a maximal matching by running the Stone Age MIS on ``L(G)``.
 
@@ -53,7 +54,9 @@ def maximal_matching_via_line_graph(
     line, edge_of_node = graph.line_graph()
     if line.num_nodes == 0:
         return [], None
-    result = run_synchronous(line, MISProtocol(), seed=seed, max_rounds=max_rounds)
+    result = run_synchronous(
+        line, MISProtocol(), seed=seed, max_rounds=max_rounds, backend=backend
+    )
     chosen = mis_from_result(result)
     matching = [edge_of_node[node] for node in sorted(chosen)]
     return matching, result

@@ -13,24 +13,36 @@ from repro.scheduling.adversary import (
 )
 from repro.scheduling.async_engine import AsynchronousEngine, run_asynchronous
 from repro.scheduling.sync_engine import (
+    BACKENDS,
     SynchronousEngine,
     repeat_synchronous,
     run_synchronous,
+)
+from repro.scheduling.vectorized_engine import (
+    CompiledProtocol,
+    VectorizedEngine,
+    compile_protocol,
+    run_vectorized,
 )
 
 __all__ = [
     "AdversaryPolicy",
     "AdversarySchedule",
     "AsynchronousEngine",
+    "BACKENDS",
     "BurstyAdversary",
+    "CompiledProtocol",
     "ExponentialAdversary",
     "SkewedRatesAdversary",
     "SynchronousAdversary",
     "SynchronousEngine",
     "TargetedLaggardAdversary",
     "UniformRandomAdversary",
+    "VectorizedEngine",
+    "compile_protocol",
     "default_adversary_suite",
     "repeat_synchronous",
     "run_asynchronous",
     "run_synchronous",
+    "run_vectorized",
 ]

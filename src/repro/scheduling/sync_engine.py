@@ -21,16 +21,23 @@ from collections.abc import Callable, Mapping, Sequence
 from typing import Any
 
 from repro.core.alphabet import Observation, is_epsilon
-from repro.core.errors import ExecutionError, OutputNotReachedError
+from repro.core.errors import (
+    ExecutionError,
+    OutputNotReachedError,
+    ProtocolNotVectorizableError,
+)
 from repro.core.network import NetworkState
 from repro.core.protocol import ExtendedProtocol, Protocol, State
-from repro.core.results import ExecutionResult
+from repro.core.results import ExecutionResult, build_synchronous_result
 from repro.graphs.graph import Graph
 
 RoundObserver = Callable[[int, tuple[State, ...]], None]
 """Callback invoked after every round with ``(round_index, states)``."""
 
 DEFAULT_MAX_ROUNDS = 100_000
+
+#: Recognised values of the ``backend`` execution parameter.
+BACKENDS = ("python", "vectorized", "auto")
 
 
 class SynchronousEngine:
@@ -172,23 +179,58 @@ class SynchronousEngine:
         return result
 
     def _build_result(self, reached: bool) -> ExecutionResult:
-        protocol = self._protocol
-        outputs = {
-            node: protocol.output_value(state)
-            for node, state in enumerate(self._state.states)
-            if protocol.is_output_state(state)
-        }
-        return ExecutionResult(
-            protocol_name=protocol.name,
-            graph=self._graph,
-            reached_output=reached,
-            final_states=tuple(self._state.states),
-            outputs=outputs,
+        return build_synchronous_result(
+            self._protocol,
+            self._graph,
+            self._state.states,
+            reached=reached,
             rounds=self._round,
             total_node_steps=sum(self._state.steps_taken),
             total_messages=self._messages,
             seed=self._seed,
         )
+
+
+def _make_engine(
+    graph: Graph,
+    protocol: ExtendedProtocol | Protocol,
+    *,
+    backend: str,
+    seed: int | None,
+    inputs: Mapping[int, Any] | None,
+    observer: RoundObserver | None,
+    compiled=None,
+):
+    """Instantiate the engine selected by *backend*.
+
+    ``"python"`` always interprets; ``"vectorized"`` compiles the protocol to
+    dense tables and raises :class:`ProtocolNotVectorizableError` when it
+    cannot; ``"auto"`` tries the vectorized backend and silently falls back
+    to the interpreter for protocols whose state set is not enumerable.
+    Both backends produce bitwise-identical results for the same seed.
+    """
+    if backend not in BACKENDS:
+        raise ExecutionError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend != "python":
+        from repro.scheduling.vectorized_engine import VectorizedEngine
+
+        try:
+            return VectorizedEngine(
+                graph,
+                protocol,
+                seed=seed,
+                inputs=inputs,
+                observer=observer,
+                compiled=compiled,
+            )
+        except ProtocolNotVectorizableError:
+            if backend == "vectorized":
+                raise
+    return SynchronousEngine(
+        graph, protocol, seed=seed, inputs=inputs, observer=observer
+    )
 
 
 def run_synchronous(
@@ -200,10 +242,32 @@ def run_synchronous(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     observer: RoundObserver | None = None,
     raise_on_timeout: bool = True,
+    backend: str = "python",
+    compiled=None,
 ) -> ExecutionResult:
-    """Convenience wrapper: build a :class:`SynchronousEngine` and run it."""
-    engine = SynchronousEngine(
-        graph, protocol, seed=seed, inputs=inputs, observer=observer
+    """Convenience wrapper: build the selected engine and run it.
+
+    ``backend`` selects the execution strategy — ``"python"`` (the
+    interpreted reference engine), ``"vectorized"`` (dense NumPy tables,
+    whole-network array rounds) or ``"auto"`` (vectorized when the protocol
+    compiles, interpreted otherwise).  All backends produce identical
+    results for the same seed.
+
+    ``compiled`` optionally supplies a pre-built
+    :class:`~repro.scheduling.vectorized_engine.CompiledProtocol` so many
+    runs of the same protocol skip the compile step (the sweep runners use
+    this); it is ignored by the ``"python"`` backend.  The caller must
+    guarantee the table was compiled from an equivalent protocol — the
+    engine only cross-checks that the initial states are present.
+    """
+    engine = _make_engine(
+        graph,
+        protocol,
+        backend=backend,
+        seed=seed,
+        inputs=inputs,
+        observer=observer,
+        compiled=compiled,
     )
     return engine.run(max_rounds=max_rounds, raise_on_timeout=raise_on_timeout)
 
@@ -214,9 +278,16 @@ def repeat_synchronous(
     *,
     repetitions: int,
     base_seed: int = 0,
+    inputs: Mapping[int, Any] | None = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    raise_on_timeout: bool = True,
+    backend: str = "python",
 ) -> Sequence[ExecutionResult]:
-    """Run *repetitions* independent executions with derived seeds."""
+    """Run *repetitions* independent executions with derived seeds.
+
+    ``inputs`` and ``raise_on_timeout`` are forwarded to every underlying
+    :func:`run_synchronous` call (earlier versions silently dropped them).
+    """
     results = []
     for repetition in range(repetitions):
         results.append(
@@ -224,7 +295,10 @@ def repeat_synchronous(
                 graph,
                 protocol_factory(),
                 seed=base_seed + repetition,
+                inputs=inputs,
                 max_rounds=max_rounds,
+                raise_on_timeout=raise_on_timeout,
+                backend=backend,
             )
         )
     return results

@@ -1,0 +1,365 @@
+"""Vectorized batch execution of synchronous nFSM protocols.
+
+The interpreted engine of :mod:`repro.scheduling.sync_engine` evaluates the
+transition relation one node at a time through the object-level protocol
+API.  That is faithful and flexible, but it caps the scaling experiments
+(Theorems 4.5 and 5.4) at modest network sizes: a round costs one
+``Observation`` construction plus a handful of dictionary lookups per node.
+
+This module trades a small compile step for large per-round wins.  A
+finite-state protocol is first *tabulated* (:func:`repro.core.interning.
+tabulate_protocol`): every reachable state, letter and transition option is
+interned to a dense integer id.  The tabulation is then packed into NumPy
+arrays and a whole round becomes a short sequence of array operations over
+the CSR adjacency of the graph:
+
+1. **Port census** — every node's saturated letter counts are obtained with
+   one ``np.bincount`` over the directed edges (the synchronous engine only
+   ever broadcasts, so the port ``ψ_v(u)`` always holds the last letter
+   ``u`` transmitted — one value per *sender* suffices);
+2. **Observation indexing** — the counts are folded into a per-node
+   observation id with a per-state stride matrix (states only pay for the
+   letters they actually query, see ``queried_letters``);
+3. **Option selection** — nodes whose option set has a single element take
+   it; the remaining nodes draw uniformly.  With ``rng_mode="python"``
+   (the default) the draws replay ``random.Random.randrange`` in ascending
+   node order, which makes the execution *bitwise identical* to the
+   interpreted engine for the same seed.  With ``rng_mode="numpy"`` the
+   draws come from a seeded :class:`numpy.random.Generator` in one
+   vectorized call — faster on option-heavy protocols, but a different
+   (still reproducible) random sequence;
+4. **Delivery** — emitting nodes overwrite their last-letter slot and the
+   message counter advances; output configurations are detected with a
+   boolean mask over the state vector.
+
+Protocols whose state set cannot be enumerated within the configured limits
+raise :class:`~repro.core.errors.ProtocolNotVectorizableError`; the
+``backend="auto"`` selection in :func:`repro.scheduling.sync_engine.
+run_synchronous` catches it and falls back to the interpreted engine.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from typing import Any
+
+try:  # NumPy is an optional dependency of the library as a whole.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    np = None
+
+from repro.core.errors import (
+    ExecutionError,
+    OutputNotReachedError,
+    ProtocolNotVectorizableError,
+)
+from repro.core.interning import (
+    DEFAULT_MAX_CELLS,
+    DEFAULT_MAX_STATES,
+    ProtocolTabulation,
+    tabulate_protocol,
+)
+from repro.core.protocol import ExtendedProtocol, Protocol, State
+from repro.core.results import ExecutionResult, build_synchronous_result
+from repro.graphs.graph import Graph
+
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ProtocolNotVectorizableError(
+            "the vectorized backend requires NumPy, which is not installed"
+        )
+
+
+class CompiledProtocol:
+    """A :class:`ProtocolTabulation` packed into dense NumPy arrays.
+
+    The flat layout is the classic CSR-of-CSR shape: per (state, observation)
+    cell an offset/length pair into a flat option pool, with per-state base
+    offsets into the cell pool because observation spaces differ per state.
+    """
+
+    __slots__ = (
+        "tabulation",
+        "strides",
+        "state_base",
+        "cell_offset",
+        "cell_count",
+        "option_next",
+        "option_emit",
+        "output_mask",
+        "initial_letter_id",
+        "num_letters",
+    )
+
+    def __init__(self, tabulation: ProtocolTabulation) -> None:
+        _require_numpy()
+        self.tabulation = tabulation
+        b1 = tabulation.bounding + 1
+        num_states = tabulation.num_states
+        num_letters = tabulation.num_letters
+
+        strides = np.zeros((num_states, num_letters), dtype=np.int64)
+        state_base = np.zeros(num_states, dtype=np.int64)
+        cell_offset: list[int] = []
+        cell_count: list[int] = []
+        option_next: list[int] = []
+        option_emit: list[int] = []
+        for state_id, (queried, cells) in enumerate(
+            zip(tabulation.queried, tabulation.options)
+        ):
+            arity = len(queried)
+            for position, letter_id in enumerate(queried):
+                strides[state_id, letter_id] = b1 ** (arity - 1 - position)
+            state_base[state_id] = len(cell_offset)
+            for choices in cells:
+                cell_offset.append(len(option_next))
+                cell_count.append(len(choices))
+                for next_id, emit_id in choices:
+                    option_next.append(next_id)
+                    option_emit.append(emit_id)
+
+        self.strides = strides
+        self.state_base = state_base
+        self.cell_offset = np.asarray(cell_offset, dtype=np.int64)
+        self.cell_count = np.asarray(cell_count, dtype=np.int64)
+        self.option_next = np.asarray(option_next, dtype=np.int64)
+        self.option_emit = np.asarray(option_emit, dtype=np.int64)
+        self.output_mask = np.asarray(tabulation.output_mask, dtype=bool)
+        self.initial_letter_id = tabulation.initial_letter_id
+        self.num_letters = num_letters
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return self.tabulation.states
+
+    def state_id(self, state: State) -> int:
+        return self.tabulation.state_ids[state]
+
+
+def compile_protocol(
+    protocol: ExtendedProtocol | Protocol,
+    roots=None,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+    max_cells: int = DEFAULT_MAX_CELLS,
+) -> CompiledProtocol:
+    """Tabulate *protocol* and pack it for the vectorized engine.
+
+    Raises :class:`ProtocolNotVectorizableError` when the protocol's state
+    set cannot be enumerated within the limits (or NumPy is unavailable).
+    """
+    _require_numpy()
+    tabulation = tabulate_protocol(
+        protocol, roots, max_states=max_states, max_cells=max_cells
+    )
+    return CompiledProtocol(tabulation)
+
+
+class VectorizedEngine:
+    """Executes a compiled protocol in whole-network array rounds.
+
+    The constructor signature mirrors :class:`~repro.scheduling.sync_engine.
+    SynchronousEngine`; construction performs the compile step (reachable
+    state closure + array packing) unless a pre-built
+    :class:`CompiledProtocol` is supplied via ``compiled``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocol: ExtendedProtocol | Protocol,
+        *,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        inputs: Mapping[int, Any] | None = None,
+        observer=None,
+        compiled: CompiledProtocol | None = None,
+        rng_mode: str = "python",
+    ) -> None:
+        _require_numpy()
+        if not isinstance(protocol, (ExtendedProtocol, Protocol)):
+            raise ExecutionError(
+                f"cannot execute object of type {type(protocol).__name__}"
+            )
+        if rng_mode not in ("python", "numpy"):
+            raise ExecutionError(f"unknown rng_mode {rng_mode!r}")
+        self._graph = graph
+        self._protocol = protocol
+        self._seed = seed
+        self._observer = observer
+        self._rng_mode = rng_mode
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._np_rng = np.random.default_rng(seed) if rng_mode == "numpy" else None
+
+        inputs = dict(inputs or {})
+        initial_states = [
+            protocol.initial_state(inputs.get(node)) for node in graph.nodes
+        ]
+        if compiled is None:
+            # Fall back to the declared input states on empty graphs so the
+            # compile step still has roots to close over.
+            roots = dict.fromkeys(initial_states) or None
+            compiled = compile_protocol(protocol, roots=roots)
+        self._compiled = compiled
+
+        try:
+            state_vector = [compiled.state_id(state) for state in initial_states]
+        except KeyError as exc:
+            raise ProtocolNotVectorizableError(
+                f"initial state {exc.args[0]!r} is missing from the compiled "
+                "table; compile with roots covering all initial states"
+            ) from None
+        self._state = np.asarray(state_vector, dtype=np.int64)
+        # One slot per *sender*: the synchronous engine only broadcasts, so
+        # every port of a node's neighbours holds the same letter — the last
+        # one the node transmitted (initially σ0).
+        self._last_letter = np.full(
+            graph.num_nodes, compiled.initial_letter_id, dtype=np.int64
+        )
+        indptr, indices = graph.csr_adjacency()
+        self._edge_dst = np.asarray(indices, dtype=np.int64)
+        degrees = np.diff(np.asarray(indptr, dtype=np.int64))
+        self._edge_src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), degrees)
+        self._round = 0
+        self._messages = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def protocol(self) -> ExtendedProtocol | Protocol:
+        return self._protocol
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        return self._compiled
+
+    @property
+    def round_index(self) -> int:
+        """Number of rounds executed so far."""
+        return self._round
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        """Current per-node states, decoded back to protocol state objects."""
+        return self._decode_states()
+
+    def in_output_configuration(self) -> bool:
+        """Whether every node currently resides in an output state."""
+        return bool(self._compiled.output_mask[self._state].all())
+
+    def _decode_states(self) -> tuple[State, ...]:
+        table = self._compiled.states
+        return tuple(table[i] for i in self._state)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+    def step_round(self) -> None:
+        """Execute one fully synchronous round for all nodes as array ops."""
+        compiled = self._compiled
+        n = self._graph.num_nodes
+        num_letters = compiled.num_letters
+
+        # 1. Port census: counts[v, σ] = |{u ∈ N(v) : last_letter(u) = σ}|.
+        keys = self._edge_src * num_letters + self._last_letter[self._edge_dst]
+        counts = np.bincount(keys, minlength=n * num_letters).reshape(n, num_letters)
+        saturated = np.minimum(counts, compiled.tabulation.bounding)
+
+        # 2. Observation ids via the per-state stride matrix.
+        obs_id = (saturated * compiled.strides[self._state]).sum(axis=1)
+        cell = compiled.state_base[self._state] + obs_id
+        option_count = compiled.cell_count[cell]
+        option_offset = compiled.cell_offset[cell]
+
+        # 3. Uniform draws for nodes with more than one option.
+        pick = np.zeros(n, dtype=np.int64)
+        multi = option_count > 1
+        if multi.any():
+            if self._rng_mode == "python":
+                # Replay random.Random in ascending node order: exactly the
+                # draw sequence of the interpreted engine (bitwise parity).
+                randrange = self._rng.randrange
+                nodes = np.flatnonzero(multi)
+                pick[nodes] = [randrange(int(k)) for k in option_count[nodes]]
+            else:
+                pick[multi] = self._np_rng.integers(0, option_count[multi])
+
+        # 4. Apply transitions and deliver emissions (round-t messages become
+        #    visible in round t+1: the census above used the old letters).
+        selected = option_offset + pick
+        self._state = compiled.option_next[selected]
+        emitted = compiled.option_emit[selected]
+        transmitting = emitted >= 0
+        self._messages += int(transmitting.sum())
+        self._last_letter = np.where(transmitting, emitted, self._last_letter)
+        self._round += 1
+        if self._observer is not None:
+            self._observer(self._round, self._decode_states())
+
+    def run(
+        self,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        *,
+        raise_on_timeout: bool = False,
+    ) -> ExecutionResult:
+        """Run until an output configuration is reached (or *max_rounds*)."""
+        while self._round < max_rounds and not self.in_output_configuration():
+            self.step_round()
+        reached = self.in_output_configuration()
+        result = self._build_result(reached)
+        if not reached and raise_on_timeout:
+            raise OutputNotReachedError(
+                f"no output configuration within {max_rounds} rounds", result
+            )
+        return result
+
+    def _build_result(self, reached: bool) -> ExecutionResult:
+        return build_synchronous_result(
+            self._protocol,
+            self._graph,
+            self._decode_states(),
+            reached=reached,
+            rounds=self._round,
+            # Every node takes one step per round in the synchronous setting.
+            total_node_steps=self._graph.num_nodes * self._round,
+            total_messages=self._messages,
+            seed=self._seed,
+        )
+
+
+def run_vectorized(
+    graph: Graph,
+    protocol: ExtendedProtocol | Protocol,
+    *,
+    seed: int | None = None,
+    inputs: Mapping[int, Any] | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    observer=None,
+    raise_on_timeout: bool = True,
+    compiled: CompiledProtocol | None = None,
+    rng_mode: str = "python",
+) -> ExecutionResult:
+    """Convenience wrapper: compile, build a :class:`VectorizedEngine`, run it.
+
+    Pass a pre-built ``compiled`` table to amortise the compile step over
+    many runs of the same protocol (the sweep runners do this).
+    """
+    engine = VectorizedEngine(
+        graph,
+        protocol,
+        seed=seed,
+        inputs=inputs,
+        observer=observer,
+        compiled=compiled,
+        rng_mode=rng_mode,
+    )
+    return engine.run(max_rounds=max_rounds, raise_on_timeout=raise_on_timeout)

@@ -1,0 +1,120 @@
+"""Seed-for-seed equivalence of the interpreted and vectorized backends.
+
+The vectorized engine replays the interpreter's ``random.Random`` draw
+sequence (one ``randrange`` per node with a multi-option transition, in
+ascending node order), so for every (graph, protocol, seed) triple the two
+backends must produce *identical* :class:`ExecutionResult` fields: final
+states, outputs, rounds, total node steps, message counts and the seed
+itself.  This is the contract that makes ``backend="auto"`` safe to use
+everywhere — this module pins it across the paper's protocols and the graph
+families of the scaling experiments.
+"""
+
+import pytest
+
+from repro.graphs import generators
+from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
+from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
+from repro.protocols.mis import MISProtocol, mis_from_result
+from repro.scheduling.sync_engine import run_synchronous
+from repro.verification import (
+    is_maximal_independent_set,
+    is_proper_coloring,
+)
+
+SEEDS = (0, 1, 17)
+
+GRAPHS = {
+    "path": lambda seed: generators.path_graph(40),
+    "tree": lambda seed: generators.random_tree(60, seed=seed),
+    "gnp": lambda seed: generators.gnp_random_graph(60, 0.08, seed=seed),
+}
+
+
+def _run_both(graph, protocol_factory, seed, inputs=None, max_rounds=100_000):
+    results = []
+    for backend in ("python", "vectorized"):
+        results.append(
+            run_synchronous(
+                graph,
+                protocol_factory(),
+                seed=seed,
+                inputs=inputs,
+                max_rounds=max_rounds,
+                raise_on_timeout=False,
+                backend=backend,
+            )
+        )
+    return results
+
+
+@pytest.mark.parametrize("family", sorted(GRAPHS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mis_parity(family, seed):
+    graph = GRAPHS[family](seed)
+    interpreted, vectorized = _run_both(graph, MISProtocol, seed)
+    assert interpreted.summary_fields() == vectorized.summary_fields()
+    assert is_maximal_independent_set(graph, mis_from_result(vectorized))
+
+
+@pytest.mark.parametrize("family", ["path", "tree"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_coloring_parity(family, seed):
+    graph = GRAPHS[family](seed)
+    interpreted, vectorized = _run_both(
+        graph, TreeColoringProtocol, seed, max_rounds=50_000
+    )
+    assert interpreted.summary_fields() == vectorized.summary_fields()
+    assert is_proper_coloring(graph, coloring_from_result(vectorized))
+
+
+@pytest.mark.parametrize("family", sorted(GRAPHS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_broadcast_parity(family, seed):
+    from repro.graphs.properties import is_connected
+
+    graph = GRAPHS[family](seed)
+    # On a disconnected G(n,p) sample the token cannot reach every node; the
+    # backends must still agree on the (timed-out) partial execution, so cap
+    # the budget rather than skip.
+    max_rounds = graph.num_nodes + 1 if not is_connected(graph) else 100_000
+    interpreted, vectorized = _run_both(
+        graph, BroadcastProtocol, seed, inputs=broadcast_inputs(0),
+        max_rounds=max_rounds,
+    )
+    assert interpreted.summary_fields() == vectorized.summary_fields()
+    if is_connected(graph):
+        assert vectorized.reached_output
+        assert all(vectorized.outputs[node] for node in graph.nodes)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_biased_coin_mis_parity(seed):
+    """Weighted option sets (duplicated choices) draw identically too."""
+    graph = generators.gnp_random_graph(48, 0.1, seed=seed)
+    interpreted, vectorized = _run_both(
+        graph, lambda: MISProtocol(climb_weight=3, decide_weight=1), seed
+    )
+    assert interpreted.summary_fields() == vectorized.summary_fields()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_timeout_parity(seed):
+    """Partial executions (round budget hit) also agree field-for-field."""
+    graph = generators.cycle_graph(24)
+    interpreted, vectorized = _run_both(graph, MISProtocol, seed, max_rounds=3)
+    assert not interpreted.reached_output
+    assert interpreted.summary_fields() == vectorized.summary_fields()
+
+
+def test_auto_backend_matches_python_on_the_full_matrix():
+    """One sweep-shaped pass with backend='auto' against the interpreter."""
+    for family in sorted(GRAPHS):
+        graph = GRAPHS[family](5)
+        auto = run_synchronous(
+            graph, MISProtocol(), seed=5, backend="auto", raise_on_timeout=False
+        )
+        python = run_synchronous(
+            graph, MISProtocol(), seed=5, backend="python", raise_on_timeout=False
+        )
+        assert auto.summary_fields() == python.summary_fields()

@@ -124,3 +124,48 @@ class TestEngineMechanics:
         )
         assert len(results) == 4
         assert all(result.reached_output for result in results)
+
+    def test_repeat_synchronous_forwards_inputs(self):
+        graph = path_graph(6)
+        results = repeat_synchronous(
+            graph,
+            BroadcastProtocol,
+            repetitions=2,
+            base_seed=3,
+            inputs=broadcast_inputs(2),
+        )
+        # Without the source input every node would stay IDLE forever; the
+        # forwarded input makes every repetition terminate and inform all.
+        assert all(result.reached_output for result in results)
+        assert all(
+            result.rounds == eccentricity(graph, 2) + 1 for result in results
+        )
+
+    def test_repeat_synchronous_forwards_raise_on_timeout(self):
+        with pytest.raises(OutputNotReachedError):
+            repeat_synchronous(
+                cycle_graph(9), MISProtocol, repetitions=1, base_seed=1, max_rounds=1
+            )
+        results = repeat_synchronous(
+            cycle_graph(9),
+            MISProtocol,
+            repetitions=2,
+            base_seed=1,
+            max_rounds=1,
+            raise_on_timeout=False,
+        )
+        assert all(not result.reached_output for result in results)
+
+    def test_repeat_synchronous_accepts_backend(self):
+        interpreted = repeat_synchronous(
+            cycle_graph(8), MISProtocol, repetitions=2, base_seed=10, backend="python"
+        )
+        vectorized = repeat_synchronous(
+            cycle_graph(8), MISProtocol, repetitions=2, base_seed=10, backend="vectorized"
+        )
+        for left, right in zip(interpreted, vectorized):
+            assert left.summary_fields() == right.summary_fields()
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ExecutionError):
+            run_synchronous(path_graph(2), BroadcastProtocol(), seed=0, backend="gpu")
