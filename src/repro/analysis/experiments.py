@@ -156,11 +156,37 @@ def experiment_coloring_scaling(
 # ---------------------------------------------------------------------- #
 # E3 — Theorem 3.1: synchronizer has constant overhead                    #
 # ---------------------------------------------------------------------- #
+def _shared_lazy_table(protocol, backend: str):
+    """One incremental table shared by every vectorized run of *protocol*.
+
+    Returns ``None`` when the vectorized path cannot apply (no NumPy, or the
+    interpreted backend was requested) — ``run_asynchronous`` then proceeds
+    without table sharing.
+    """
+    if backend == "python":
+        return None
+    from repro.core.errors import ProtocolNotVectorizableError
+
+    try:
+        from repro.scheduling.compiled import LazyStrictTable
+
+        return LazyStrictTable(protocol)
+    except ProtocolNotVectorizableError:
+        return None
+
+
 def experiment_synchronizer_overhead(
     sizes: Sequence[int] = (6, 9, 12),
     base_seed: int = 3,
+    backend: str = "auto",
 ) -> ExperimentReport:
-    """Compare synchronous rounds against asynchronous time units (E3)."""
+    """Compare synchronous rounds against asynchronous time units (E3).
+
+    ``backend`` selects the asynchronous execution engine (see
+    :func:`~repro.scheduling.async_engine.run_asynchronous`); the default
+    ``"auto"`` routes through the vectorized batch engine, which is what
+    makes n ≥ 1024 sizes practical for this experiment.
+    """
     report = ExperimentReport(
         experiment_id="E3",
         title="Synchronizer overhead (Theorem 3.1)",
@@ -170,6 +196,8 @@ def experiment_synchronizer_overhead(
     ratios = []
     compiled_mis = compile_to_asynchronous(MISProtocol())
     compiled_broadcast = compile_to_asynchronous(BroadcastProtocol())
+    mis_table = _shared_lazy_table(compiled_mis, backend)
+    broadcast_table = _shared_lazy_table(compiled_broadcast, backend)
     for size_index, size in enumerate(sizes):
         graph = generators.gnp_random_graph(size, 0.4, seed=base_seed + size)
         base_result = run_synchronous(graph, MISProtocol(), seed=base_seed + size_index)
@@ -186,6 +214,8 @@ def experiment_synchronizer_overhead(
                 adversary_seed=base_seed + 100 + size_index,
                 max_events=5_000_000,
                 raise_on_timeout=False,
+                backend=backend,
+                table=mis_table,
             )
             if async_result.reached_output and base_result.rounds:
                 ratio = async_result.time_units / base_result.rounds
@@ -203,6 +233,8 @@ def experiment_synchronizer_overhead(
                 adversary_seed=base_seed + 200 + size_index,
                 max_events=5_000_000,
                 raise_on_timeout=False,
+                backend=backend,
+                table=broadcast_table,
             )
             if async_broadcast.reached_output and base_broadcast.rounds:
                 ratio = async_broadcast.time_units / base_broadcast.rounds
@@ -624,6 +656,7 @@ def experiment_adversary_severity(
     slow_factors: Sequence[float] = (1.0, 4.0, 16.0, 64.0),
     size: int = 8,
     base_seed: int = 22,
+    backend: str = "auto",
 ) -> ExperimentReport:
     """Check that the normalised run-time stays bounded as the adversary worsens (A2).
 
@@ -631,6 +664,8 @@ def experiment_adversary_severity(
     step-length / delay parameter the adversary used.  Making a subset of
     nodes k times slower therefore should not blow up the *normalised*
     run-time — this is precisely what makes the measure meaningful.
+    ``backend`` selects the asynchronous engine; ``"auto"`` (the default)
+    uses the vectorized backend, which keeps sizes of 1024+ nodes tractable.
     """
     from repro.scheduling.adversary import SkewedRatesAdversary
 
@@ -641,7 +676,8 @@ def experiment_adversary_severity(
         headers=["slow factor", "elapsed time", "normalised time units"],
     )
     compiled = compile_to_asynchronous(MISProtocol())
-    graph = generators.gnp_random_graph(size, 0.4, seed=base_seed)
+    table = _shared_lazy_table(compiled, backend)
+    graph = generators.gnp_random_graph(size, min(0.4, 6.0 / size), seed=base_seed)
     normalised = []
     for factor in slow_factors:
         result = run_asynchronous(
@@ -652,6 +688,8 @@ def experiment_adversary_severity(
             adversary_seed=base_seed + 1,
             max_events=6_000_000,
             raise_on_timeout=False,
+            backend=backend,
+            table=table,
         )
         if not result.reached_output:
             continue

@@ -89,6 +89,7 @@ def _cmd_mis(args: argparse.Namespace) -> int:
             adversary_seed=args.seed + 1,
             max_events=args.max_events,
             raise_on_timeout=False,
+            backend=args.backend,
         )
     else:
         result = run_synchronous(
@@ -237,10 +238,11 @@ def _add_graph_arguments(parser: argparse.ArgumentParser, default_family: str) -
     parser.add_argument("--max-rounds", type=int, default=100_000)
     parser.add_argument("--backend", choices=("python", "vectorized", "auto"),
                         default="auto",
-                        help="synchronous execution backend: the interpreted "
-                             "reference engine, the vectorized NumPy engine, or "
-                             "automatic selection (default: %(default)s); all "
-                             "backends give identical results for a seed")
+                        help="execution backend (synchronous and asynchronous "
+                             "runs alike): the interpreted reference engine, "
+                             "the vectorized NumPy engine, or automatic "
+                             "selection (default: %(default)s); all backends "
+                             "give identical results for a seed")
     parser.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
 

@@ -114,6 +114,56 @@ class ExecutionResult:
         return " ".join(parts)
 
 
+def build_asynchronous_result(
+    protocol,
+    graph: Graph,
+    final_states,
+    *,
+    reached: bool,
+    elapsed: float | None,
+    max_parameter: float,
+    total_node_steps: int,
+    total_messages: int,
+    seed: int | None,
+    adversary_name: str,
+    backend: str,
+) -> ExecutionResult:
+    """Assemble the :class:`ExecutionResult` of an asynchronous execution.
+
+    Shared by the interpreted and the vectorized asynchronous backend so that
+    both decode outputs and normalise the run-time identically — ``elapsed``
+    is divided by ``max_parameter`` (the largest step-length / delivery-delay
+    the adversary used), exactly the paper's time-unit definition.
+    """
+    final_states = tuple(final_states)
+    outputs = {
+        node: protocol.output_value(state)
+        for node, state in enumerate(final_states)
+        if protocol.is_output_state(state)
+    }
+    time_units = None
+    if elapsed is not None and max_parameter > 0:
+        time_units = elapsed / max_parameter
+    return ExecutionResult(
+        protocol_name=protocol.name,
+        graph=graph,
+        reached_output=reached,
+        final_states=final_states,
+        outputs=outputs,
+        rounds=None,
+        time_units=time_units,
+        elapsed_time=elapsed,
+        total_node_steps=total_node_steps,
+        total_messages=total_messages,
+        seed=seed,
+        metadata={
+            "adversary": adversary_name,
+            "max_parameter": max_parameter,
+            "backend": backend,
+        },
+    )
+
+
 def build_synchronous_result(
     protocol,
     graph: Graph,

@@ -1,48 +1,82 @@
-"""Execution engines and adversarial asynchrony policies."""
+"""Execution engines and adversarial asynchrony policies.
+
+The scheduling layer is organised around one *compiled-execution core*
+(:mod:`repro.scheduling.compiled`) consumed by two engine families:
+
+======================  ==========================  ============================
+environment             interpreted reference       vectorized batch backend
+======================  ==========================  ============================
+synchronous rounds      :class:`SynchronousEngine`  :class:`VectorizedEngine`
+adversarial timing      :class:`AsynchronousEngine` :class:`VectorizedAsynchronousEngine`
+======================  ==========================  ============================
+
+Both :func:`run_synchronous` and :func:`run_asynchronous` take
+``backend="python" | "vectorized" | "auto"``; for any given seed the two
+backends of an environment produce identical results (terminating runs).
+"""
 
 from repro.scheduling.adversary import (
     AdversaryPolicy,
     AdversarySchedule,
     BurstyAdversary,
+    CounterBasedSchedule,
     ExponentialAdversary,
     SkewedRatesAdversary,
     SynchronousAdversary,
     TargetedLaggardAdversary,
     UniformRandomAdversary,
     default_adversary_suite,
+    derive_adversary_seed,
 )
-from repro.scheduling.async_engine import AsynchronousEngine, run_asynchronous
+from repro.scheduling.async_engine import (
+    ASYNC_BACKENDS,
+    AsynchronousEngine,
+    run_asynchronous,
+)
+from repro.scheduling.compiled import (
+    CompiledProtocol,
+    LazyStrictTable,
+    compile_protocol,
+)
 from repro.scheduling.sync_engine import (
     BACKENDS,
     SynchronousEngine,
     repeat_synchronous,
     run_synchronous,
 )
+from repro.scheduling.vectorized_async_engine import (
+    VectorizedAsynchronousEngine,
+    run_vectorized_asynchronous,
+)
 from repro.scheduling.vectorized_engine import (
-    CompiledProtocol,
     VectorizedEngine,
-    compile_protocol,
     run_vectorized,
 )
 
 __all__ = [
+    "ASYNC_BACKENDS",
     "AdversaryPolicy",
     "AdversarySchedule",
     "AsynchronousEngine",
     "BACKENDS",
     "BurstyAdversary",
     "CompiledProtocol",
+    "CounterBasedSchedule",
     "ExponentialAdversary",
+    "LazyStrictTable",
     "SkewedRatesAdversary",
     "SynchronousAdversary",
     "SynchronousEngine",
     "TargetedLaggardAdversary",
     "UniformRandomAdversary",
+    "VectorizedAsynchronousEngine",
     "VectorizedEngine",
     "compile_protocol",
     "default_adversary_suite",
+    "derive_adversary_seed",
     "repeat_synchronous",
     "run_asynchronous",
     "run_synchronous",
     "run_vectorized",
+    "run_vectorized_asynchronous",
 ]

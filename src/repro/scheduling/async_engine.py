@@ -14,6 +14,17 @@ This engine implements the raw model of Section 2:
   configuration, divided by the largest step-length / delay parameter the
   adversary used up to that point (the paper's "time unit").
 
+Event ordering is *canonical*: events are processed in ascending time, and
+within one instant all deliveries precede all step transitions (a message
+arriving exactly when a step ends is therefore observed by that step);
+equal-time deliveries are ordered by ``(sender, step, receiver)`` and
+equal-time steps by node id.  Delivery delays are strictly positive, so
+same-instant steps can never observe each other's emissions — the tie rule
+only pins down a deterministic total order.  The vectorized backend
+(:mod:`repro.scheduling.vectorized_async_engine`) implements exactly the
+same order with time-bucketed batches, which is what makes the two engines
+interchangeable per seed.
+
 Only strict (single-query-letter) protocols can run here; multi-letter
 protocols are first lowered through the compilers of
 :mod:`repro.compilers`.
@@ -22,26 +33,45 @@ protocols are first lowered through the compilers of
 from __future__ import annotations
 
 import heapq
-import itertools
 import random
 from collections.abc import Callable, Mapping
 from typing import Any
 
 from repro.core.alphabet import is_epsilon
-from repro.core.errors import ExecutionError, OutputNotReachedError
+from repro.core.errors import (
+    ExecutionError,
+    OutputNotReachedError,
+    ProtocolNotVectorizableError,
+)
 from repro.core.network import NetworkState
 from repro.core.protocol import Protocol, State
-from repro.core.results import ExecutionResult, TransitionRecord
+from repro.core.results import (
+    ExecutionResult,
+    TransitionRecord,
+    build_asynchronous_result,
+)
 from repro.graphs.graph import Graph
-from repro.scheduling.adversary import AdversaryPolicy, SynchronousAdversary
+from repro.scheduling.adversary import (
+    AdversaryPolicy,
+    SynchronousAdversary,
+    derive_adversary_seed,
+)
 
 TransitionObserver = Callable[[TransitionRecord], None]
 """Callback invoked after every applied node transition."""
 
 DEFAULT_MAX_EVENTS = 5_000_000
 
-_STEP = 0
-_DELIVERY = 1
+#: Recognised values of the asynchronous ``backend`` execution parameter.
+ASYNC_BACKENDS = ("python", "vectorized", "auto")
+
+#: Below this network size ``backend="auto"`` stays on the interpreter: the
+#: per-bucket array overhead only amortises once buckets hold enough steps.
+#: Results are backend-independent, so the cutoff is purely a speed heuristic.
+AUTO_VECTORIZE_MIN_NODES = 192
+
+_DELIVERY = 0
+_STEP = 1
 
 
 class AsynchronousEngine:
@@ -62,6 +92,9 @@ class AsynchronousEngine:
     adversary_seed:
         Separate seed for the adversary's random stream, keeping the
         adversary oblivious to the protocol's coins as the model requires.
+        Defaults to a deterministic integer mix of ``seed`` (see
+        :func:`~repro.scheduling.adversary.derive_adversary_seed`), so runs
+        reproduce across processes regardless of string-hash randomization.
     inputs:
         Optional per-node input values.
     observer:
@@ -90,7 +123,7 @@ class AsynchronousEngine:
         self._rng = random.Random(seed)
         adversary = adversary if adversary is not None else SynchronousAdversary()
         adversary_rng = random.Random(
-            adversary_seed if adversary_seed is not None else (seed, "adversary").__hash__()
+            adversary_seed if adversary_seed is not None else derive_adversary_seed(seed)
         )
         self._schedule = adversary.start(graph, adversary_rng)
         self._adversary_name = adversary.name
@@ -100,11 +133,18 @@ class AsynchronousEngine:
             protocol.initial_state(inputs.get(node)) for node in graph.nodes
         ]
         self._state = NetworkState(graph, initial_states, protocol.initial_letter)
+        # Incrementally maintained count of nodes outside Q_O: the per-step
+        # output check is O(1) instead of an O(n) scan over all states.
+        self._non_output = sum(
+            1 for state in initial_states if not protocol.is_output_state(state)
+        )
         self._messages = 0
         self._max_parameter = 0.0
         self._now = 0.0
-        self._event_counter = itertools.count()
-        self._queue: list[tuple[float, int, int, tuple]] = []
+        # Heap keys are (time, kind, sender/node, step, receiver[, letter]);
+        # the first five fields are unique per event, so ordering is total
+        # and deterministic (deliveries sort before steps at equal time).
+        self._queue: list[tuple] = []
         # FIFO guard: last scheduled arrival time per (sender, receiver).
         self._last_arrival: dict[tuple[int, int], float] = {}
         self._output_time: float | None = None
@@ -114,13 +154,10 @@ class AsynchronousEngine:
     # ------------------------------------------------------------------ #
     # Event plumbing                                                      #
     # ------------------------------------------------------------------ #
-    def _push(self, time: float, kind: int, payload: tuple) -> None:
-        heapq.heappush(self._queue, (time, next(self._event_counter), kind, payload))
-
     def _schedule_step(self, node: int, step: int, start_time: float) -> None:
         length = self._schedule.step_length(node, step)
         self._max_parameter = max(self._max_parameter, length)
-        self._push(start_time + length, _STEP, (node, step))
+        heapq.heappush(self._queue, (start_time + length, _STEP, node, step, -1))
 
     def _schedule_deliveries(self, sender: int, step: int, letter: Any, now: float) -> None:
         for receiver in self._graph.neighbors(sender):
@@ -131,7 +168,9 @@ class AsynchronousEngine:
             previous = self._last_arrival.get((sender, receiver), 0.0)
             arrival = max(arrival, previous)
             self._last_arrival[(sender, receiver)] = arrival
-            self._push(arrival, _DELIVERY, (sender, receiver, letter))
+            heapq.heappush(
+                self._queue, (arrival, _DELIVERY, sender, step, receiver, letter)
+            )
         self._messages += 1
 
     # ------------------------------------------------------------------ #
@@ -147,7 +186,7 @@ class AsynchronousEngine:
         return self._now
 
     def in_output_configuration(self) -> bool:
-        return all(self._protocol.is_output_state(s) for s in self._state.states)
+        return self._non_output == 0
 
     # ------------------------------------------------------------------ #
     # Execution                                                           #
@@ -163,6 +202,9 @@ class AsynchronousEngine:
         chosen = choices[0] if len(choices) == 1 else choices[self._rng.randrange(len(choices))]
         self._state.states[node] = chosen.state
         self._state.steps_taken[node] += 1
+        self._non_output += int(protocol.is_output_state(old_state)) - int(
+            protocol.is_output_state(chosen.state)
+        )
         if not is_epsilon(chosen.emit):
             self._schedule_deliveries(node, step, chosen.emit, time)
         if self._observer is not None:
@@ -191,16 +233,17 @@ class AsynchronousEngine:
         """
         events_processed = 0
         while self._queue and events_processed < max_events and self._output_time is None:
-            time, _, kind, payload = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)
+            time, kind = event[0], event[1]
             self._now = time
             events_processed += 1
             if kind == _DELIVERY:
-                sender, receiver, letter = payload
+                _, _, sender, _, receiver, letter = event
                 self._state.ports.deliver(receiver, sender, letter)
             else:
-                node, step = payload
+                _, _, node, step, _ = event
                 self._apply_step(node, step, time)
-                if self.in_output_configuration():
+                if self._non_output == 0:
                     self._output_time = time
         reached = self._output_time is not None
         result = self._build_result(reached)
@@ -211,32 +254,18 @@ class AsynchronousEngine:
         return result
 
     def _build_result(self, reached: bool) -> ExecutionResult:
-        protocol = self._protocol
-        outputs = {
-            node: protocol.output_value(state)
-            for node, state in enumerate(self._state.states)
-            if protocol.is_output_state(state)
-        }
-        elapsed = self._output_time if reached else self._now
-        time_units = None
-        if elapsed is not None and self._max_parameter > 0:
-            time_units = elapsed / self._max_parameter
-        return ExecutionResult(
-            protocol_name=protocol.name,
-            graph=self._graph,
-            reached_output=reached,
-            final_states=tuple(self._state.states),
-            outputs=outputs,
-            rounds=None,
-            time_units=time_units,
-            elapsed_time=elapsed,
+        return build_asynchronous_result(
+            self._protocol,
+            self._graph,
+            self._state.states,
+            reached=reached,
+            elapsed=self._output_time if reached else self._now,
+            max_parameter=self._max_parameter,
             total_node_steps=sum(self._state.steps_taken),
             total_messages=self._messages,
             seed=self._seed,
-            metadata={
-                "adversary": self._adversary_name,
-                "max_parameter": self._max_parameter,
-            },
+            adversary_name=self._adversary_name,
+            backend="python",
         )
 
 
@@ -251,8 +280,56 @@ def run_asynchronous(
     max_events: int = DEFAULT_MAX_EVENTS,
     raise_on_timeout: bool = True,
     observer: TransitionObserver | None = None,
+    backend: str = "python",
+    table=None,
 ) -> ExecutionResult:
-    """Convenience wrapper: build an :class:`AsynchronousEngine` and run it."""
+    """Build the selected asynchronous engine and run it.
+
+    ``backend`` selects the execution strategy — ``"python"`` (the
+    interpreted reference engine), ``"vectorized"`` (time-bucketed event
+    batches over lazily compiled tables, see :mod:`repro.scheduling.
+    vectorized_async_engine`) or ``"auto"`` (vectorized when the protocol
+    and the adversary support it *and* the network has at least
+    :data:`AUTO_VECTORIZE_MIN_NODES` nodes — below that the interpreter is
+    faster; interpreted otherwise).  Terminating runs produce identical
+    results for the same seeds on either backend.
+
+    ``table`` optionally supplies a pre-warmed
+    :class:`~repro.scheduling.compiled.LazyStrictTable` so repeated runs of
+    the same protocol share one incremental tabulation; it is ignored by the
+    ``"python"`` backend.  Observers are only supported by the interpreted
+    engine — supplying one forces ``backend="python"`` semantics under
+    ``"auto"`` (and is rejected by ``"vectorized"``).
+    """
+    if backend not in ASYNC_BACKENDS:
+        raise ExecutionError(
+            f"unknown backend {backend!r}; expected one of {ASYNC_BACKENDS}"
+        )
+    vectorize = backend == "vectorized" or (
+        backend == "auto" and graph.num_nodes >= AUTO_VECTORIZE_MIN_NODES
+    )
+    if vectorize and observer is None:
+        from repro.scheduling.vectorized_async_engine import VectorizedAsynchronousEngine
+
+        try:
+            engine = VectorizedAsynchronousEngine(
+                graph,
+                protocol,
+                adversary=adversary,
+                seed=seed,
+                adversary_seed=adversary_seed,
+                inputs=inputs,
+                table=table,
+            )
+            return engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
+        except ProtocolNotVectorizableError:
+            if backend == "vectorized":
+                raise
+    elif backend == "vectorized" and observer is not None:
+        raise ExecutionError(
+            "the vectorized asynchronous backend does not support per-transition "
+            "observers; use backend='python'"
+        )
     engine = AsynchronousEngine(
         graph,
         protocol,

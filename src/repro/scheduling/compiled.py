@@ -1,0 +1,368 @@
+"""The shared compiled-execution core of the scheduling layer.
+
+Both batch backends — the synchronous :class:`~repro.scheduling.
+vectorized_engine.VectorizedEngine` and the asynchronous
+:class:`~repro.scheduling.vectorized_async_engine.VectorizedAsynchronousEngine`
+— execute protocols through *dense integer tables* instead of the
+object-level protocol API.  This module holds the table machinery they
+share:
+
+* :class:`CompiledProtocol` — an **eager** packing of a full
+  :class:`~repro.core.interning.ProtocolTabulation` (reachable-state closure
+  up front).  The synchronous engine uses it: rounds touch every node, so
+  the closure is paid once and every round is pure array indexing.
+* :class:`LazyStrictTable` — an **incremental** table for strict
+  (single-query-letter) protocols.  States are interned and ``(state,
+  saturated count)`` cells evaluated on first use.  The asynchronous engine
+  uses it because synchronizer-compiled protocols have reachable closures of
+  :math:`10^5`–:math:`10^6` states of which one execution visits only a few
+  thousand — eager tabulation would dwarf the run itself (or overflow the
+  enumeration limits outright, as it does for the compiled tree-coloring
+  protocol).
+
+Both classes build on the :class:`~repro.core.interning.Interner`; result
+assembly is shared through :func:`repro.core.results.build_synchronous_result`
+and :func:`repro.core.results.build_asynchronous_result` so every backend
+decodes outputs identically.
+"""
+
+from __future__ import annotations
+
+try:  # NumPy is an optional dependency of the library as a whole.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    np = None
+
+from repro.core.alphabet import is_epsilon
+from repro.core.errors import ProtocolNotVectorizableError
+from repro.core.interning import (
+    DEFAULT_MAX_CELLS,
+    DEFAULT_MAX_STATES,
+    Interner,
+    ProtocolTabulation,
+    tabulate_protocol,
+)
+from repro.core.protocol import ExtendedProtocol, Protocol, State
+
+#: Ceiling on the number of *visited* states a lazy table may intern.  Far
+#: above what any shipped execution reaches, it bounds runaway protocols.
+DEFAULT_MAX_LAZY_STATES = 1 << 19
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ProtocolNotVectorizableError(
+            "the vectorized backend requires NumPy, which is not installed"
+        )
+
+
+class CompiledProtocol:
+    """A :class:`ProtocolTabulation` packed into dense NumPy arrays.
+
+    The flat layout is the classic CSR-of-CSR shape: per (state, observation)
+    cell an offset/length pair into a flat option pool, with per-state base
+    offsets into the cell pool because observation spaces differ per state.
+    """
+
+    __slots__ = (
+        "tabulation",
+        "strides",
+        "state_base",
+        "cell_offset",
+        "cell_count",
+        "option_next",
+        "option_emit",
+        "output_mask",
+        "initial_letter_id",
+        "num_letters",
+    )
+
+    def __init__(self, tabulation: ProtocolTabulation) -> None:
+        _require_numpy()
+        self.tabulation = tabulation
+        b1 = tabulation.bounding + 1
+        num_states = tabulation.num_states
+        num_letters = tabulation.num_letters
+
+        strides = np.zeros((num_states, num_letters), dtype=np.int64)
+        state_base = np.zeros(num_states, dtype=np.int64)
+        cell_offset: list[int] = []
+        cell_count: list[int] = []
+        option_next: list[int] = []
+        option_emit: list[int] = []
+        for state_id, (queried, cells) in enumerate(
+            zip(tabulation.queried, tabulation.options)
+        ):
+            arity = len(queried)
+            for position, letter_id in enumerate(queried):
+                strides[state_id, letter_id] = b1 ** (arity - 1 - position)
+            state_base[state_id] = len(cell_offset)
+            for choices in cells:
+                cell_offset.append(len(option_next))
+                cell_count.append(len(choices))
+                for next_id, emit_id in choices:
+                    option_next.append(next_id)
+                    option_emit.append(emit_id)
+
+        self.strides = strides
+        self.state_base = state_base
+        self.cell_offset = np.asarray(cell_offset, dtype=np.int64)
+        self.cell_count = np.asarray(cell_count, dtype=np.int64)
+        self.option_next = np.asarray(option_next, dtype=np.int64)
+        self.option_emit = np.asarray(option_emit, dtype=np.int64)
+        self.output_mask = np.asarray(tabulation.output_mask, dtype=bool)
+        self.initial_letter_id = tabulation.initial_letter_id
+        self.num_letters = num_letters
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return self.tabulation.states
+
+    def state_id(self, state: State) -> int:
+        return self.tabulation.state_ids[state]
+
+
+def compile_protocol(
+    protocol: ExtendedProtocol | Protocol,
+    roots=None,
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+    max_cells: int = DEFAULT_MAX_CELLS,
+) -> CompiledProtocol:
+    """Tabulate *protocol* and pack it for the vectorized engine.
+
+    Raises :class:`ProtocolNotVectorizableError` when the protocol's state
+    set cannot be enumerated within the limits (or NumPy is unavailable).
+    """
+    _require_numpy()
+    tabulation = tabulate_protocol(
+        protocol, roots, max_states=max_states, max_cells=max_cells
+    )
+    return CompiledProtocol(tabulation)
+
+
+class _GrowingArray:
+    """An append-only NumPy array with amortised capacity doubling.
+
+    The lazy table's pools grow one cell at a time while the engine reads
+    them as dense arrays every batch; rebuilding full mirrors per growth
+    would be quadratic, so the buffer doubles and :meth:`view` is O(1).
+    """
+
+    __slots__ = ("_buffer", "_length", "list")
+
+    def __init__(self, dtype) -> None:
+        self._buffer = np.empty(64, dtype=dtype)
+        self._length = 0
+        #: Python-list mirror: scalar reads through a list are several times
+        #: cheaper than through NumPy scalar indexing, and the engines' tiny-
+        #: bucket path reads one cell at a time.
+        self.list: list = []
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int):
+        return self.list[index]
+
+    def __setitem__(self, index: int, value) -> None:
+        self._buffer[index] = value
+        self.list[index] = value
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._length + extra
+        if needed > len(self._buffer):
+            capacity = max(2 * len(self._buffer), needed)
+            buffer = np.empty(capacity, dtype=self._buffer.dtype)
+            buffer[: self._length] = self._buffer[: self._length]
+            self._buffer = buffer
+
+    def append(self, value) -> None:
+        self._reserve(1)
+        self._buffer[self._length] = value
+        self.list.append(value)
+        self._length += 1
+
+    def extend_constant(self, count: int, value) -> None:
+        self._reserve(count)
+        self._buffer[self._length : self._length + count] = value
+        self.list.extend([value] * count)
+        self._length += count
+
+    def view(self):
+        """The live prefix; re-fetch after any growth (buffers may move)."""
+        return self._buffer[: self._length]
+
+
+class LazyStrictTable:
+    """Incrementally tabulated transition tables of a *strict* protocol.
+
+    The table interns states in first-visit order and evaluates one
+    ``(state, saturated count)`` cell at a time, on demand, through the
+    object-level protocol API.  All evaluated cells live in flat pools
+    mirrored as dense NumPy arrays (see :meth:`arrays`), so the hot path of
+    the vectorized asynchronous engine is pure array indexing; the python
+    evaluation loop runs only for cells never seen before, which stops
+    happening once the execution has warmed the table up.
+
+    One table can (and should) be shared across many runs of the same
+    protocol — the cells accumulate, so later runs start fully warm.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        *,
+        max_states: int = DEFAULT_MAX_LAZY_STATES,
+    ) -> None:
+        _require_numpy()
+        if isinstance(protocol, ExtendedProtocol) or not isinstance(protocol, Protocol):
+            raise ProtocolNotVectorizableError(
+                "lazy tables hold strict (single-query-letter) protocols only; "
+                "lower multi-letter protocols through repro.compilers first"
+            )
+        self._protocol = protocol
+        self._b = protocol.bounding.value
+        self._b1 = self._b + 1
+        self._max_states = max_states
+        self._letters = Interner(protocol.alphabet.letters)
+        self._states = Interner()
+        self.initial_letter_id = self._letters.id_of(protocol.initial_letter)
+        # Flat pools; -1 in _cell_offset marks an unevaluated cell.
+        self._query = _GrowingArray(np.int64)
+        self._output = _GrowingArray(bool)
+        self._cell_offset = _GrowingArray(np.int64)
+        self._cell_count = _GrowingArray(np.int64)
+        self._option_next = _GrowingArray(np.int64)
+        self._option_emit = _GrowingArray(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def protocol(self) -> Protocol:
+        return self._protocol
+
+    @property
+    def bounding(self) -> int:
+        return self._b
+
+    @property
+    def num_states(self) -> int:
+        """Number of states interned (visited) so far."""
+        return len(self._states)
+
+    @property
+    def num_cells(self) -> int:
+        """Number of (state, count) cells evaluated so far."""
+        return int((self._cell_offset.view() >= 0).sum())
+
+    def state_value(self, state_id: int) -> State:
+        return self._states.value_of(state_id)
+
+    def letter_value(self, letter_id: int):
+        return self._letters.value_of(letter_id)
+
+    # ------------------------------------------------------------------ #
+    # Growth                                                              #
+    # ------------------------------------------------------------------ #
+    def state_id(self, state: State) -> int:
+        """Intern *state*, evaluating its query letter and output flag."""
+        if state in self._states:
+            return self._states.id_of(state)
+        if len(self._states) >= self._max_states:
+            raise ProtocolNotVectorizableError(
+                f"protocol {self._protocol.name!r} visited more than "
+                f"{self._max_states} states; run it on the interpreted engine"
+            )
+        try:
+            query = self._letters.intern(self._protocol.query_letter(state))
+            output = bool(self._protocol.is_output_state(state))
+        except ProtocolNotVectorizableError:
+            raise
+        except Exception as exc:
+            raise ProtocolNotVectorizableError(
+                f"interning state {state!r} of protocol "
+                f"{self._protocol.name!r} failed: {exc}"
+            ) from exc
+        ident = self._states.intern(state)
+        self._query.append(query)
+        self._output.append(output)
+        self._cell_offset.extend_constant(self._b1, -1)
+        self._cell_count.extend_constant(self._b1, 0)
+        return ident
+
+    def _evaluate_cell(self, state_id: int, count: int) -> None:
+        state = self._states.value_of(state_id)
+        protocol = self._protocol
+        try:
+            choices = protocol.validate_option_set(protocol.options(state, count))
+        except ProtocolNotVectorizableError:
+            raise
+        except Exception as exc:
+            raise ProtocolNotVectorizableError(
+                f"evaluating state {state!r} of protocol {protocol.name!r} "
+                f"on count {count} failed: {exc}"
+            ) from exc
+        offset = len(self._option_next)
+        for choice in choices:
+            self._option_next.append(self.state_id(choice.state))
+            self._option_emit.append(
+                -1 if is_epsilon(choice.emit) else self._letters.intern(choice.emit)
+            )
+        cell = state_id * self._b1 + count
+        self._cell_offset[cell] = offset
+        self._cell_count[cell] = len(choices)
+
+    def ensure_cells(self, state_ids, counts) -> None:
+        """Evaluate every not-yet-materialised ``(state, count)`` cell.
+
+        The missing set is found with one vectorized mask, so a warm table
+        costs a single array lookup per batch, no python loop.
+        """
+        cells = np.asarray(state_ids) * self._b1 + np.asarray(counts)
+        missing = np.flatnonzero(self._cell_offset.view()[cells] < 0)
+        b1 = self._b1
+        for k in missing.tolist():
+            cell = int(cells[k])
+            if self._cell_offset[cell] < 0:  # duplicates within one batch
+                self._evaluate_cell(cell // b1, cell % b1)
+
+    # ------------------------------------------------------------------ #
+    # Scalar accessors (tiny-bucket path of the vectorized async engine)   #
+    # ------------------------------------------------------------------ #
+    def query_letter_id(self, state_id: int) -> int:
+        return int(self._query[state_id])
+
+    def output_flag(self, state_id: int) -> int:
+        return int(self._output[state_id])
+
+    def cell(self, state_id: int, count: int) -> tuple[int, int]:
+        """``(option_offset, option_count)`` of one cell, evaluating if needed."""
+        index = state_id * self._b1 + count
+        if self._cell_offset[index] < 0:
+            self._evaluate_cell(state_id, count)
+        return int(self._cell_offset[index]), int(self._cell_count[index])
+
+    def option(self, index: int) -> tuple[int, int]:
+        """``(next_state_id, emit_letter_id)`` of one option-pool entry."""
+        return int(self._option_next[index]), int(self._option_emit[index])
+
+    # ------------------------------------------------------------------ #
+    # Dense views                                                         #
+    # ------------------------------------------------------------------ #
+    def arrays(self) -> tuple:
+        """``(query, output_mask, cell_offset, cell_count, option_next,
+        option_emit)`` as NumPy array views over everything evaluated so far.
+
+        The views are O(1); they are invalidated by table growth, so consumers
+        re-fetch after every :meth:`ensure_cells` / :meth:`state_id` call.
+        """
+        return (
+            self._query.view(),
+            self._output.view(),
+            self._cell_offset.view(),
+            self._cell_count.view(),
+            self._option_next.view(),
+            self._option_emit.view(),
+        )

@@ -54,109 +54,19 @@ from repro.core.errors import (
     OutputNotReachedError,
     ProtocolNotVectorizableError,
 )
-from repro.core.interning import (
-    DEFAULT_MAX_CELLS,
-    DEFAULT_MAX_STATES,
-    ProtocolTabulation,
-    tabulate_protocol,
-)
 from repro.core.protocol import ExtendedProtocol, Protocol, State
 from repro.core.results import ExecutionResult, build_synchronous_result
 from repro.graphs.graph import Graph
 
+# The table machinery lives in the shared compiled-execution core; the
+# re-exports keep the historical import path working.
+from repro.scheduling.compiled import (  # noqa: F401  (re-exported)
+    CompiledProtocol,
+    _require_numpy,
+    compile_protocol,
+)
+
 DEFAULT_MAX_ROUNDS = 100_000
-
-
-def _require_numpy() -> None:
-    if np is None:
-        raise ProtocolNotVectorizableError(
-            "the vectorized backend requires NumPy, which is not installed"
-        )
-
-
-class CompiledProtocol:
-    """A :class:`ProtocolTabulation` packed into dense NumPy arrays.
-
-    The flat layout is the classic CSR-of-CSR shape: per (state, observation)
-    cell an offset/length pair into a flat option pool, with per-state base
-    offsets into the cell pool because observation spaces differ per state.
-    """
-
-    __slots__ = (
-        "tabulation",
-        "strides",
-        "state_base",
-        "cell_offset",
-        "cell_count",
-        "option_next",
-        "option_emit",
-        "output_mask",
-        "initial_letter_id",
-        "num_letters",
-    )
-
-    def __init__(self, tabulation: ProtocolTabulation) -> None:
-        _require_numpy()
-        self.tabulation = tabulation
-        b1 = tabulation.bounding + 1
-        num_states = tabulation.num_states
-        num_letters = tabulation.num_letters
-
-        strides = np.zeros((num_states, num_letters), dtype=np.int64)
-        state_base = np.zeros(num_states, dtype=np.int64)
-        cell_offset: list[int] = []
-        cell_count: list[int] = []
-        option_next: list[int] = []
-        option_emit: list[int] = []
-        for state_id, (queried, cells) in enumerate(
-            zip(tabulation.queried, tabulation.options)
-        ):
-            arity = len(queried)
-            for position, letter_id in enumerate(queried):
-                strides[state_id, letter_id] = b1 ** (arity - 1 - position)
-            state_base[state_id] = len(cell_offset)
-            for choices in cells:
-                cell_offset.append(len(option_next))
-                cell_count.append(len(choices))
-                for next_id, emit_id in choices:
-                    option_next.append(next_id)
-                    option_emit.append(emit_id)
-
-        self.strides = strides
-        self.state_base = state_base
-        self.cell_offset = np.asarray(cell_offset, dtype=np.int64)
-        self.cell_count = np.asarray(cell_count, dtype=np.int64)
-        self.option_next = np.asarray(option_next, dtype=np.int64)
-        self.option_emit = np.asarray(option_emit, dtype=np.int64)
-        self.output_mask = np.asarray(tabulation.output_mask, dtype=bool)
-        self.initial_letter_id = tabulation.initial_letter_id
-        self.num_letters = num_letters
-
-    @property
-    def states(self) -> tuple[State, ...]:
-        return self.tabulation.states
-
-    def state_id(self, state: State) -> int:
-        return self.tabulation.state_ids[state]
-
-
-def compile_protocol(
-    protocol: ExtendedProtocol | Protocol,
-    roots=None,
-    *,
-    max_states: int = DEFAULT_MAX_STATES,
-    max_cells: int = DEFAULT_MAX_CELLS,
-) -> CompiledProtocol:
-    """Tabulate *protocol* and pack it for the vectorized engine.
-
-    Raises :class:`ProtocolNotVectorizableError` when the protocol's state
-    set cannot be enumerated within the limits (or NumPy is unavailable).
-    """
-    _require_numpy()
-    tabulation = tabulate_protocol(
-        protocol, roots, max_states=max_states, max_cells=max_cells
-    )
-    return CompiledProtocol(tabulation)
 
 
 class VectorizedEngine:

@@ -85,6 +85,12 @@ class TestBurstyAdversary:
         with pytest.raises(ExecutionError):
             BurstyAdversary(period=0)
 
+    def test_sub_unit_slow_factor_rejected(self):
+        # A factor below 1 would undercut the schedule's static delay lower
+        # bound, silently breaking async backend parity.
+        with pytest.raises(ExecutionError):
+            BurstyAdversary(slow_factor=0.5)
+
     def test_alternation_produces_both_regimes(self):
         policy = BurstyAdversary(period=4, slow_factor=10.0)
         schedule = policy.start(complete_graph(2), random.Random(2))
@@ -105,6 +111,10 @@ class TestTargetedLaggardAdversary:
         with pytest.raises(ExecutionError):
             TargetedLaggardAdversary(num_victims=0)
 
+    def test_sub_unit_slow_factor_rejected(self):
+        with pytest.raises(ExecutionError):
+            TargetedLaggardAdversary(slow_factor=0.25)
+
 
 class TestSuite:
     def test_default_suite_contains_all_six_policies(self):
@@ -117,3 +127,152 @@ class TestSuite:
             "bursty",
             "targeted-laggard",
         }
+
+    def test_default_suite_is_deterministic_under_a_fixed_seed(self):
+        """Re-binding any suite policy with an equally seeded rng reproduces
+        the schedule draw-for-draw (experiments depend on this)."""
+        np = pytest.importorskip("numpy")
+        graph = complete_graph(5)
+        nodes = np.repeat(np.arange(5), 10)
+        steps = np.tile(np.arange(1, 11), 5)
+        for policy_a, policy_b in zip(default_adversary_suite(), default_adversary_suite()):
+            schedule_a = policy_a.start(graph, random.Random(77))
+            schedule_b = policy_b.start(graph, random.Random(77))
+            assert np.array_equal(
+                schedule_a.step_lengths(nodes, steps),
+                schedule_b.step_lengths(nodes, steps),
+            )
+            receivers = (nodes + 1) % 5
+            assert np.array_equal(
+                schedule_a.delivery_delays(nodes, steps, receivers),
+                schedule_b.delivery_delays(nodes, steps, receivers),
+            )
+
+
+@pytest.mark.parametrize("policy", default_adversary_suite(), ids=lambda p: p.name)
+class TestBatchSampling:
+    """The batch interface of every shipped policy (satellite of PR 2)."""
+
+    def _schedule(self, policy):
+        pytest.importorskip("numpy")
+        return policy.start(complete_graph(8), random.Random(3))
+
+    def test_scalar_and_batch_sampling_agree_bitwise(self, policy):
+        import numpy as np
+
+        schedule = self._schedule(policy)
+        assert schedule.batch_capable
+        nodes = np.repeat(np.arange(8), 25)
+        steps = np.tile(np.arange(1, 26), 8)
+        lengths = schedule.step_lengths(nodes, steps)
+        assert all(
+            schedule.step_length(int(v), int(t)) == float(value)
+            for v, t, value in zip(nodes, steps, lengths)
+        )
+        receivers = (nodes + 3) % 8
+        delays = schedule.delivery_delays(nodes, steps, receivers)
+        assert all(
+            schedule.delivery_delay(int(v), int(t), int(u)) == float(value)
+            for v, t, u, value in zip(nodes, steps, receivers, delays)
+        )
+
+    def test_batch_samples_are_positive_and_finite(self, policy):
+        import numpy as np
+
+        schedule = self._schedule(policy)
+        nodes = np.repeat(np.arange(8), 50)
+        steps = np.tile(np.arange(1, 51), 8)
+        lengths = schedule.step_lengths(nodes, steps)
+        delays = schedule.delivery_delays(nodes, steps, (nodes + 1) % 8)
+        for values in (lengths, delays):
+            assert np.isfinite(values).all()
+            assert (values > 0).all()
+
+    def test_delay_lower_bound_actually_bounds(self, policy):
+        import numpy as np
+
+        schedule = self._schedule(policy)
+        bound = schedule.delay_lower_bound()
+        assert bound is not None and bound > 0
+        nodes = np.repeat(np.arange(8), 40)
+        steps = np.tile(np.arange(1, 41), 8)
+        delays = schedule.delivery_delays(nodes, steps, (nodes + 1) % 8)
+        assert (delays >= bound).all()
+
+
+class TestBatchValidation:
+    def test_default_batch_fallback_loops_over_scalars(self):
+        np = pytest.importorskip("numpy")
+        from repro.scheduling.adversary import AdversarySchedule
+
+        class Doubling(AdversarySchedule):
+            def step_length(self, node, step):
+                return float(node + 2 * step)
+
+            def delivery_delay(self, sender, step, receiver):
+                return float(sender + step + receiver + 1)
+
+        schedule = Doubling()
+        assert not schedule.batch_capable
+        lengths = schedule.step_lengths(np.array([0, 1]), np.array([3, 4]))
+        assert lengths.tolist() == [6.0, 9.0]
+        delays = schedule.delivery_delays(np.array([0]), np.array([2]), np.array([5]))
+        assert delays.tolist() == [8.0]
+
+    def test_batch_fallback_validates_positivity(self):
+        np = pytest.importorskip("numpy")
+        from repro.scheduling.adversary import AdversarySchedule
+
+        class Broken(AdversarySchedule):
+            def step_length(self, node, step):
+                return 1.0
+
+            def delivery_delay(self, sender, step, receiver):
+                return 1.0
+
+            def step_lengths(self, nodes, steps):
+                from repro.scheduling.adversary import _validated_positive
+
+                return _validated_positive(np.zeros(len(nodes)), "step length")
+
+        with pytest.raises(ExecutionError):
+            Broken().step_lengths(np.array([0, 1]), np.array([1, 1]))
+
+
+class TestDerivedAdversarySeed:
+    def test_derivation_is_a_pure_integer_mix(self):
+        from repro.scheduling.adversary import derive_adversary_seed
+
+        assert derive_adversary_seed(42) == derive_adversary_seed(42)
+        assert derive_adversary_seed(42) != derive_adversary_seed(43)
+        assert derive_adversary_seed(None) != derive_adversary_seed(0)
+
+    def test_derivation_survives_hash_randomization(self):
+        """The old ``(seed, "adversary").__hash__()`` fallback changed with
+        ``PYTHONHASHSEED``; the integer mix must not."""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        script = (
+            "from repro.scheduling.adversary import derive_adversary_seed;"
+            "print(derive_adversary_seed(123), derive_adversary_seed(None))"
+        )
+        outputs = set()
+        for hash_seed in ("0", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={
+                    **os.environ,
+                    "PYTHONHASHSEED": hash_seed,
+                    "PYTHONPATH": str(repo_root / "src"),
+                },
+                cwd=repo_root,
+                check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
