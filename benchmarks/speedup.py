@@ -14,12 +14,19 @@ import warnings
 
 SPEEDUP_TARGET = 5.0
 
+#: The synchronous lazy-table path interleaves array rounds with on-demand
+#: cell evaluation, so its headline target is lower than the asynchronous
+#: batch engine's.
+SYNC_SPEEDUP_TARGET = 3.0
 
-def soft_assert_speedup(ratio: float, context: str) -> None:
-    if ratio >= SPEEDUP_TARGET:
+
+def soft_assert_speedup(
+    ratio: float, context: str, target: float = SPEEDUP_TARGET
+) -> None:
+    if ratio >= target:
         return
     message = (
-        f"{context}: measured only {ratio:.2f}x (target >= {SPEEDUP_TARGET}x); "
+        f"{context}: measured only {ratio:.2f}x (target >= {target}x); "
         "soft assertion - set REPRO_STRICT_SPEEDUP=1 to fail hard"
     )
     if os.environ.get("REPRO_STRICT_SPEEDUP") == "1":
@@ -84,4 +91,74 @@ def measure_backend_speedup(
     report.passed = True  # parity asserted above; the speedup is soft
     experiment_recorder(report)
     soft_assert_speedup(ratio, f"{experiment_id} n={graph.num_nodes}")
+    return ratio
+
+
+def measure_sync_backend_speedup(
+    graph,
+    protocol_factory,
+    *,
+    experiment_id: str,
+    title: str,
+    experiment_recorder,
+    target: float = SYNC_SPEEDUP_TARGET,
+    **run_kwargs,
+) -> float:
+    """Time one *synchronous* run on both backends and record the ratio.
+
+    Built for synchronizer-/multiquery-compiled protocols: the vectorized
+    leg runs off a shared :class:`~repro.scheduling.compiled.
+    LazyExtendedTable` (the first run warms it, the timed run is warm —
+    matching how sweeps amortise the tabulation).  Asserts the parity
+    contract, records an :class:`ExperimentReport`, and soft-asserts the
+    ≥ *target* win.
+    """
+    from repro.analysis.reporting import ExperimentReport
+    from repro.scheduling.compiled import LazyExtendedTable
+    from repro.scheduling.sync_engine import run_synchronous
+
+    table = LazyExtendedTable(protocol_factory())
+
+    start = time.perf_counter()
+    interpreted = run_synchronous(
+        graph, protocol_factory(), backend="python", **run_kwargs
+    )
+    python_time = time.perf_counter() - start
+
+    # First vectorized run warms the shared lazy table; time the warm run.
+    run_synchronous(
+        graph, protocol_factory(), backend="vectorized", table=table, **run_kwargs
+    )
+    start = time.perf_counter()
+    vectorized = run_synchronous(
+        graph, protocol_factory(), backend="vectorized", table=table, **run_kwargs
+    )
+    vectorized_time = time.perf_counter() - start
+
+    assert interpreted.reached_output and vectorized.reached_output
+    assert interpreted.summary_fields() == vectorized.summary_fields()
+    assert vectorized.metadata["backend_mode"] == "lazy"
+
+    ratio = python_time / vectorized_time
+    report = ExperimentReport(
+        experiment_id=experiment_id,
+        title=title,
+        paper_claim=(
+            "lazy multi-letter tables make compiled protocols vectorize "
+            "synchronously"
+        ),
+        headers=["n", "rounds", "table states", "python s", "vectorized s", "speedup"],
+    )
+    report.add_row(
+        graph.num_nodes,
+        interpreted.rounds,
+        table.num_states,
+        round(python_time, 2),
+        round(vectorized_time, 2),
+        round(ratio, 1),
+    )
+    report.conclusion = f"measured {ratio:.1f}x (target >= {target}x, soft)"
+    report.passed = True  # parity asserted above; the speedup is soft
+    experiment_recorder(report)
+    soft_assert_speedup(ratio, f"{experiment_id} n={graph.num_nodes}", target)
     return ratio

@@ -20,7 +20,7 @@ from repro.scheduling.adversary import SkewedRatesAdversary
 from repro.scheduling.async_engine import run_asynchronous
 from repro.verification import is_maximal_independent_set
 
-from speedup import measure_backend_speedup
+from speedup import measure_backend_speedup, measure_sync_backend_speedup
 
 
 def test_bench_synchronized_mis_under_adversary(benchmark):
@@ -59,5 +59,22 @@ def test_bench_e3_vectorized_speedup_at_large_n(experiment_recorder):
         adversary=SkewedRatesAdversary(),
         adversary_seed=2,
         max_events=50_000_000,
+        raise_on_timeout=False,
+    )
+
+
+def test_bench_e3_sync_vectorized_speedup_at_large_n(experiment_recorder):
+    """Both *synchronous* backends on a synchronizer-compiled protocol at
+    n = 1025: identical results; the lazy-table vectorized engine should be
+    ≥ 3× faster than the interpreter (soft assertion)."""
+    measure_sync_backend_speedup(
+        binary_tree(1025),
+        lambda: compile_to_asynchronous(BroadcastProtocol()),
+        experiment_id="E3-sync-backend",
+        title="Synchronous backend speedup (synchronized broadcast, lazy table)",
+        experiment_recorder=experiment_recorder,
+        inputs=broadcast_inputs(0),
+        seed=1,
+        max_rounds=1_000_000,
         raise_on_timeout=False,
     )

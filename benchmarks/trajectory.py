@@ -1,0 +1,87 @@
+"""Append pytest-benchmark headline numbers to a perf-trajectory log.
+
+CI's benchmark-smoke job writes a ``BENCH_<run>.json`` artifact with
+``pytest --benchmark-json``; this script distils each such file into one
+JSON line — run id, commit, and per-benchmark ``{min, mean, stddev,
+rounds}`` seconds — and appends it to a trajectory file (JSON Lines), so
+the performance history across PRs stays machine-readable without anyone
+having to download and diff full artifacts::
+
+    python benchmarks/trajectory.py BENCH_123.json --append trajectory.jsonl
+
+With no ``--append`` the headline line is printed to stdout only.  Pure
+stdlib; tolerant of missing fields so old and new pytest-benchmark schemas
+both work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def headline(bench_json: dict, source: str) -> dict:
+    """The one-line summary of one pytest-benchmark JSON document."""
+    machine = bench_json.get("machine_info", {})
+    commit = bench_json.get("commit_info", {})
+    benchmarks = {}
+    for bench in bench_json.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks[bench.get("fullname", bench.get("name", "?"))] = {
+            "min": stats.get("min"),
+            "mean": stats.get("mean"),
+            "stddev": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+        }
+    return {
+        "source": source,
+        "datetime": bench_json.get("datetime"),
+        "commit": commit.get("id"),
+        "branch": commit.get("branch"),
+        "python": machine.get("python_version"),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Distil pytest-benchmark JSON into trajectory lines.",
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="+",
+        type=Path,
+        help="pytest-benchmark JSON files (BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--append",
+        type=Path,
+        default=None,
+        metavar="TRAJECTORY",
+        help="JSONL file to append the headline lines to",
+    )
+    args = parser.parse_args(argv)
+
+    lines = []
+    for path in args.inputs:
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        line = json.dumps(headline(document, path.name), sort_keys=True)
+        lines.append(line)
+        print(line)
+
+    if args.append is not None:
+        args.append.parent.mkdir(parents=True, exist_ok=True)
+        with args.append.open("a") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

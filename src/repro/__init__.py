@@ -61,6 +61,8 @@ from repro.protocols import (
 )
 from repro.scheduling import (
     AsynchronousEngine,
+    BackendSelection,
+    LazyExtendedTable,
     SynchronousEngine,
     VectorizedEngine,
     compile_protocol,
@@ -68,6 +70,7 @@ from repro.scheduling import (
     run_asynchronous,
     run_synchronous,
     run_vectorized,
+    select_backend,
 )
 from repro.verification import (
     is_maximal_independent_set,
@@ -81,11 +84,13 @@ __all__ = [
     "EPSILON",
     "Alphabet",
     "AsynchronousEngine",
+    "BackendSelection",
     "BoundingParameter",
     "BroadcastProtocol",
     "ExecutionResult",
     "ExtendedProtocol",
     "Graph",
+    "LazyExtendedTable",
     "MISProtocol",
     "Observation",
     "Protocol",
@@ -117,6 +122,7 @@ __all__ = [
     "run_asynchronous",
     "run_synchronous",
     "run_vectorized",
+    "select_backend",
     "star_graph",
     "synchronize",
 ]

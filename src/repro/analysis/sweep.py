@@ -78,25 +78,16 @@ class SweepResult:
 def _precompile(protocol_factory: ProtocolFactory, backend: str):
     """Compile the sweep's protocol once so every run skips the compile step.
 
-    Returns ``(effective_backend, compiled_table_or_None)``.  When the
-    protocol is not enumerable under ``backend="auto"`` the whole sweep is
-    downgraded to the interpreter up front — otherwise every single run
-    would re-attempt (and re-pay) the doomed tabulation before falling
-    back.  Sweeps hand the factory's output to every run anyway, so reusing
-    one compiled table assumes the factory builds equivalent protocols —
-    which is what a sweep means.
+    Delegates to :func:`~repro.scheduling.sync_engine.precompile_tables`:
+    one shared eager table, or one shared lazy table whose cells accumulate
+    across the sweep so all runs after the first start warm.  Sweeps hand
+    the factory's output to every run anyway, so reusing one compiled table
+    assumes the factory builds equivalent protocols — which is what a sweep
+    means.
     """
-    if backend == "python":
-        return backend, None
-    from repro.core.errors import ProtocolNotVectorizableError
-    from repro.scheduling.vectorized_engine import compile_protocol
+    from repro.scheduling.sync_engine import precompile_tables
 
-    try:
-        return backend, compile_protocol(protocol_factory())
-    except ProtocolNotVectorizableError:
-        if backend == "vectorized":
-            raise
-        return "python", None
+    return precompile_tables(protocol_factory(), backend)
 
 
 def sweep_protocol(
@@ -125,7 +116,7 @@ def sweep_protocol(
     """
     records: list[SweepRecord] = []
     protocol_name = protocol_factory().name
-    backend, compiled = _precompile(protocol_factory, backend)
+    backend, compiled, table = _precompile(protocol_factory, backend)
     for family_name, factory in families.items():
         for size in sizes:
             for repetition in range(repetitions):
@@ -141,6 +132,7 @@ def sweep_protocol(
                     raise_on_timeout=False,
                     backend=backend,
                     compiled=compiled,
+                    table=table,
                 )
                 valid = result.reached_output and (
                     validator is None or validator(graph, result)
@@ -192,7 +184,7 @@ def run_many(
     """Like :func:`sweep_protocol` but over an explicit list of graphs."""
     protocol_name = protocol_factory().name
     records: list[SweepRecord] = []
-    backend, compiled = _precompile(protocol_factory, backend)
+    backend, compiled, table = _precompile(protocol_factory, backend)
     for label, graph in graphs:
         for repetition in range(repetitions):
             seed = _derive_seed(base_seed, label, graph.num_nodes, repetition)
@@ -204,6 +196,7 @@ def run_many(
                 raise_on_timeout=False,
                 backend=backend,
                 compiled=compiled,
+                table=table,
             )
             valid = result.reached_output and (validator is None or validator(graph, result))
             records.append(

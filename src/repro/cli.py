@@ -74,6 +74,29 @@ def _emit(payload: dict, as_json: bool) -> None:
         print(f"{key:>22}: {value}")
 
 
+def _backend_fields(result) -> dict:
+    """Backend-selection annotations of *result*, for the report payload.
+
+    Every engine records which backend actually ran and why in
+    ``ExecutionResult.metadata`` (an ``"auto"`` fallback to the interpreter
+    is reported, never silent); surface both so scripted callers can assert
+    on them via ``--json``.
+    """
+    backend = result.metadata.get("backend")
+    if backend is None:
+        return {}
+    mode = result.metadata.get("backend_mode")
+    if mode is None or mode == "interpreted":
+        label = backend
+    else:
+        label = f"{backend} ({mode} table)"
+    fields = {"backend": label}
+    reason = result.metadata.get("backend_reason")
+    if reason:
+        fields["backend reason"] = reason
+    return fields
+
+
 # ---------------------------------------------------------------------- #
 # Sub-command implementations                                             #
 # ---------------------------------------------------------------------- #
@@ -106,6 +129,7 @@ def _cmd_mis(args: argparse.Namespace) -> int:
             "cost": f"{result.cost:.1f} "
                     + ("time units" if args.asynchronous else "rounds"),
             "mis size": len(selected),
+            **_backend_fields(result),
             "valid": valid,
         },
         args.json,
@@ -131,6 +155,7 @@ def _cmd_color(args: argparse.Namespace) -> int:
             "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
             "rounds": result.rounds,
             "colors used": sorted(set(colors.values())),
+            **_backend_fields(result),
             "valid": valid,
         },
         args.json,
@@ -150,6 +175,7 @@ def _cmd_matching(args: argparse.Namespace) -> int:
             "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
             "line-graph rounds": inner.rounds if inner is not None else 0,
             "matching size": len(matching),
+            **(_backend_fields(inner) if inner is not None else {}),
             "valid": valid,
         },
         args.json,
@@ -173,6 +199,7 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
             "source": args.source,
             "rounds": result.rounds,
             "informed nodes": informed,
+            **_backend_fields(result),
             "valid": valid,
         },
         args.json,

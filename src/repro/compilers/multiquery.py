@@ -75,6 +75,15 @@ class SingleQueryProtocol(Protocol):
         """Number of compiled rounds that simulate one base round."""
         return len(self.alphabet)
 
+    def tabulation_hint(self) -> str:
+        """Compiled closures are large but sparsely visited: tabulate lazily.
+
+        The closure is ``|Q|·|Σ|·(b+1)^{|Σ|}`` partial-observation states —
+        thousands even for the 7-state MIS protocol — while an execution
+        only visits the count prefixes its neighbourhoods actually produce.
+        """
+        return "lazy"
+
     def initial_state(self, input_value: Any = None) -> tuple:
         return self._initial_compiled(self._base.initial_state(input_value))
 

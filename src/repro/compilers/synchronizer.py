@@ -136,6 +136,17 @@ class SynchronizedProtocol(Protocol):
         """The trit of the round currently being simulated (analysis helper)."""
         return state[2]
 
+    def tabulation_hint(self) -> str:
+        """Compiled closures are huge but sparsely visited: tabulate lazily.
+
+        The reachable closure is ``O(|Q|·(|Σ|² + |Σ|·b))`` per trit *per
+        distinct accumulator/φ combination* — :math:`10^5`-plus states for
+        the paper's protocols, far beyond the eager enumeration limits —
+        while one execution visits only the few thousand states its ports
+        actually produce.
+        """
+        return "lazy"
+
     def _queried(self, base_state: Any) -> tuple[Letter, ...]:
         if isinstance(self._base, ExtendedProtocol):
             return tuple(self._base.queried_letters(base_state))

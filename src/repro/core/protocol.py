@@ -186,6 +186,24 @@ class _ProtocolBase(ABC):
             bounding=self._bounding.value,
         )
 
+    def tabulation_hint(self) -> str:
+        """Which tabulation strategy suits this protocol's state space.
+
+        ``"eager"`` (the default) tells the vectorized backend to enumerate
+        the full reachable closure up front — right for hand-written
+        protocols, whose handful of states are all visited anyway.
+        ``"lazy"`` tells it to intern states and evaluate observation cells
+        on demand instead — right for compiler outputs (the synchronizer and
+        the multi-letter lowering override this), whose reachable closures
+        run to :math:`10^5`–:math:`10^6` states of which one execution
+        visits only a few thousand.  A hint is a *strategy* choice, never a
+        semantics one: both strategies are bitwise seed-identical to the
+        interpreted engine.  Protocols hinting ``"lazy"`` must still have a
+        finite visited set — the lazy table budget is enforced mid-run,
+        where ``backend="auto"`` can no longer fall back.
+        """
+        return "eager"
+
     def _count_states(self) -> int | None:
         """Number of states if enumerable, ``None`` otherwise."""
         return None

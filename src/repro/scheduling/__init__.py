@@ -35,14 +35,18 @@ from repro.scheduling.async_engine import (
 )
 from repro.scheduling.compiled import (
     CompiledProtocol,
+    LazyExtendedTable,
     LazyStrictTable,
     compile_protocol,
 )
 from repro.scheduling.sync_engine import (
     BACKENDS,
+    BackendSelection,
     SynchronousEngine,
+    precompile_tables,
     repeat_synchronous,
     run_synchronous,
+    select_backend,
 )
 from repro.scheduling.vectorized_async_engine import (
     VectorizedAsynchronousEngine,
@@ -59,10 +63,12 @@ __all__ = [
     "AdversarySchedule",
     "AsynchronousEngine",
     "BACKENDS",
+    "BackendSelection",
     "BurstyAdversary",
     "CompiledProtocol",
     "CounterBasedSchedule",
     "ExponentialAdversary",
+    "LazyExtendedTable",
     "LazyStrictTable",
     "SkewedRatesAdversary",
     "SynchronousAdversary",
@@ -74,9 +80,11 @@ __all__ = [
     "compile_protocol",
     "default_adversary_suite",
     "derive_adversary_seed",
+    "precompile_tables",
     "repeat_synchronous",
     "run_asynchronous",
     "run_synchronous",
     "run_vectorized",
     "run_vectorized_asynchronous",
+    "select_backend",
 ]

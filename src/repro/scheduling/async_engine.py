@@ -308,6 +308,7 @@ def run_asynchronous(
     vectorize = backend == "vectorized" or (
         backend == "auto" and graph.num_nodes >= AUTO_VECTORIZE_MIN_NODES
     )
+    reason = None
     if vectorize and observer is None:
         from repro.scheduling.vectorized_async_engine import VectorizedAsynchronousEngine
 
@@ -321,15 +322,30 @@ def run_asynchronous(
                 inputs=inputs,
                 table=table,
             )
-            return engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
-        except ProtocolNotVectorizableError:
+            result = engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
+            result.metadata.setdefault(
+                "backend_reason", "protocol and adversary support event batching"
+            )
+            return result
+        except ProtocolNotVectorizableError as exc:
             if backend == "vectorized":
                 raise
+            reason = f"auto fell back to the interpreter: {exc}"
     elif backend == "vectorized" and observer is not None:
         raise ExecutionError(
             "the vectorized asynchronous backend does not support per-transition "
             "observers; use backend='python'"
         )
+    if reason is None:
+        if backend == "python":
+            reason = "backend='python' requested"
+        elif observer is not None:
+            reason = "per-transition observers require the interpreted engine"
+        else:
+            reason = (
+                f"auto stayed interpreted: n < {AUTO_VECTORIZE_MIN_NODES} "
+                "(batching overhead dominates on small networks)"
+            )
     engine = AsynchronousEngine(
         graph,
         protocol,
@@ -339,4 +355,6 @@ def run_asynchronous(
         inputs=inputs,
         observer=observer,
     )
-    return engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
+    result = engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
+    result.metadata.setdefault("backend_reason", reason)
+    return result

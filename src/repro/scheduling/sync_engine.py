@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.alphabet import Observation, is_epsilon
@@ -191,6 +192,36 @@ class SynchronousEngine:
         )
 
 
+@dataclass(frozen=True)
+class BackendSelection:
+    """Why a synchronous execution ran on the backend it ran on.
+
+    Returned by :func:`select_backend` and recorded by
+    :func:`run_synchronous` in ``ExecutionResult.metadata`` (keys
+    ``"backend"``, ``"backend_mode"`` and ``"backend_reason"``) so that an
+    ``"auto"`` fallback to the interpreter is never silent.
+
+    Attributes
+    ----------
+    requested:
+        The ``backend`` argument the caller passed.
+    backend:
+        The engine that actually ran: ``"python"`` or ``"vectorized"``.
+    mode:
+        How the transition relation is evaluated: ``"interpreted"`` (the
+        object-level protocol API), ``"eager"`` (full reachable closure
+        packed up front) or ``"lazy"`` (states/cells discovered on demand —
+        how synchronizer- and multiquery-compiled protocols vectorize).
+    reason:
+        One human-readable sentence explaining the choice.
+    """
+
+    requested: str
+    backend: str
+    mode: str
+    reason: str
+
+
 def _make_engine(
     graph: Graph,
     protocol: ExtendedProtocol | Protocol,
@@ -200,14 +231,18 @@ def _make_engine(
     inputs: Mapping[int, Any] | None,
     observer: RoundObserver | None,
     compiled=None,
+    table=None,
 ):
     """Instantiate the engine selected by *backend*.
 
-    ``"python"`` always interprets; ``"vectorized"`` compiles the protocol to
-    dense tables and raises :class:`ProtocolNotVectorizableError` when it
-    cannot; ``"auto"`` tries the vectorized backend and silently falls back
-    to the interpreter for protocols whose state set is not enumerable.
-    Both backends produce bitwise-identical results for the same seed.
+    Returns ``(engine, selection)`` where *selection* is the
+    :class:`BackendSelection` explaining the choice.  ``"python"`` always
+    interprets; ``"vectorized"`` compiles the protocol to dense tables
+    (eager or lazy, per the protocol's ``tabulation_hint``) and raises
+    :class:`ProtocolNotVectorizableError` when it cannot; ``"auto"`` tries
+    the vectorized backend and falls back to the interpreter for protocols
+    whose state set is not enumerable, recording the reason.  All paths
+    produce bitwise-identical results for the same seed.
     """
     if backend not in BACKENDS:
         raise ExecutionError(
@@ -217,20 +252,97 @@ def _make_engine(
         from repro.scheduling.vectorized_engine import VectorizedEngine
 
         try:
-            return VectorizedEngine(
+            engine = VectorizedEngine(
                 graph,
                 protocol,
                 seed=seed,
                 inputs=inputs,
                 observer=observer,
                 compiled=compiled,
+                table=table,
             )
-        except ProtocolNotVectorizableError:
+        except ProtocolNotVectorizableError as exc:
             if backend == "vectorized":
                 raise
-    return SynchronousEngine(
+            reason = f"auto fell back to the interpreter: {exc}"
+            selection = BackendSelection(backend, "python", "interpreted", reason)
+        else:
+            mode = engine.tabulation_mode
+            if table is not None or compiled is not None:
+                origin = "caller-supplied"
+            elif mode == "lazy":
+                origin = "protocol hints a lazy tabulation"
+            else:
+                origin = "reachable closure enumerated"
+            reason = f"{origin}; {mode} table"
+            return engine, BackendSelection(backend, "vectorized", mode, reason)
+    else:
+        selection = BackendSelection(
+            backend, "python", "interpreted", "backend='python' requested"
+        )
+    engine = SynchronousEngine(
         graph, protocol, seed=seed, inputs=inputs, observer=observer
     )
+    return engine, selection
+
+
+def select_backend(
+    graph: Graph,
+    protocol: ExtendedProtocol | Protocol,
+    backend: str = "auto",
+    *,
+    inputs: Mapping[int, Any] | None = None,
+) -> BackendSelection:
+    """Explain — without running anything — how *backend* would resolve.
+
+    Builds the same engine :func:`run_synchronous` would build (compile
+    steps included, so the answer is authoritative, not a guess) and returns
+    its :class:`BackendSelection`.  Pass the run's ``inputs`` when the
+    protocol derives initial states from per-node input values — the compile
+    roots (and hence the answer) can depend on them.  For a run that already
+    happened the same information is on ``result.metadata`` (which is what
+    the CLI prints); this pre-flight form is for callers that want the
+    answer *before* committing to a workload.
+    """
+    _, selection = _make_engine(
+        graph, protocol, backend=backend, seed=None, inputs=inputs, observer=None
+    )
+    return selection
+
+
+def precompile_tables(
+    protocol: ExtendedProtocol | Protocol,
+    backend: str,
+):
+    """Build the table(s) one compile step can share across many runs.
+
+    Returns ``(effective_backend, compiled_or_None, table_or_None)`` ready
+    to forward to :func:`run_synchronous` — an eager
+    :class:`~repro.scheduling.compiled.CompiledProtocol` for protocols that
+    enumerate, a (cold) :class:`~repro.scheduling.compiled.
+    LazyExtendedTable` for protocols hinting a lazy tabulation (its cells
+    then accumulate across the runs, so every run after the first starts
+    warm).  When the protocol is not vectorizable at all the backend is
+    downgraded to ``"python"`` up front under ``"auto"`` — so a sweep pays
+    the doomed tabulation once, not once per run — and the error propagates
+    under ``"vectorized"``.  Callers reusing the result across runs assert
+    that those runs execute equivalent protocols.
+    """
+    if backend == "python":
+        return backend, None, None
+    from repro.scheduling.vectorized_engine import (
+        LazyExtendedTable,
+        compile_protocol,
+    )
+
+    try:
+        if getattr(protocol, "tabulation_hint", lambda: "eager")() == "lazy":
+            return backend, None, LazyExtendedTable(protocol)
+        return backend, compile_protocol(protocol), None
+    except ProtocolNotVectorizableError:
+        if backend == "vectorized":
+            raise
+        return "python", None, None
 
 
 def run_synchronous(
@@ -244,23 +356,29 @@ def run_synchronous(
     raise_on_timeout: bool = True,
     backend: str = "python",
     compiled=None,
+    table=None,
 ) -> ExecutionResult:
     """Convenience wrapper: build the selected engine and run it.
 
     ``backend`` selects the execution strategy — ``"python"`` (the
     interpreted reference engine), ``"vectorized"`` (dense NumPy tables,
-    whole-network array rounds) or ``"auto"`` (vectorized when the protocol
+    whole-network array rounds; eager or lazy tabulation per the protocol's
+    ``tabulation_hint``) or ``"auto"`` (vectorized when the protocol
     compiles, interpreted otherwise).  All backends produce identical
-    results for the same seed.
+    results for the same seed.  The selection and its reason are recorded in
+    ``result.metadata`` under ``"backend"``, ``"backend_mode"`` and
+    ``"backend_reason"`` — an ``"auto"`` fallback is reported, not silent.
 
     ``compiled`` optionally supplies a pre-built
-    :class:`~repro.scheduling.vectorized_engine.CompiledProtocol` so many
-    runs of the same protocol skip the compile step (the sweep runners use
-    this); it is ignored by the ``"python"`` backend.  The caller must
-    guarantee the table was compiled from an equivalent protocol — the
-    engine only cross-checks that the initial states are present.
+    :class:`~repro.scheduling.vectorized_engine.CompiledProtocol` and
+    ``table`` a pre-built (possibly warm)
+    :class:`~repro.scheduling.compiled.LazyExtendedTable` so many runs of
+    the same protocol skip the compile step (the sweep runners use this);
+    both are ignored by the ``"python"`` backend.  The caller must guarantee
+    the table was built from an equivalent protocol — the engine only
+    cross-checks that the initial states are present.
     """
-    engine = _make_engine(
+    engine, selection = _make_engine(
         graph,
         protocol,
         backend=backend,
@@ -268,8 +386,21 @@ def run_synchronous(
         inputs=inputs,
         observer=observer,
         compiled=compiled,
+        table=table,
     )
-    return engine.run(max_rounds=max_rounds, raise_on_timeout=raise_on_timeout)
+    annotation = dict(
+        backend=selection.backend,
+        backend_mode=selection.mode,
+        backend_reason=selection.reason,
+    )
+    try:
+        result = engine.run(max_rounds=max_rounds, raise_on_timeout=raise_on_timeout)
+    except OutputNotReachedError as exc:
+        if exc.result is not None:
+            exc.result.metadata.update(annotation)
+        raise
+    result.metadata.update(annotation)
+    return result
 
 
 def repeat_synchronous(
@@ -287,7 +418,11 @@ def repeat_synchronous(
 
     ``inputs`` and ``raise_on_timeout`` are forwarded to every underlying
     :func:`run_synchronous` call (earlier versions silently dropped them).
+    The compile step is paid once through :func:`precompile_tables`: all
+    repetitions share one eager table, or one lazy table that repetition 1
+    warms up for repetitions 2..n.
     """
+    backend, compiled, table = precompile_tables(protocol_factory(), backend)
     results = []
     for repetition in range(repetitions):
         results.append(
@@ -299,6 +434,8 @@ def repeat_synchronous(
                 max_rounds=max_rounds,
                 raise_on_timeout=raise_on_timeout,
                 backend=backend,
+                compiled=compiled,
+                table=table,
             )
         )
     return results

@@ -32,10 +32,27 @@ the CSR adjacency of the graph:
    message counter advances; output configurations are detected with a
    boolean mask over the state vector.
 
+The compile step comes in two flavours, selected by the protocol's
+:meth:`~repro.core.protocol._ProtocolBase.tabulation_hint`:
+
+* **eager** (the default) — the full reachable closure is tabulated up front
+  (:class:`~repro.scheduling.compiled.CompiledProtocol`).  Right for the
+  paper's hand-written protocols, whose closures are tiny and fully visited.
+* **lazy** — states and observation cells are discovered on demand through a
+  :class:`~repro.scheduling.compiled.LazyExtendedTable`.  Right for
+  synchronizer- and multiquery-compiled protocols, whose reachable closures
+  (:math:`10^5`–:math:`10^6` states) dwarf the few thousand states one
+  execution actually visits; eager tabulation would overflow the enumeration
+  limits and previously forced ``backend="auto"`` back onto the interpreter.
+  The hot path is identical (a short sequence of array ops per round); the
+  python evaluation loop runs only for cells never seen before, which stops
+  happening once the execution has warmed the table up.
+
 Protocols whose state set cannot be enumerated within the configured limits
 raise :class:`~repro.core.errors.ProtocolNotVectorizableError`; the
 ``backend="auto"`` selection in :func:`repro.scheduling.sync_engine.
-run_synchronous` catches it and falls back to the interpreted engine.
+run_synchronous` catches it and falls back to the interpreted engine
+(reporting the reason through ``ExecutionResult.metadata``).
 """
 
 from __future__ import annotations
@@ -60,8 +77,9 @@ from repro.graphs.graph import Graph
 
 # The table machinery lives in the shared compiled-execution core; the
 # re-exports keep the historical import path working.
-from repro.scheduling.compiled import (  # noqa: F401  (re-exported)
+from repro.scheduling.compiled import (  # noqa: F401
     CompiledProtocol,
+    LazyExtendedTable,
     _require_numpy,
     compile_protocol,
 )
@@ -73,9 +91,13 @@ class VectorizedEngine:
     """Executes a compiled protocol in whole-network array rounds.
 
     The constructor signature mirrors :class:`~repro.scheduling.sync_engine.
-    SynchronousEngine`; construction performs the compile step (reachable
-    state closure + array packing) unless a pre-built
-    :class:`CompiledProtocol` is supplied via ``compiled``.
+    SynchronousEngine`; construction performs the compile step unless a
+    pre-built table is supplied — :class:`CompiledProtocol` via ``compiled``
+    (eager) or :class:`~repro.scheduling.compiled.LazyExtendedTable` via
+    ``table`` (lazy, shareable across runs for warm starts).  With neither
+    supplied the engine consults ``protocol.tabulation_hint()``: protocols
+    hinting ``"lazy"`` (the compiler outputs) get an incremental table, all
+    others the eager closure.
     """
 
     def __init__(
@@ -88,6 +110,7 @@ class VectorizedEngine:
         inputs: Mapping[int, Any] | None = None,
         observer=None,
         compiled: CompiledProtocol | None = None,
+        table: LazyExtendedTable | None = None,
         rng_mode: str = "python",
     ) -> None:
         _require_numpy()
@@ -97,6 +120,11 @@ class VectorizedEngine:
             )
         if rng_mode not in ("python", "numpy"):
             raise ExecutionError(f"unknown rng_mode {rng_mode!r}")
+        if compiled is not None and table is not None:
+            raise ExecutionError(
+                "pass either compiled= (eager table) or table= (lazy table), "
+                "not both"
+            )
         self._graph = graph
         self._protocol = protocol
         self._seed = seed
@@ -109,31 +137,39 @@ class VectorizedEngine:
         initial_states = [
             protocol.initial_state(inputs.get(node)) for node in graph.nodes
         ]
-        if compiled is None:
-            # Fall back to the declared input states on empty graphs so the
-            # compile step still has roots to close over.
-            roots = dict.fromkeys(initial_states) or None
-            compiled = compile_protocol(protocol, roots=roots)
+        if compiled is None and table is None:
+            if getattr(protocol, "tabulation_hint", lambda: "eager")() == "lazy":
+                table = LazyExtendedTable(protocol)
+            else:
+                # Fall back to the declared input states on empty graphs so
+                # the compile step still has roots to close over.
+                roots = dict.fromkeys(initial_states) or None
+                compiled = compile_protocol(protocol, roots=roots)
         self._compiled = compiled
+        self._table = table
 
-        try:
-            state_vector = [compiled.state_id(state) for state in initial_states]
-        except KeyError as exc:
-            raise ProtocolNotVectorizableError(
-                f"initial state {exc.args[0]!r} is missing from the compiled "
-                "table; compile with roots covering all initial states"
-            ) from None
+        if table is not None:
+            state_vector = [table.state_id(state) for state in initial_states]
+            initial_letter_id = table.initial_letter_id
+        else:
+            try:
+                state_vector = [compiled.state_id(state) for state in initial_states]
+            except KeyError as exc:
+                raise ProtocolNotVectorizableError(
+                    f"initial state {exc.args[0]!r} is missing from the compiled "
+                    "table; compile with roots covering all initial states"
+                ) from None
+            initial_letter_id = compiled.initial_letter_id
         self._state = np.asarray(state_vector, dtype=np.int64)
         # One slot per *sender*: the synchronous engine only broadcasts, so
         # every port of a node's neighbours holds the same letter — the last
         # one the node transmitted (initially σ0).
-        self._last_letter = np.full(
-            graph.num_nodes, compiled.initial_letter_id, dtype=np.int64
-        )
+        self._last_letter = np.full(graph.num_nodes, initial_letter_id, dtype=np.int64)
         indptr, indices = graph.csr_adjacency()
         self._edge_dst = np.asarray(indices, dtype=np.int64)
         degrees = np.diff(np.asarray(indptr, dtype=np.int64))
         self._edge_src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), degrees)
+        self._bounding = protocol.bounding.value
         self._round = 0
         self._messages = 0
 
@@ -149,8 +185,19 @@ class VectorizedEngine:
         return self._protocol
 
     @property
-    def compiled(self) -> CompiledProtocol:
+    def compiled(self) -> CompiledProtocol | None:
+        """The eager table, or ``None`` when running off a lazy table."""
         return self._compiled
+
+    @property
+    def table(self) -> LazyExtendedTable | None:
+        """The lazy table, or ``None`` when running off an eager one."""
+        return self._table
+
+    @property
+    def tabulation_mode(self) -> str:
+        """``"eager"`` or ``"lazy"`` — which table flavour drives this run."""
+        return "lazy" if self._table is not None else "eager"
 
     @property
     def round_index(self) -> int:
@@ -164,17 +211,47 @@ class VectorizedEngine:
 
     def in_output_configuration(self) -> bool:
         """Whether every node currently resides in an output state."""
+        if self._table is not None:
+            _, _, output_mask, *_ = self._table.arrays()
+            return bool(output_mask[self._state].all())
         return bool(self._compiled.output_mask[self._state].all())
 
     def _decode_states(self) -> tuple[State, ...]:
+        if self._table is not None:
+            decode = self._table.state_value
+            return tuple(decode(int(i)) for i in self._state)
         table = self._compiled.states
         return tuple(table[i] for i in self._state)
 
     # ------------------------------------------------------------------ #
     # Execution                                                           #
     # ------------------------------------------------------------------ #
+    def _draw_picks(self, option_count) -> "np.ndarray":
+        """Per-node option indices; multi-option nodes draw uniform randoms."""
+        pick = np.zeros(len(option_count), dtype=np.int64)
+        multi = option_count > 1
+        if multi.any():
+            if self._rng_mode == "python":
+                # Replay random.Random in ascending node order: exactly the
+                # draw sequence of the interpreted engine (bitwise parity).
+                randrange = self._rng.randrange
+                nodes = np.flatnonzero(multi)
+                pick[nodes] = [randrange(int(k)) for k in option_count[nodes]]
+            else:
+                pick[multi] = self._np_rng.integers(0, option_count[multi])
+        return pick
+
     def step_round(self) -> None:
         """Execute one fully synchronous round for all nodes as array ops."""
+        if self._table is not None:
+            self._step_round_lazy()
+        else:
+            self._step_round_eager()
+        self._round += 1
+        if self._observer is not None:
+            self._observer(self._round, self._decode_states())
+
+    def _step_round_eager(self) -> None:
         compiled = self._compiled
         n = self._graph.num_nodes
         num_letters = compiled.num_letters
@@ -191,17 +268,7 @@ class VectorizedEngine:
         option_offset = compiled.cell_offset[cell]
 
         # 3. Uniform draws for nodes with more than one option.
-        pick = np.zeros(n, dtype=np.int64)
-        multi = option_count > 1
-        if multi.any():
-            if self._rng_mode == "python":
-                # Replay random.Random in ascending node order: exactly the
-                # draw sequence of the interpreted engine (bitwise parity).
-                randrange = self._rng.randrange
-                nodes = np.flatnonzero(multi)
-                pick[nodes] = [randrange(int(k)) for k in option_count[nodes]]
-            else:
-                pick[multi] = self._np_rng.integers(0, option_count[multi])
+        pick = self._draw_picks(option_count)
 
         # 4. Apply transitions and deliver emissions (round-t messages become
         #    visible in round t+1: the census above used the old letters).
@@ -211,9 +278,46 @@ class VectorizedEngine:
         transmitting = emitted >= 0
         self._messages += int(transmitting.sum())
         self._last_letter = np.where(transmitting, emitted, self._last_letter)
-        self._round += 1
-        if self._observer is not None:
-            self._observer(self._round, self._decode_states())
+
+    def _step_round_lazy(self) -> None:
+        table = self._table
+        n = self._graph.num_nodes
+        alphabet_size = table.alphabet_size
+
+        # 1. Port census over the *observable* letters.  A lazily defined
+        #    protocol may transmit letters outside its declared alphabet;
+        #    they sit in ports but are invisible to observations (mirroring
+        #    Observation.from_port_contents), so those edges are masked out.
+        letters = self._last_letter[self._edge_dst]
+        observable = letters < alphabet_size
+        keys = self._edge_src[observable] * alphabet_size + letters[observable]
+        counts = np.bincount(keys, minlength=n * alphabet_size)
+        saturated = np.minimum(counts.reshape(n, alphabet_size), self._bounding)
+
+        # 2. Observation ids via the per-state stride matrix, then evaluate
+        #    every (state, observation) cell not seen before.  A warm table
+        #    skips straight through; re-fetch the views afterwards because
+        #    growth may have moved the pools.
+        strides, state_base, *_ = table.arrays()
+        obs_id = (saturated * strides[self._state]).sum(axis=1)
+        table.ensure_cells(self._state, obs_id)
+        _, state_base, _, cell_offset, cell_count, option_next, option_emit = (
+            table.arrays()
+        )
+        cell = state_base[self._state] + obs_id
+        option_count = cell_count[cell]
+        option_offset = cell_offset[cell]
+
+        # 3. Uniform draws for nodes with more than one option.
+        pick = self._draw_picks(option_count)
+
+        # 4. Apply transitions and deliver emissions.
+        selected = option_offset + pick
+        self._state = option_next[selected]
+        emitted = option_emit[selected]
+        transmitting = emitted >= 0
+        self._messages += int(transmitting.sum())
+        self._last_letter = np.where(transmitting, emitted, self._last_letter)
 
     def run(
         self,
@@ -256,12 +360,15 @@ def run_vectorized(
     observer=None,
     raise_on_timeout: bool = True,
     compiled: CompiledProtocol | None = None,
+    table: LazyExtendedTable | None = None,
     rng_mode: str = "python",
 ) -> ExecutionResult:
     """Convenience wrapper: compile, build a :class:`VectorizedEngine`, run it.
 
-    Pass a pre-built ``compiled`` table to amortise the compile step over
-    many runs of the same protocol (the sweep runners do this).
+    Pass a pre-built ``compiled`` (eager) or ``table`` (lazy) table to
+    amortise the compile step over many runs of the same protocol — the
+    sweep runners do this, and shared lazy tables additionally start every
+    later run fully warm.
     """
     engine = VectorizedEngine(
         graph,
@@ -270,6 +377,7 @@ def run_vectorized(
         inputs=inputs,
         observer=observer,
         compiled=compiled,
+        table=table,
         rng_mode=rng_mode,
     )
     return engine.run(max_rounds=max_rounds, raise_on_timeout=raise_on_timeout)

@@ -12,6 +12,7 @@ families of the scaling experiments.
 
 import pytest
 
+from repro.compilers import compile_to_asynchronous, lower_to_single_query
 from repro.graphs import generators
 from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
 from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
@@ -105,6 +106,66 @@ def test_timeout_parity(seed):
     interpreted, vectorized = _run_both(graph, MISProtocol, seed, max_rounds=3)
     assert not interpreted.reached_output
     assert interpreted.summary_fields() == vectorized.summary_fields()
+
+
+# Synchronizer- and multiquery-compiled protocols: their reachable closures
+# are far too large for the eager tabulation, so the vectorized backend runs
+# them off a LazyExtendedTable — the parity contract is identical.
+COMPILED_PROTOCOLS = {
+    "synchronized-broadcast": lambda: compile_to_asynchronous(BroadcastProtocol()),
+    "synchronized-mis": lambda: compile_to_asynchronous(MISProtocol()),
+    "single-query-mis": lambda: lower_to_single_query(MISProtocol()),
+}
+
+
+@pytest.mark.parametrize("name", sorted(COMPILED_PROTOCOLS))
+@pytest.mark.parametrize("seed", (0, 17))
+def test_compiled_protocol_parity(name, seed):
+    factory = COMPILED_PROTOCOLS[name]
+    inputs = broadcast_inputs(0) if "broadcast" in name else None
+    graph = (
+        generators.path_graph(24)
+        if "broadcast" in name
+        else generators.gnp_random_graph(20, 0.25, seed=seed)
+    )
+    interpreted, vectorized = _run_both(
+        graph, factory, seed, inputs=inputs, max_rounds=2_000_000
+    )
+    assert interpreted.summary_fields() == vectorized.summary_fields()
+    assert interpreted.reached_output
+
+
+@pytest.mark.parametrize("seed", (0, 17))
+def test_compiled_coloring_parity(seed):
+    """The compiled tree-coloring protocol overflows even the *lazy strict*
+    enumeration attempt of the eager path; the lazy extended table runs it."""
+    graph = generators.random_tree(16, seed=seed)
+    interpreted, vectorized = _run_both(
+        graph,
+        lambda: compile_to_asynchronous(TreeColoringProtocol()),
+        seed,
+        max_rounds=5_000_000,
+    )
+    assert interpreted.summary_fields() == vectorized.summary_fields()
+    assert interpreted.reached_output
+
+
+def test_compiled_protocols_vectorize_under_auto():
+    """backend='auto' no longer interprets compiled protocols silently: the
+    selection metadata reports the lazy vectorized path and the reason."""
+    graph = generators.path_graph(16)
+    result = run_synchronous(
+        graph,
+        compile_to_asynchronous(BroadcastProtocol()),
+        seed=3,
+        inputs=broadcast_inputs(0),
+        max_rounds=1_000_000,
+        raise_on_timeout=False,
+        backend="auto",
+    )
+    assert result.metadata["backend"] == "vectorized"
+    assert result.metadata["backend_mode"] == "lazy"
+    assert "lazy" in result.metadata["backend_reason"]
 
 
 def test_auto_backend_matches_python_on_the_full_matrix():

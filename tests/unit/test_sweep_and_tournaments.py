@@ -1,7 +1,5 @@
 """Unit tests for the sweep harness, trace analysis and reporting helpers."""
 
-import pytest
-
 from repro.analysis.reporting import ExperimentReport, format_table
 from repro.analysis.sweep import geometric_sizes, run_many, sweep_protocol
 from repro.analysis.tournaments import trace_mis_execution

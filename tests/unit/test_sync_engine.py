@@ -7,7 +7,13 @@ from repro.graphs import cycle_graph, path_graph, star_graph
 from repro.graphs.properties import eccentricity
 from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
 from repro.protocols.mis import MISProtocol
-from repro.scheduling.sync_engine import SynchronousEngine, repeat_synchronous, run_synchronous
+from repro.scheduling.sync_engine import (
+    SynchronousEngine,
+    precompile_tables,
+    repeat_synchronous,
+    run_synchronous,
+    select_backend,
+)
 
 
 class TestBroadcastGroundTruth:
@@ -169,3 +175,102 @@ class TestEngineMechanics:
     def test_unknown_backend_is_rejected(self):
         with pytest.raises(ExecutionError):
             run_synchronous(path_graph(2), BroadcastProtocol(), seed=0, backend="gpu")
+
+
+class TestBackendSelection:
+    def test_run_records_selection_metadata(self):
+        result = run_synchronous(
+            path_graph(6),
+            BroadcastProtocol(),
+            seed=0,
+            inputs=broadcast_inputs(0),
+            backend="auto",
+        )
+        assert result.metadata["backend"] == "vectorized"
+        assert result.metadata["backend_mode"] == "eager"
+        assert result.metadata["backend_reason"]
+
+    def test_select_backend_matches_the_run(self):
+        for backend in ("python", "vectorized", "auto"):
+            selection = select_backend(path_graph(6), BroadcastProtocol(), backend)
+            result = run_synchronous(
+                path_graph(6),
+                BroadcastProtocol(),
+                seed=0,
+                inputs=broadcast_inputs(0),
+                backend=backend,
+            )
+            assert selection.requested == backend
+            assert result.metadata["backend"] == selection.backend
+            assert result.metadata["backend_mode"] == selection.mode
+
+    def test_select_backend_reports_compiled_protocols_as_lazy(self):
+        from repro.compilers import compile_to_asynchronous
+
+        selection = select_backend(
+            path_graph(4), compile_to_asynchronous(BroadcastProtocol()), "auto"
+        )
+        assert (selection.backend, selection.mode) == ("vectorized", "lazy")
+
+    def test_select_backend_forwards_inputs(self):
+        selection = select_backend(
+            path_graph(4), BroadcastProtocol(), "auto", inputs=broadcast_inputs(0)
+        )
+        assert selection.backend == "vectorized"
+
+    def test_precompile_tables_shapes(self):
+        from repro.compilers import compile_to_asynchronous
+        from repro.scheduling.compiled import LazyExtendedTable
+
+        backend, compiled, table = precompile_tables(MISProtocol(), "auto")
+        assert backend == "auto" and compiled is not None and table is None
+        backend, compiled, table = precompile_tables(
+            compile_to_asynchronous(BroadcastProtocol()), "auto"
+        )
+        assert backend == "auto" and compiled is None
+        assert isinstance(table, LazyExtendedTable)
+        assert precompile_tables(MISProtocol(), "python") == ("python", None, None)
+
+    def test_repeat_synchronous_shares_one_warm_lazy_table(self):
+        from repro.compilers import compile_to_asynchronous
+
+        def factory():
+            return compile_to_asynchronous(BroadcastProtocol())
+
+        shared = repeat_synchronous(
+            path_graph(8),
+            factory,
+            repetitions=2,
+            base_seed=5,
+            inputs=broadcast_inputs(0),
+            backend="auto",
+            raise_on_timeout=False,
+        )
+        for repetition, result in enumerate(shared):
+            reference = run_synchronous(
+                path_graph(8),
+                factory(),
+                seed=5 + repetition,
+                inputs=broadcast_inputs(0),
+                backend="python",
+                raise_on_timeout=False,
+            )
+            assert result.summary_fields() == reference.summary_fields()
+            assert result.metadata["backend_mode"] == "lazy"
+
+    def test_select_backend_reports_interpreter_fallback_reason(self):
+        class Unbounded(BroadcastProtocol):
+            def initial_state(self, input_value=None):
+                return 0
+
+            def query_letter(self, state):
+                return "TOKEN"
+
+            def options(self, state, count):
+                from repro.core.protocol import TransitionChoice
+
+                return (TransitionChoice(int(state) + 1, "TOKEN"),)
+
+        selection = select_backend(path_graph(3), Unbounded(), "auto")
+        assert (selection.backend, selection.mode) == ("python", "interpreted")
+        assert "fell back" in selection.reason
