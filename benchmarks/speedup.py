@@ -50,7 +50,7 @@ def measure_backend_speedup(
     wall-clock numbers, and soft-asserts the ≥ ``SPEEDUP_TARGET`` win.
     """
     from repro.analysis.reporting import ExperimentReport
-    from repro.scheduling.async_engine import run_asynchronous
+    from repro.scheduling.async_engine import _run_asynchronous as run_asynchronous
     from repro.scheduling.compiled import LazyStrictTable
 
     table = LazyStrictTable(protocol)
@@ -115,7 +115,7 @@ def measure_sync_backend_speedup(
     """
     from repro.analysis.reporting import ExperimentReport
     from repro.scheduling.compiled import LazyExtendedTable
-    from repro.scheduling.sync_engine import run_synchronous
+    from repro.scheduling.sync_engine import _run_synchronous as run_synchronous
 
     table = LazyExtendedTable(protocol_factory())
 

@@ -7,7 +7,7 @@ and confirms the design choice called out in DESIGN.md.
 from repro.analysis.experiments import experiment_coin_bias_ablation
 from repro.graphs import gnp_random_graph
 from repro.protocols.mis import MISProtocol, mis_from_result
-from repro.scheduling.sync_engine import run_synchronous
+from repro.scheduling.sync_engine import _run_synchronous as run_synchronous
 from repro.verification import is_maximal_independent_set
 
 

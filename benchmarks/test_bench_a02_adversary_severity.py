@@ -15,7 +15,7 @@ from repro.graphs.generators import binary_tree
 from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
 from repro.protocols.mis import MISProtocol
 from repro.scheduling.adversary import SkewedRatesAdversary
-from repro.scheduling.async_engine import run_asynchronous
+from repro.scheduling.async_engine import _run_asynchronous as run_asynchronous
 
 from speedup import measure_backend_speedup
 

@@ -16,7 +16,7 @@ import pytest
 from repro.analysis.experiments import experiment_mis_scaling
 from repro.graphs import gnp_random_graph
 from repro.protocols.mis import MISProtocol, mis_from_result
-from repro.scheduling.sync_engine import run_synchronous
+from repro.scheduling.sync_engine import _run_synchronous as run_synchronous
 from repro.verification import is_maximal_independent_set
 
 

@@ -11,7 +11,7 @@ import pytest
 from repro.analysis.experiments import experiment_coloring_scaling
 from repro.graphs import random_tree
 from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
-from repro.scheduling.sync_engine import run_synchronous
+from repro.scheduling.sync_engine import _run_synchronous as run_synchronous
 from repro.verification import is_proper_coloring
 
 

@@ -17,7 +17,7 @@ from repro.graphs.generators import binary_tree
 from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
 from repro.protocols.mis import MISProtocol, mis_from_result
 from repro.scheduling.adversary import SkewedRatesAdversary
-from repro.scheduling.async_engine import run_asynchronous
+from repro.scheduling.async_engine import _run_asynchronous as run_asynchronous
 from repro.verification import is_maximal_independent_set
 
 from speedup import measure_backend_speedup, measure_sync_backend_speedup

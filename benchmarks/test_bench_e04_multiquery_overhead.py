@@ -4,7 +4,7 @@ from repro.analysis.experiments import experiment_multiquery_overhead
 from repro.compilers import lower_to_single_query
 from repro.graphs import gnp_random_graph
 from repro.protocols.mis import MISProtocol
-from repro.scheduling.sync_engine import run_synchronous
+from repro.scheduling.sync_engine import _run_synchronous as run_synchronous
 
 
 def test_bench_lowered_mis(benchmark, experiment_recorder):

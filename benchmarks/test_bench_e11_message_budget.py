@@ -3,7 +3,7 @@
 from repro.analysis.experiments import experiment_message_budget
 from repro.graphs import gnp_random_graph
 from repro.protocols.mis import MISProtocol
-from repro.scheduling.sync_engine import run_synchronous
+from repro.scheduling.sync_engine import _run_synchronous as run_synchronous
 
 
 def test_bench_message_accounting(benchmark, experiment_recorder):

@@ -24,10 +24,12 @@ weaker cells.
 
 from __future__ import annotations
 
+import argparse
+
+from repro.api import Simulation
 from repro.baselines.beeping import sop_selection_mis
 from repro.graphs import Graph, grid_graph
 from repro.protocols.mis import MISProtocol, mis_from_result
-from repro.scheduling.sync_engine import run_synchronous
 from repro.verification import is_maximal_independent_set
 
 
@@ -51,11 +53,14 @@ def render_pattern(rows: int, cols: int, selected: set[int]) -> str:
 
 
 def main() -> None:
-    rows, cols = 12, 24
+    parser = argparse.ArgumentParser(description="SOP selection on an epithelium")
+    parser.add_argument("--quick", action="store_true", help="smaller tissue for smoke tests")
+    args = parser.parse_args()
+    rows, cols = (6, 12) if args.quick else (12, 24)
     tissue = epithelium(rows, cols)
     print(f"epithelium: {tissue.num_nodes} cells, {tissue.num_edges} contacts\n")
 
-    stone_age = run_synchronous(tissue, MISProtocol(), seed=2011)
+    stone_age = Simulation().run_protocol(tissue, MISProtocol(), seed=2011, backend="auto")
     sops = mis_from_result(stone_age)
     print("Stone Age nFSM selection (7 states, b = 1, no knowledge of the tissue size)")
     print(f"  rounds: {stone_age.rounds}, SOPs selected: {len(sops)}, "

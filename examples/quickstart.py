@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Quickstart: run the Stone Age protocols on small networks.
+"""Quickstart: run the Stone Age protocols through the Simulation API.
 
 This example covers the three headline results of the paper in a few lines
-each:
+each, all through one :class:`repro.api.Simulation` session and declarative
+:class:`repro.api.RunSpec` descriptions:
 
 1. maximal independent set on an arbitrary random graph (Section 4),
 2. 3-coloring of a random tree (Section 5),
@@ -15,59 +16,67 @@ Run it with ``python examples/quickstart.py``.
 from __future__ import annotations
 
 from repro import (
-    MISProtocol,
-    TreeColoringProtocol,
+    RunSpec,
+    Simulation,
     coloring_from_result,
-    compile_to_asynchronous,
-    gnp_random_graph,
     is_maximal_independent_set,
     is_proper_coloring,
     mis_from_result,
-    random_tree,
-    run_asynchronous,
-    run_synchronous,
 )
-from repro.scheduling import SkewedRatesAdversary
+
+session = Simulation()
 
 
 def maximal_independent_set_demo() -> None:
-    graph = gnp_random_graph(64, 0.08, seed=1)
-    result = run_synchronous(graph, MISProtocol(), seed=7)
+    spec = RunSpec(protocol="mis", nodes=64, graph="gnp_sparse", seed=7)
+    result = session.simulate(spec)
+    graph = result.graph
     independent_set = mis_from_result(result)
     print("== Maximal independent set (Theorem 4.5) ==")
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
     print(f"rounds: {result.rounds}, MIS size: {len(independent_set)}")
     print(f"valid MIS: {is_maximal_independent_set(graph, independent_set)}")
+    print(f"backend: {result.metadata['backend']} ({result.metadata['backend_mode']})")
     print()
 
 
 def tree_coloring_demo() -> None:
-    tree = random_tree(64, seed=2)
-    result = run_synchronous(tree, TreeColoringProtocol(), seed=3)
+    spec = RunSpec(protocol="coloring", nodes=64, graph="random_tree", seed=3, graph_seed=2)
+    result = session.simulate(spec)
     colors = coloring_from_result(result)
     print("== Tree 3-coloring (Theorem 5.4) ==")
-    print(f"tree: {tree.num_nodes} nodes, rounds: {result.rounds}")
+    print(f"tree: {result.graph.num_nodes} nodes, rounds: {result.rounds}")
     print(f"colors used: {sorted(set(colors.values()))}")
-    print(f"proper coloring: {is_proper_coloring(tree, colors)}")
+    print(f"proper coloring: {is_proper_coloring(result.graph, colors)}")
     print()
 
 
 def asynchronous_demo() -> None:
-    graph = gnp_random_graph(10, 0.3, seed=4)
-    compiled = compile_to_asynchronous(MISProtocol())
-    result = run_asynchronous(
-        graph,
-        compiled,
+    # The same MIS protocol, now in the raw model of Section 2: the spec
+    # switches the environment and names an adversary; the session compiles
+    # the protocol with the synchronizer behind the scenes.
+    spec = RunSpec(
+        protocol="mis",
+        nodes=10,
+        graph="gnp_dense",
         seed=5,
-        adversary=SkewedRatesAdversary(slow_fraction=0.3, slow_factor=10.0),
+        graph_seed=4,
+        environment="async",
+        adversary="skewed-rates",
         adversary_seed=6,
+        adversary_params={"slow_fraction": 0.3, "slow_factor": 10.0},
     )
+    result = session.simulate(spec)
     independent_set = mis_from_result(result)
     print("== Synchronizer + adversarial asynchrony (Theorem 3.1) ==")
-    print(f"compiled alphabet size: {len(compiled.alphabet)} letters (still a constant)")
     print(f"normalised run-time: {result.time_units:.1f} time units, "
           f"{result.total_node_steps} node steps")
-    print(f"valid MIS under the adversary: {is_maximal_independent_set(graph, independent_set)}")
+    print(f"valid MIS under the adversary: "
+          f"{is_maximal_independent_set(result.graph, independent_set)}")
+    # Specs round-trip through plain dictionaries / JSON, so any scenario
+    # shown here can be saved, shared, and replayed bit-for-bit:
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+    print(f"spec round-trips through its dict form: adversary {spec.adversary!r} preserved")
 
 
 def main() -> None:

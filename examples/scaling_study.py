@@ -7,36 +7,39 @@ This is a lighter-weight version of the benchmark harness (see
 log-normalised columns the theorems predict, and reports which growth
 function fits the measurements best.
 
-The sweeps run on the vectorized batch backend (``backend="auto"``), which
-compiles the constant-size state machines into dense NumPy tables — that is
-what makes the 4096-node upper sizes below finish in seconds on a laptop.
-Pass ``backend="python"`` to :func:`sweep_protocol` to compare against the
-interpreted reference engine; the measured rounds are identical either way.
+Both sweeps run through one :class:`repro.api.Simulation` session, so the
+compiled transition tables stay warm across them, and each workload is a
+declarative :class:`repro.api.RunSpec`.  The default ``backend="auto"``
+selects the vectorized batch engine, which is what makes the 4096-node upper
+sizes finish in seconds on a laptop; pass ``--backend python`` to compare
+against the interpreted reference engine — the measured rounds are identical
+either way.  ``--quick`` shrinks the workload to CI-smoke size.
 """
 
 from __future__ import annotations
 
+import argparse
 import math
 
-from repro.analysis import best_growth_fit, format_table, geometric_sizes, sweep_protocol
-from repro.analysis.experiments import MIS_FAMILIES, TREE_FAMILIES
-from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
-from repro.protocols.mis import MISProtocol, mis_from_result
+from repro.analysis import best_growth_fit, format_table, geometric_sizes
+from repro.api import RunSpec, Simulation
+from repro.protocols.coloring import coloring_from_result
+from repro.protocols.mis import mis_from_result
 from repro.verification import is_maximal_independent_set, is_proper_coloring
 
+MIS_FAMILY_NAMES = ["random_tree", "gnp_sparse", "cycle", "grid"]
+TREE_FAMILY_NAMES = ["random_tree", "path", "star", "binary_tree"]
 
-def mis_study() -> None:
-    sizes = geometric_sizes(16, 4096)
-    sweep = sweep_protocol(
-        MISProtocol,
-        MIS_FAMILIES,
-        sizes,
-        repetitions=2,
-        base_seed=1,
+
+def mis_study(session: Simulation, sizes: list[int], repetitions: int, backend: str) -> None:
+    sweep = session.sweep(
+        RunSpec(protocol="mis", seed=1, backend=backend),
+        families=MIS_FAMILY_NAMES,
+        sizes=sizes,
+        repetitions=repetitions,
         validator=lambda graph, result: is_maximal_independent_set(
             graph, mis_from_result(result)
         ),
-        backend="auto",
     )
     by_size = sweep.mean_cost_by_size()
     rows = [
@@ -50,18 +53,15 @@ def mis_study() -> None:
           f"all runs produced valid MIS's: {sweep.all_valid()}\n")
 
 
-def coloring_study() -> None:
-    sizes = geometric_sizes(16, 4096)
-    sweep = sweep_protocol(
-        TreeColoringProtocol,
-        TREE_FAMILIES,
-        sizes,
-        repetitions=2,
-        base_seed=2,
+def coloring_study(session: Simulation, sizes: list[int], repetitions: int, backend: str) -> None:
+    sweep = session.sweep(
+        RunSpec(protocol="coloring", seed=2, backend=backend),
+        families=TREE_FAMILY_NAMES,
+        sizes=sizes,
+        repetitions=repetitions,
         validator=lambda graph, result: is_proper_coloring(
             graph, coloring_from_result(result)
         ),
-        backend="auto",
     )
     by_size = sweep.mean_cost_by_size()
     rows = [
@@ -76,8 +76,21 @@ def coloring_study() -> None:
 
 
 def main() -> None:
-    mis_study()
-    coloring_study()
+    parser = argparse.ArgumentParser(description="Stone Age scaling study")
+    parser.add_argument("--max-size", type=int, default=4096,
+                        help="largest network size in the doubling ladder")
+    parser.add_argument("--repetitions", type=int, default=2)
+    parser.add_argument("--backend", choices=("python", "vectorized", "auto"),
+                        default="auto")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workload for smoke tests (overrides --max-size)")
+    args = parser.parse_args()
+    max_size = 64 if args.quick else args.max_size
+    repetitions = 1 if args.quick else args.repetitions
+    sizes = geometric_sizes(16, max_size)
+    session = Simulation()
+    mis_study(session, sizes, repetitions, args.backend)
+    coloring_study(session, sizes, repetitions, args.backend)
 
 
 if __name__ == "__main__":

@@ -17,11 +17,13 @@ it), but it is a valid head set every single time.
 from __future__ import annotations
 
 import random
+import zlib
 
+from repro.api import Simulation
 from repro.compilers import compile_to_asynchronous
 from repro.graphs import Graph
 from repro.protocols.mis import MISProtocol, mis_from_result
-from repro.scheduling import default_adversary_suite, run_asynchronous
+from repro.scheduling import default_adversary_suite
 from repro.verification import is_maximal_independent_set
 
 
@@ -48,15 +50,22 @@ def main() -> None:
     print(f"compiled protocol: alphabet of {len(compiled.alphabet)} letters, "
           f"bounding parameter b = {compiled.bounding.value}\n")
 
+    # One session runs the whole adversary suite; the shared ``cache_key``
+    # keeps the compiled protocol's transition table warm across policies.
+    session = Simulation()
     print(f"{'adversary':<18} {'heads':>5} {'time units':>11} {'node steps':>11} {'valid':>6}")
     for adversary in default_adversary_suite():
-        result = run_asynchronous(
+        result = session.run_protocol(
             network,
             compiled,
+            environment="async",
             seed=42,
             adversary=adversary,
-            adversary_seed=hash(adversary.name) % (2**31),
+            # A stable hash: str.__hash__ is salted per process, which
+            # would make the printed numbers differ between invocations.
+            adversary_seed=zlib.crc32(adversary.name.encode()),
             max_events=6_000_000,
+            cache_key="cluster-heads",
         )
         heads = mis_from_result(result)
         valid = is_maximal_independent_set(network, heads)

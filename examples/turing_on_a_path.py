@@ -20,9 +20,9 @@ from repro.automata import (
     decide_word_on_path,
     palindrome_lba,
 )
+from repro.api import Simulation
 from repro.graphs import gnp_random_graph
 from repro.protocols.mis import MISProtocol
-from repro.scheduling.sync_engine import run_synchronous
 
 
 def chain_of_cells_demo() -> None:
@@ -50,7 +50,7 @@ def linear_space_demo() -> None:
     graph = gnp_random_graph(60, 0.07, seed=3)
     simulator = LinearSpaceNetworkSimulator(graph, MISProtocol(), seed=4)
     tape_result = simulator.run()
-    engine_result = run_synchronous(graph, MISProtocol(), seed=4)
+    engine_result = Simulation().run_protocol(graph, MISProtocol(), seed=4, backend="python")
     space = simulator.space_report()
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
     print(f"tape cells: {space.input_cells} for the input encoding, "

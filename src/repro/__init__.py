@@ -16,14 +16,20 @@ everything the paper builds on top of it:
   baselines plus centralized references;
 * :mod:`repro.verification` — solution checkers;
 * :mod:`repro.analysis` — sweeps, statistics and the experiment harness
-  behind EXPERIMENTS.md.
+  behind EXPERIMENTS.md;
+* :mod:`repro.api` — the unified :class:`Simulation` session,
+  :class:`RunSpec` experiment descriptions and the named registries.
 
 Quickstart
 ----------
->>> from repro import MISProtocol, run_synchronous, gnp_random_graph
->>> graph = gnp_random_graph(64, 0.1, seed=1)
->>> result = run_synchronous(graph, MISProtocol(), seed=7)
+>>> from repro import RunSpec, Simulation
+>>> session = Simulation()
+>>> result = session.simulate(RunSpec(protocol="mis", nodes=64, seed=7))
 >>> independent_set = {v for v, joined in result.outputs.items() if joined}
+
+The :mod:`repro.api` facade (sessions, run specs, named registries) is the
+recommended entry point; the historical free functions
+(``run_synchronous`` & co.) remain as deprecated shims.
 """
 
 from repro.core import (
@@ -77,8 +83,16 @@ from repro.verification import (
     is_maximal_matching,
     is_proper_coloring,
 )
+from repro.api import (
+    RunSpec,
+    SeedPolicy,
+    Simulation,
+    register_adversary,
+    register_graph_family,
+    register_protocol,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EPSILON",
@@ -94,6 +108,9 @@ __all__ = [
     "MISProtocol",
     "Observation",
     "Protocol",
+    "RunSpec",
+    "SeedPolicy",
+    "Simulation",
     "SynchronousEngine",
     "TableExtendedProtocol",
     "TableProtocol",
@@ -119,6 +136,9 @@ __all__ = [
     "mis_from_result",
     "path_graph",
     "random_tree",
+    "register_adversary",
+    "register_graph_family",
+    "register_protocol",
     "run_asynchronous",
     "run_synchronous",
     "run_vectorized",

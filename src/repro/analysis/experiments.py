@@ -16,8 +16,9 @@ from collections.abc import Sequence
 
 from repro.analysis.reporting import ExperimentReport
 from repro.analysis.statistics import best_growth_fit, doubling_ratios, mean, summarize
-from repro.analysis.sweep import geometric_sizes, sweep_protocol
+from repro.analysis.sweep import geometric_sizes
 from repro.analysis.tournaments import trace_mis_execution
+from repro.api import RunSpec, Simulation
 from repro.automata.languages import SAMPLE_LANGUAGES
 from repro.automata.lba_to_nfsm import decide_word_on_path
 from repro.automata.nfsm_to_lba import LinearSpaceNetworkSimulator
@@ -30,28 +31,22 @@ from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
 from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
 from repro.protocols.mis import MISProtocol, mis_from_result
 from repro.scheduling.adversary import default_adversary_suite
-from repro.scheduling.async_engine import run_asynchronous
-from repro.scheduling.sync_engine import run_synchronous
 from repro.verification.checkers import (
     is_maximal_independent_set,
     is_proper_coloring,
 )
 
-# Graph families used by the scaling experiments -------------------------- #
+# Graph families used by the scaling experiments: named subsets of the
+# registered families, so the spec-driven sweeps below and any ad-hoc use of
+# these mappings generate identical graphs for identical seeds.
 MIS_FAMILIES = {
-    "random_tree": lambda n, seed=None: generators.random_tree(n, seed),
-    "gnp_sparse": lambda n, seed=None: generators.gnp_random_graph(n, min(4.0 / max(n, 2), 1.0), seed),
-    "cycle": lambda n, seed=None: generators.cycle_graph(max(n, 3)),
-    "grid": lambda n, seed=None: generators.grid_graph(
-        max(int(round(math.sqrt(n))), 1), max(int(round(math.sqrt(n))), 1)
-    ),
+    name: generators.GRAPH_FAMILIES[name]
+    for name in ("random_tree", "gnp_sparse", "cycle", "grid")
 }
 
 TREE_FAMILIES = {
-    "random_tree": lambda n, seed=None: generators.random_tree(n, seed),
-    "path": lambda n, seed=None: generators.path_graph(n),
-    "star": lambda n, seed=None: generators.star_graph(max(n - 1, 1)),
-    "binary_tree": lambda n, seed=None: generators.binary_tree(n),
+    name: generators.GRAPH_FAMILIES[name]
+    for name in ("random_tree", "path", "star", "binary_tree")
 }
 
 
@@ -80,14 +75,12 @@ def experiment_mis_scaling(
     practical; results are seed-for-seed identical to the interpreter.
     """
     sizes = list(sizes) if sizes is not None else geometric_sizes(16, 1024)
-    sweep = sweep_protocol(
-        MISProtocol,
-        MIS_FAMILIES,
-        sizes,
+    sweep = Simulation().sweep(
+        RunSpec(protocol="mis", seed=base_seed, backend=backend),
+        families=MIS_FAMILIES,
+        sizes=sizes,
         repetitions=repetitions,
-        base_seed=base_seed,
         validator=_mis_validator,
-        backend=backend,
     )
     report = ExperimentReport(
         experiment_id="E1",
@@ -125,14 +118,12 @@ def experiment_coloring_scaling(
 ) -> ExperimentReport:
     """Measure tree-coloring rounds against n and classify the growth (E2)."""
     sizes = list(sizes) if sizes is not None else geometric_sizes(16, 2048)
-    sweep = sweep_protocol(
-        TreeColoringProtocol,
-        TREE_FAMILIES,
-        sizes,
+    sweep = Simulation().sweep(
+        RunSpec(protocol="coloring", seed=base_seed, backend=backend),
+        families=TREE_FAMILIES,
+        sizes=sizes,
         repetitions=repetitions,
-        base_seed=base_seed,
         validator=_coloring_validator,
-        backend=backend,
     )
     report = ExperimentReport(
         experiment_id="E2",
@@ -155,31 +146,6 @@ def experiment_coloring_scaling(
 # ---------------------------------------------------------------------- #
 # E3 — Theorem 3.1: synchronizer has constant overhead                    #
 # ---------------------------------------------------------------------- #
-def _shared_lazy_table(protocol, backend: str, kind: str = "strict"):
-    """One incremental table shared by every vectorized run of *protocol*.
-
-    ``kind`` selects the table flavour: ``"strict"`` builds the
-    :class:`~repro.scheduling.compiled.LazyStrictTable` consumed by the
-    asynchronous engine, ``"extended"`` the
-    :class:`~repro.scheduling.compiled.LazyExtendedTable` consumed by the
-    synchronous one.  Returns ``None`` when the vectorized path cannot apply
-    (no NumPy, or the interpreted backend was requested) — the runners then
-    proceed without table sharing.
-    """
-    if backend == "python":
-        return None
-    from repro.core.errors import ProtocolNotVectorizableError
-
-    try:
-        from repro.scheduling.compiled import LazyExtendedTable, LazyStrictTable
-
-        if kind == "extended":
-            return LazyExtendedTable(protocol)
-        return LazyStrictTable(protocol)
-    except ProtocolNotVectorizableError:
-        return None
-
-
 def _backend_note(result) -> str:
     """The selection-reason annotation of a synchronous run, for reports."""
     backend = result.metadata.get("backend")
@@ -196,8 +162,7 @@ def experiment_synchronizer_overhead(
     """Compare synchronous rounds against asynchronous time units (E3).
 
     ``backend`` selects the execution engines (see
-    :func:`~repro.scheduling.async_engine.run_asynchronous` and
-    :func:`~repro.scheduling.sync_engine.run_synchronous`); the default
+    :meth:`repro.api.Simulation.run_protocol`); the default
     ``"auto"`` routes through the vectorized batch engines, which is what
     makes n ≥ 1024 sizes practical for this experiment — including the
     *synchronous* executions of the compiled protocols, which tabulate
@@ -214,32 +179,34 @@ def experiment_synchronizer_overhead(
     )
     ratios = []
     backend_notes = set()
+    # One session for the whole experiment: the compiled protocols' lazy
+    # tables (sync and async flavours) stay warm across sizes and
+    # adversaries through the session cache, keyed per workload below.
+    session = Simulation()
     compiled_mis = compile_to_asynchronous(MISProtocol())
     compiled_broadcast = compile_to_asynchronous(BroadcastProtocol())
-    mis_table = _shared_lazy_table(compiled_mis, backend)
-    broadcast_table = _shared_lazy_table(compiled_broadcast, backend)
-    mis_sync_table = _shared_lazy_table(compiled_mis, backend, kind="extended")
     for size_index, size in enumerate(sizes):
         graph = generators.gnp_random_graph(size, 0.4, seed=base_seed + size)
-        base_result = run_synchronous(
-            graph, MISProtocol(), seed=base_seed + size_index, backend=backend
+        base_result = session.run_protocol(
+            graph, MISProtocol(), seed=base_seed + size_index, backend=backend,
+            cache_key="e3-mis-base",
         )
         path = generators.path_graph(size)
-        base_broadcast = run_synchronous(
+        base_broadcast = session.run_protocol(
             path, BroadcastProtocol(), inputs=broadcast_inputs(0), seed=base_seed,
-            backend=backend,
+            backend=backend, cache_key="e3-broadcast-base",
         )
         backend_notes.add(_backend_note(base_result))
         # Lockstep leg: the compiled protocol under the friendliest schedule,
         # exercising the lazy-tabulated synchronous vectorized path.
-        lockstep = run_synchronous(
+        lockstep = session.run_protocol(
             graph,
             compiled_mis,
             seed=base_seed + size_index,
             max_rounds=5_000_000,
             raise_on_timeout=False,
             backend=backend,
-            table=mis_sync_table,
+            cache_key="e3-mis-lockstep",
         )
         backend_notes.add(_backend_note(lockstep))
         if lockstep.reached_output and base_result.rounds:
@@ -250,16 +217,17 @@ def experiment_synchronizer_overhead(
                 lockstep.rounds, round(ratio, 1),
             )
         for adversary in default_adversary_suite():
-            async_result = run_asynchronous(
+            async_result = session.run_protocol(
                 graph,
                 compiled_mis,
+                environment="async",
                 seed=base_seed + size_index,
                 adversary=adversary,
                 adversary_seed=base_seed + 100 + size_index,
                 max_events=5_000_000,
                 raise_on_timeout=False,
                 backend=backend,
-                table=mis_table,
+                cache_key="e3-mis-async",
             )
             if async_result.reached_output and base_result.rounds:
                 ratio = async_result.time_units / base_result.rounds
@@ -268,9 +236,10 @@ def experiment_synchronizer_overhead(
                     "mis", adversary.name, size, base_result.rounds,
                     round(async_result.time_units, 1), round(ratio, 1),
                 )
-            async_broadcast = run_asynchronous(
+            async_broadcast = session.run_protocol(
                 path,
                 compiled_broadcast,
+                environment="async",
                 inputs=broadcast_inputs(0),
                 seed=base_seed,
                 adversary=adversary,
@@ -278,7 +247,7 @@ def experiment_synchronizer_overhead(
                 max_events=5_000_000,
                 raise_on_timeout=False,
                 backend=backend,
-                table=broadcast_table,
+                cache_key="e3-broadcast-async",
             )
             if async_broadcast.reached_output and base_broadcast.rounds:
                 ratio = async_broadcast.time_units / base_broadcast.rounds
@@ -321,19 +290,18 @@ def experiment_multiquery_overhead(
     )
     ratios = []
     backend_notes = set()
-    lowered_table = _shared_lazy_table(
-        lower_to_single_query(MISProtocol()), backend, kind="extended"
-    )
+    session = Simulation()
     for size in sizes:
         graph = generators.gnp_random_graph(size, min(6.0 / size, 0.5), seed=base_seed + size)
         base_protocol = MISProtocol()
         lowered = lower_to_single_query(MISProtocol())
-        base_result = run_synchronous(
-            graph, base_protocol, seed=base_seed, backend=backend
+        base_result = session.run_protocol(
+            graph, base_protocol, seed=base_seed, backend=backend,
+            cache_key="e4-base",
         )
-        lowered_result = run_synchronous(
+        lowered_result = session.run_protocol(
             graph, lowered, seed=base_seed, max_rounds=500_000,
-            backend=backend, table=lowered_table,
+            backend=backend, cache_key="e4-lowered",
         )
         backend_notes.add(_backend_note(base_result))
         backend_notes.add(_backend_note(lowered_result))
@@ -371,11 +339,14 @@ def experiment_linear_space(
     )
     per_entry = []
     agreements = []
+    session = Simulation()
     for size in sizes:
         graph = generators.gnp_random_graph(size, min(6.0 / size, 0.5), seed=base_seed + size)
         simulator = LinearSpaceNetworkSimulator(graph, MISProtocol(), seed=base_seed)
         result = simulator.run()
-        reference = run_synchronous(graph, MISProtocol(), seed=base_seed)
+        reference = session.run_protocol(
+            graph, MISProtocol(), seed=base_seed, backend="python"
+        )
         space = simulator.space_report()
         agreement = reference.final_states == result.final_states
         agreements.append(agreement)
@@ -572,9 +543,12 @@ def experiment_baseline_comparison(
         headers=["n", "stone-age rounds", "luby rounds", "beeping rounds", "all correct"],
     )
     orderings = []
+    session = Simulation()
     for size in sizes:
         graph = generators.gnp_random_graph(size, 4.0 / size, seed=base_seed + size)
-        stone = run_synchronous(graph, MISProtocol(), seed=base_seed)
+        stone = session.run_protocol(
+            graph, MISProtocol(), seed=base_seed, backend="python"
+        )
         stone_ok = is_maximal_independent_set(graph, mis_from_result(stone))
         luby_set, luby_result = luby_mis(graph, seed=base_seed)
         beep_set, beep_result = sop_selection_mis(graph, seed=base_seed)
@@ -740,21 +714,22 @@ def experiment_adversary_severity(
         paper_claim="run-time is measured in units of the largest adversarial parameter",
         headers=["slow factor", "elapsed time", "normalised time units"],
     )
+    session = Simulation()
     compiled = compile_to_asynchronous(MISProtocol())
-    table = _shared_lazy_table(compiled, backend)
     graph = generators.gnp_random_graph(size, min(0.4, 6.0 / size), seed=base_seed)
     normalised = []
     for factor in slow_factors:
-        result = run_asynchronous(
+        result = session.run_protocol(
             graph,
             compiled,
+            environment="async",
             seed=base_seed,
             adversary=SkewedRatesAdversary(slow_fraction=0.3, slow_factor=factor),
             adversary_seed=base_seed + 1,
             max_events=6_000_000,
             raise_on_timeout=False,
             backend=backend,
-            table=table,
+            cache_key="a2-mis-async",
         )
         if not result.reached_output:
             continue

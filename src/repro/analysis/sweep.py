@@ -1,23 +1,27 @@
 """Parameter sweeps: run a protocol across graph families, sizes and seeds.
 
 The experiment harness (and the benchmarks regenerating the paper's claims)
-all funnel through :func:`sweep_protocol`: given a protocol factory, a set of
-graph families and a list of sizes, it produces one :class:`SweepRecord` per
-(family, size, repetition) containing the measured cost and the verified
-solution quality.
+all funnel through one sweep implementation: given a protocol factory, a set
+of graph families and a list of sizes, it produces one :class:`SweepRecord`
+per (family, size, repetition) containing the measured cost and the verified
+solution quality.  The public entry point is
+:meth:`repro.api.Simulation.sweep` (spec-driven, with warm compiled-table
+caching); the historical :func:`sweep_protocol` free function remains as a
+deprecated shim.  Per-cell seeds come from
+:class:`repro.api.seeds.SeedPolicy`, the single home of the derivation rules.
 """
 
 from __future__ import annotations
 
-import random
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.api.seeds import SeedPolicy
 from repro.core.protocol import ExtendedProtocol, Protocol
 from repro.core.results import ExecutionResult
 from repro.graphs.graph import Graph
-from repro.scheduling.sync_engine import run_synchronous
+from repro.scheduling.sync_engine import _run_synchronous, precompile_tables
 
 GraphFactory = Callable[[int, int | None], Graph]
 ProtocolFactory = Callable[[], ExtendedProtocol | Protocol]
@@ -75,22 +79,7 @@ class SweepResult:
         return result
 
 
-def _precompile(protocol_factory: ProtocolFactory, backend: str):
-    """Compile the sweep's protocol once so every run skips the compile step.
-
-    Delegates to :func:`~repro.scheduling.sync_engine.precompile_tables`:
-    one shared eager table, or one shared lazy table whose cells accumulate
-    across the sweep so all runs after the first start warm.  Sweeps hand
-    the factory's output to every run anyway, so reusing one compiled table
-    assumes the factory builds equivalent protocols — which is what a sweep
-    means.
-    """
-    from repro.scheduling.sync_engine import precompile_tables
-
-    return precompile_tables(protocol_factory(), backend)
-
-
-def sweep_protocol(
+def _sweep(
     protocol_factory: ProtocolFactory,
     families: Mapping[str, GraphFactory],
     sizes: Sequence[int],
@@ -102,31 +91,33 @@ def sweep_protocol(
     inputs_for: Callable[[Graph], Mapping[int, Any]] | None = None,
     extra_metrics: Callable[[Graph, ExecutionResult], dict[str, Any]] | None = None,
     backend: str = "auto",
+    precompiled: tuple | None = None,
 ) -> SweepResult:
-    """Run the protocol over ``families × sizes × repetitions`` synchronously.
+    """The sweep implementation shared by the facade and the legacy shim.
 
-    ``validator`` receives the graph and the execution result and returns
-    whether the produced solution is correct; when omitted every completed run
-    counts as valid.  Distinct seeds are derived deterministically from
-    ``base_seed`` so the whole sweep is reproducible.  ``backend`` selects the
-    execution engine (see :func:`~repro.scheduling.sync_engine.run_synchronous`);
-    the default ``"auto"`` uses the vectorized batch backend whenever the
-    protocol compiles — results are identical either way, sweeps over large
-    sizes just finish much faster.
+    ``precompiled`` optionally supplies the ``(backend, compiled, table)``
+    bundle from a :class:`~repro.api.Simulation` session's cache; when
+    absent the compile step is paid here, once for the whole sweep.  Seeds
+    come from :meth:`SeedPolicy.sweep_cell`: the graph of a cell is built
+    from the raw cell seed and the run uses its successor — bitwise the
+    historical derivation.
     """
     records: list[SweepRecord] = []
     protocol_name = protocol_factory().name
-    backend, compiled, table = _precompile(protocol_factory, backend)
+    if precompiled is None:
+        precompiled = precompile_tables(protocol_factory(), backend)
+    backend, compiled, table = precompiled
+    policy = SeedPolicy(base_seed)
     for family_name, factory in families.items():
         for size in sizes:
             for repetition in range(repetitions):
-                seed = _derive_seed(base_seed, family_name, size, repetition)
-                graph = factory(size, seed)
+                seeds = policy.sweep_cell(family_name, size, repetition)
+                graph = factory(size, seeds.graph_seed)
                 run_inputs = inputs_for(graph) if inputs_for is not None else None
-                result = run_synchronous(
+                result = _run_synchronous(
                     graph,
                     protocol_factory(),
-                    seed=seed + 1,
+                    seed=seeds.run_seed,
                     inputs=run_inputs,
                     max_rounds=max_rounds,
                     raise_on_timeout=False,
@@ -155,14 +146,46 @@ def sweep_protocol(
     return SweepResult(protocol_name=protocol_name, records=records)
 
 
-def _derive_seed(base_seed: int, family: str, size: int, repetition: int) -> int:
-    """Deterministic, well-mixed seed for one sweep cell."""
-    mixer = random.Random(f"{base_seed}|{family}|{size}|{repetition}")
-    return mixer.randrange(2**31)
+def sweep_protocol(
+    protocol_factory: ProtocolFactory,
+    families: Mapping[str, GraphFactory],
+    sizes: Sequence[int],
+    *,
+    repetitions: int = 3,
+    base_seed: int = 0,
+    max_rounds: int = 100_000,
+    validator: Validator | None = None,
+    inputs_for: Callable[[Graph], Mapping[int, Any]] | None = None,
+    extra_metrics: Callable[[Graph, ExecutionResult], dict[str, Any]] | None = None,
+    backend: str = "auto",
+) -> SweepResult:
+    """Deprecated shim: delegate to :meth:`repro.api.Simulation.sweep`.
+
+    Records are bitwise-identical to earlier releases (same per-cell seeds,
+    same shared compiled table); only the entry point moved.  Prefer a
+    :class:`repro.api.Simulation` session, which additionally keeps the
+    compiled table warm across *multiple* sweeps/repeats.
+    """
+    from repro.api.session import Simulation
+    from repro.scheduling.sync_engine import _deprecated
+
+    _deprecated("sweep_protocol()", "repro.api.Simulation.sweep()")
+    return Simulation().sweep_protocol_objects(
+        protocol_factory,
+        families,
+        sizes,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        max_rounds=max_rounds,
+        validator=validator,
+        inputs_for=inputs_for,
+        extra_metrics=extra_metrics,
+        backend=backend,
+    )
 
 
 def geometric_sizes(start: int, stop: int, factor: int = 2) -> list[int]:
-    """Sizes ``start, start·factor, ...`` up to and including ``stop``."""
+    """Sizes ``start, start·factor, ...`` up to and including *stop*."""
     sizes = []
     size = start
     while size <= stop:
@@ -181,14 +204,19 @@ def run_many(
     validator: Validator | None = None,
     backend: str = "auto",
 ) -> SweepResult:
-    """Like :func:`sweep_protocol` but over an explicit list of graphs."""
+    """Like a sweep but over an explicit list of labelled graphs.
+
+    The per-cell seed rule is :meth:`SeedPolicy.cell_seed` on
+    ``(label, num_nodes, repetition)`` — unchanged from earlier releases.
+    """
     protocol_name = protocol_factory().name
     records: list[SweepRecord] = []
-    backend, compiled, table = _precompile(protocol_factory, backend)
+    backend, compiled, table = precompile_tables(protocol_factory(), backend)
+    policy = SeedPolicy(base_seed)
     for label, graph in graphs:
         for repetition in range(repetitions):
-            seed = _derive_seed(base_seed, label, graph.num_nodes, repetition)
-            result = run_synchronous(
+            seed = policy.cell_seed(label, graph.num_nodes, repetition)
+            result = _run_synchronous(
                 graph,
                 protocol_factory(),
                 seed=seed,

@@ -1,0 +1,61 @@
+"""The unified simulation API: sessions, run specs and named registries.
+
+This package is the recommended entry point to the library::
+
+    from repro.api import RunSpec, Simulation
+
+    session = Simulation()
+    result = session.simulate(RunSpec(protocol="mis", nodes=256, seed=7))
+    repeats = session.repeat(RunSpec(protocol="coloring", nodes=128), 5)
+    sweep = session.sweep(
+        RunSpec(protocol="mis", seed=1),
+        families=["random_tree", "gnp_sparse"],
+        sizes=[64, 128, 256],
+    )
+
+It replaces the historical scatter of free functions (``run_synchronous``,
+``run_asynchronous``, ``repeat_synchronous``, ``sweep_protocol`` — all still
+available as deprecated shims) with three concepts:
+
+* :class:`RunSpec` — a frozen, dict/JSON-round-trippable description of one
+  execution: protocol, graph family, environment, adversary, backend and
+  seeds, all referenced by registry *name*;
+* :class:`Simulation` — a session owning backend selection, seed derivation
+  (:class:`SeedPolicy`) and a compiled-table cache that stays warm across
+  ``simulate()`` / ``repeat()`` / ``sweep()`` calls;
+* the registries (:data:`PROTOCOLS`, :data:`GRAPH_FAMILIES`,
+  :data:`ADVERSARIES`) with their :func:`register_protocol`,
+  :func:`register_graph_family` and :func:`register_adversary` extension
+  decorators — see docs/API.md for the extension guide.
+"""
+
+from repro.api.registry import (
+    ADVERSARIES,
+    GRAPH_FAMILIES,
+    PROTOCOLS,
+    ProtocolEntry,
+    Registry,
+    register_adversary,
+    register_graph_family,
+    register_protocol,
+)
+from repro.api.seeds import CellSeeds, SeedPolicy
+from repro.api.spec import ENVIRONMENTS, RunSpec
+from repro.api.session import Simulation
+from repro.api import builtins as _builtins  # noqa: F401  (populates the registries)
+
+__all__ = [
+    "ADVERSARIES",
+    "ENVIRONMENTS",
+    "GRAPH_FAMILIES",
+    "PROTOCOLS",
+    "CellSeeds",
+    "ProtocolEntry",
+    "Registry",
+    "RunSpec",
+    "SeedPolicy",
+    "Simulation",
+    "register_adversary",
+    "register_graph_family",
+    "register_protocol",
+]

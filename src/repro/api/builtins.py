@@ -1,0 +1,184 @@
+"""Built-in registry entries: the library's own protocols, graphs, adversaries.
+
+Importing :mod:`repro.api` populates the three registries from the modules
+that define the underlying objects — ``repro.protocols`` (the paper's nFSM
+protocols), ``repro.graphs.generators`` (the named graph families),
+``repro.scheduling.adversary`` (the adversarial timing policies) and
+``repro.baselines`` (stronger-model reference algorithms, exposed through
+custom runners).  Everything registered here is reachable by name from a
+:class:`~repro.api.RunSpec`, a :class:`~repro.api.Simulation` session and
+the CLI's generic ``run`` command.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.registry import (
+    GRAPH_FAMILIES,
+    PROTOCOLS,
+    ProtocolEntry,
+    register_adversary,
+)
+from repro.baselines.beeping import sop_selection_mis
+from repro.baselines.luby import luby_mis
+from repro.graphs.generators import GRAPH_FAMILIES as _BUILTIN_FAMILIES
+from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
+from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
+from repro.protocols.matching import maximal_matching_via_line_graph
+from repro.protocols.mis import MISProtocol, mis_from_result
+from repro.scheduling.adversary import (
+    BurstyAdversary,
+    ExponentialAdversary,
+    SkewedRatesAdversary,
+    SynchronousAdversary,
+    TargetedLaggardAdversary,
+    UniformRandomAdversary,
+)
+from repro.verification.checkers import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+)
+
+# ---------------------------------------------------------------------- #
+# Graph families (repro.graphs.generators)                                #
+# ---------------------------------------------------------------------- #
+for _name, _factory in _BUILTIN_FAMILIES.items():
+    GRAPH_FAMILIES.register(_name, _factory)
+
+
+# ---------------------------------------------------------------------- #
+# Adversaries (repro.scheduling.adversary)                                #
+# ---------------------------------------------------------------------- #
+register_adversary("synchronous")(SynchronousAdversary)
+register_adversary("uniform")(UniformRandomAdversary)
+register_adversary("exponential")(ExponentialAdversary)
+register_adversary("skewed-rates")(SkewedRatesAdversary)
+register_adversary("bursty")(BurstyAdversary)
+register_adversary("targeted-laggard")(TargetedLaggardAdversary)
+
+
+# ---------------------------------------------------------------------- #
+# nFSM protocols (repro.protocols)                                        #
+# ---------------------------------------------------------------------- #
+def _mis_valid(graph, result) -> bool:
+    return is_maximal_independent_set(graph, mis_from_result(result))
+
+
+def _mis_summary(graph, result) -> dict[str, Any]:
+    return {"mis size": len(mis_from_result(result))}
+
+
+def _coloring_valid(graph, result) -> bool:
+    colors = coloring_from_result(result)
+    return is_proper_coloring(graph, colors) and len(set(colors.values())) <= 3
+
+
+def _coloring_summary(graph, result) -> dict[str, Any]:
+    return {"colors used": sorted(set(coloring_from_result(result).values()))}
+
+
+def _broadcast_valid(graph, result) -> bool:
+    informed = sum(1 for value in result.outputs.values() if value)
+    return informed == graph.num_nodes
+
+
+def _broadcast_summary(graph, result) -> dict[str, Any]:
+    return {"informed nodes": sum(1 for value in result.outputs.values() if value)}
+
+
+PROTOCOLS.register(
+    "mis",
+    ProtocolEntry(
+        name="mis",
+        title="maximal independent set",
+        factory=MISProtocol,
+        default_family="gnp_sparse",
+        validator=_mis_valid,
+        summary=_mis_summary,
+    ),
+)
+
+PROTOCOLS.register(
+    "coloring",
+    ProtocolEntry(
+        name="coloring",
+        title="3-coloring",
+        factory=TreeColoringProtocol,
+        default_family="random_tree",
+        validator=_coloring_valid,
+        summary=_coloring_summary,
+    ),
+)
+
+PROTOCOLS.register(
+    "broadcast",
+    ProtocolEntry(
+        name="broadcast",
+        title="single-source broadcast",
+        factory=BroadcastProtocol,
+        default_family="random_tree",
+        validator=_broadcast_valid,
+        inputs_factory=lambda graph, source=0: broadcast_inputs(source),
+        summary=_broadcast_summary,
+    ),
+)
+
+
+# ---------------------------------------------------------------------- #
+# Reductions and baselines (custom runners)                               #
+# ---------------------------------------------------------------------- #
+def _matching_runner(session, spec, graph):
+    matching, inner = maximal_matching_via_line_graph(
+        graph, seed=spec.seed, max_rounds=spec.max_rounds, backend=spec.backend
+    )
+    valid = is_maximal_matching(graph, matching)
+    fields = {
+        "line-graph rounds": inner.rounds if inner is not None else 0,
+        "matching size": len(matching),
+    }
+    return fields, valid, inner
+
+
+def _luby_runner(session, spec, graph):
+    selected, result = luby_mis(graph, seed=spec.seed)
+    valid = is_maximal_independent_set(graph, selected)
+    return {"rounds": result.rounds, "mis size": len(selected)}, valid, None
+
+
+def _beeping_runner(session, spec, graph):
+    selected, result = sop_selection_mis(graph, seed=spec.seed)
+    valid = is_maximal_independent_set(graph, selected)
+    return {"rounds": result.rounds, "mis size": len(selected)}, valid, None
+
+
+PROTOCOLS.register(
+    "matching",
+    ProtocolEntry(
+        name="matching",
+        title="maximal matching (MIS on the line graph)",
+        default_family="gnp_sparse",
+        runner=_matching_runner,
+    ),
+)
+
+PROTOCOLS.register(
+    "luby",
+    ProtocolEntry(
+        name="luby",
+        title="Luby MIS (LOCAL-model baseline)",
+        default_family="gnp_sparse",
+        runner=_luby_runner,
+    ),
+)
+
+PROTOCOLS.register(
+    "beeping-sop",
+    ProtocolEntry(
+        name="beeping-sop",
+        title="beeping SOP selection (Afek et al. baseline)",
+        default_family="gnp_sparse",
+        runner=_beeping_runner,
+    ),
+)

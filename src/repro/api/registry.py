@@ -1,0 +1,196 @@
+"""String-keyed registries for protocols, graph families and adversaries.
+
+The registries make every workload component *nameable*: a
+:class:`~repro.api.RunSpec` refers to its protocol, graph family and
+adversary by registry name, which is what lets specs round-trip through
+plain dictionaries / JSON and lets the CLI expose every registered scenario
+through one generic ``run`` command.
+
+Three registries are populated at import time from the library's own
+modules (``repro.protocols``, ``repro.graphs.generators``,
+``repro.scheduling.adversary`` and ``repro.baselines`` — see
+:mod:`repro.api.builtins`) and are open for extension: decorate your own
+classes or factories with :func:`register_protocol`,
+:func:`register_graph_family` or :func:`register_adversary` and they become
+available to specs, sessions and the CLI under the chosen name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import RegistryError
+
+
+class Registry:
+    """An ordered, string-keyed collection of named factories.
+
+    Lookups raise :class:`~repro.core.errors.RegistryError` with the list of
+    registered names, so a typo in a spec or on the CLI produces an
+    actionable message instead of a bare ``KeyError``.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._entries: dict[str, Any] = {}
+
+    @property
+    def kind(self) -> str:
+        """What the registry holds (used in error messages)."""
+        return self._kind
+
+    def register(self, name: str, value: Any, *, overwrite: bool = False) -> Any:
+        """Register *value* under *name*; refuses silent overwrites."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self._kind} names must be non-empty strings, got {name!r}")
+        if name in self._entries and not overwrite:
+            raise RegistryError(
+                f"{self._kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._entries[name] = value
+        return value
+
+    def unregister(self, name: str) -> None:
+        """Remove *name* (no-op when absent); used by tests and plugins."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "(none)"
+            raise RegistryError(
+                f"unknown {self._kind} {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, Any]]:
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<Registry {self._kind}: {', '.join(sorted(self._entries)) or '(empty)'}>"
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """Everything the facade and the CLI need to know about one protocol.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also used in spec dictionaries).
+    title:
+        Human-readable problem name, printed by the CLI report.
+    factory:
+        Zero-or-keyword-argument callable returning a fresh protocol
+        instance; receives ``RunSpec.protocol_params`` as keyword arguments.
+        ``None`` for entries executed through a custom ``runner``.
+    default_family:
+        Graph family used when a spec/CLI invocation names none.
+    validator:
+        ``(graph, result) -> bool`` solution check; ``None`` means every
+        completed run counts as valid.
+    inputs_factory:
+        ``(graph, **params) -> Mapping[node, value]`` building the per-node
+        inputs from ``RunSpec.inputs``; ``None`` for input-free protocols.
+    summary:
+        ``(graph, result) -> dict`` of extra report fields for the CLI.
+    runner:
+        Optional override for entries that are not plain nFSM protocol runs
+        (baselines, reductions).  Signature ``(session, spec, graph) ->
+        (fields, valid, result_or_None)``; when set, :meth:`Simulation.
+        simulate` rejects the entry and the CLI calls the runner instead.
+    """
+
+    name: str
+    title: str
+    factory: Callable[..., Any] | None = None
+    default_family: str = "gnp_sparse"
+    validator: Callable[[Any, Any], bool] | None = None
+    inputs_factory: Callable[..., Mapping[int, Any]] | None = None
+    summary: Callable[[Any, Any], dict[str, Any]] | None = None
+    runner: Callable[..., tuple[dict[str, Any], bool, Any]] | None = None
+
+    @property
+    def spec_runnable(self) -> bool:
+        """Whether :meth:`Simulation.simulate` can execute this entry."""
+        return self.runner is None and self.factory is not None
+
+
+#: The three global registries backing :class:`repro.api.RunSpec`.
+PROTOCOLS = Registry("protocol")
+GRAPH_FAMILIES = Registry("graph family")
+ADVERSARIES = Registry("adversary")
+
+
+def register_protocol(
+    name: str,
+    *,
+    title: str | None = None,
+    default_family: str = "gnp_sparse",
+    validator: Callable[[Any, Any], bool] | None = None,
+    inputs_factory: Callable[..., Mapping[int, Any]] | None = None,
+    summary: Callable[[Any, Any], dict[str, Any]] | None = None,
+    runner: Callable[..., tuple[dict[str, Any], bool, Any]] | None = None,
+    overwrite: bool = False,
+):
+    """Class/factory decorator adding a protocol to :data:`PROTOCOLS`.
+
+    >>> @register_protocol("my-mis", title="my MIS variant")
+    ... class MyProtocol(MISProtocol): ...
+    """
+
+    def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        PROTOCOLS.register(
+            name,
+            ProtocolEntry(
+                name=name,
+                title=title or name,
+                factory=factory,
+                default_family=default_family,
+                validator=validator,
+                inputs_factory=inputs_factory,
+                summary=summary,
+                runner=runner,
+            ),
+            overwrite=overwrite,
+        )
+        return factory
+
+    return decorator
+
+
+def register_graph_family(name: str, *, overwrite: bool = False):
+    """Decorator adding a ``(n, seed=None, **params) -> Graph`` callable
+    to :data:`GRAPH_FAMILIES`."""
+
+    def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        GRAPH_FAMILIES.register(name, factory, overwrite=overwrite)
+        return factory
+
+    return decorator
+
+
+def register_adversary(name: str, *, overwrite: bool = False):
+    """Decorator adding an :class:`AdversaryPolicy` factory to
+    :data:`ADVERSARIES`; the factory receives ``RunSpec.adversary_params``."""
+
+    def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        ADVERSARIES.register(name, factory, overwrite=overwrite)
+        return factory
+
+    return decorator

@@ -1,0 +1,70 @@
+"""Seed derivation for multi-run workloads.
+
+Every repeated or swept execution needs one protocol seed per run, all
+derived deterministically from a single base seed so that the whole workload
+is reproducible from one integer.  Historically the derivation rules lived in
+two places — ``repeat_synchronous`` added the repetition index, while the
+sweep harness hashed the ``(family, size, repetition)`` cell through
+``random.Random`` — and had to agree with each other only by convention.
+:class:`SeedPolicy` centralises both rules; the facade, the sweep harness and
+the legacy shims all share this one implementation, and a regression test
+pins the derived values bit-for-bit to the historical ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Upper bound (exclusive) of every derived cell seed; kept at the historical
+#: value so derived seeds are bitwise-identical to earlier releases.
+_CELL_SEED_BOUND = 2**31
+
+
+@dataclass(frozen=True)
+class CellSeeds:
+    """The two seeds of one sweep cell: graph generation and protocol run."""
+
+    graph_seed: int
+    run_seed: int
+
+
+@dataclass(frozen=True)
+class SeedPolicy:
+    """Derives every seed of a multi-run workload from one base seed.
+
+    The policy is a frozen value object: construct it from the workload's
+    ``base_seed`` and ask it for per-run seeds.  Two derivation rules are
+    provided, matching the two workload shapes:
+
+    * :meth:`repetition_seed` — repeated runs on one fixed graph
+      (``repeat``): seed of repetition ``i`` is ``base_seed + i``;
+    * :meth:`cell_seed` / :meth:`sweep_cell` — sweeps over
+      ``(family, size, repetition)`` cells: the cell coordinates are hashed
+      through ``random.Random`` so neighbouring cells get well-mixed,
+      independent-looking seeds even for tiny base seeds.
+
+    Both rules reproduce the historical derivations bit-for-bit (locked by
+    ``tests/unit/test_api_seeds.py``), so workloads re-expressed through the
+    :class:`~repro.api.Simulation` facade replay their original executions.
+    """
+
+    base_seed: int = 0
+
+    def repetition_seed(self, repetition: int) -> int:
+        """Seed of repetition *repetition* on a fixed workload."""
+        return self.base_seed + repetition
+
+    def cell_seed(self, family: str, size: int, repetition: int) -> int:
+        """Deterministic, well-mixed seed for one sweep cell."""
+        mixer = random.Random(f"{self.base_seed}|{family}|{size}|{repetition}")
+        return mixer.randrange(_CELL_SEED_BOUND)
+
+    def sweep_cell(self, family: str, size: int, repetition: int) -> CellSeeds:
+        """Graph and run seeds of one ``(family, size, repetition)`` cell.
+
+        The graph is generated from the raw cell seed and the protocol run
+        uses the successor, so the two random streams never coincide.
+        """
+        seed = self.cell_seed(family, size, repetition)
+        return CellSeeds(graph_seed=seed, run_seed=seed + 1)

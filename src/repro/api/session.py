@@ -1,0 +1,476 @@
+"""The :class:`Simulation` session: one entry point for every execution.
+
+A session owns the three concerns that used to be re-threaded by hand
+through a scatter of free functions (``run_synchronous``,
+``run_asynchronous``, ``repeat_synchronous``, ``sweep_protocol``):
+
+* **backend selection** — specs say ``"python" | "vectorized" | "auto"``
+  once; the engines record what actually ran (and why) in
+  ``result.metadata``;
+* **compiled-table caching** — the synchronizer/multiquery compile step and
+  the dense/lazy transition tables are built once per workload and stay
+  warm across :meth:`Simulation.simulate`, :meth:`Simulation.repeat` and
+  :meth:`Simulation.sweep` calls on the same session (observable through
+  :attr:`Simulation.cache_hits`);
+* **seed derivation** — every multi-run method derives its per-run seeds
+  through one :class:`~repro.api.seeds.SeedPolicy`.
+
+Specs (:class:`~repro.api.RunSpec`) drive the public trio ``simulate()`` /
+``repeat()`` / ``sweep()``.  The ``*_protocol`` object-level variants accept
+already-constructed graphs and protocol instances; they power the deprecated
+legacy shims and remain available for workloads whose pieces have no
+registry name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+from repro.api.seeds import SeedPolicy
+from repro.api.spec import RunSpec
+from repro.core.errors import (
+    OutputNotReachedError,
+    ProtocolNotVectorizableError,
+    SpecError,
+)
+from repro.core.results import ExecutionResult
+from repro.graphs.graph import Graph
+from repro.scheduling.async_engine import DEFAULT_MAX_EVENTS, _run_asynchronous
+from repro.scheduling.sync_engine import (
+    DEFAULT_MAX_ROUNDS,
+    _precompile_tables_with_reason,
+    _run_synchronous,
+    precompile_tables,
+)
+
+
+def _annotated_sync_run(reason: str | None, *args, **kwargs) -> ExecutionResult:
+    """Run the sync primitive and stamp the precompile-time selection reason.
+
+    The engine labels tables it did not build as ``caller-supplied``; when
+    the session did the precompiling, the reason captured at that moment
+    (eager/lazy choice, or an ``"auto"`` downgrade) is the authoritative one
+    and replaces the engine's label — on timeout errors' partial results too.
+    """
+    try:
+        result = _run_synchronous(*args, **kwargs)
+    except OutputNotReachedError as exc:
+        if reason is not None and exc.result is not None:
+            exc.result.metadata["backend_reason"] = reason
+        raise
+    if reason is not None:
+        result.metadata["backend_reason"] = reason
+    return result
+
+
+def _lazy_strict_table(protocol, backend: str):
+    """The incremental strict table for one async workload, or ``None``.
+
+    ``None`` when the interpreted backend was requested or the protocol
+    cannot be tabulated — callers cache the downgrade so it is discovered
+    once per workload, not once per run.
+    """
+    if backend == "python":
+        return None
+    try:
+        from repro.scheduling.compiled import LazyStrictTable
+
+        return LazyStrictTable(protocol)
+    except ProtocolNotVectorizableError:
+        return None
+
+
+class Simulation:
+    """A stateful facade over the four execution engines.
+
+    Sessions are cheap to create and safe to keep for a whole experiment
+    campaign: every spec-driven call funnels its compile work through the
+    session's table cache, so repeated and swept workloads only ever pay
+    the tabulation once.
+
+    >>> from repro.api import RunSpec, Simulation
+    >>> session = Simulation()
+    >>> result = session.simulate(RunSpec(protocol="mis", nodes=64, seed=7))
+    >>> result.reached_output
+    True
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[tuple, tuple] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Compiled-table cache                                                #
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_hits(self) -> int:
+        """Spec/cache-key lookups served from the warm table cache."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Lookups that had to compile (first sight of a workload)."""
+        return self._cache_misses
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters plus the number of cached workloads."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "entries": len(self._tables),
+        }
+
+    def _cached(self, key: tuple, build: Callable[[], tuple]) -> tuple:
+        bundle = self._tables.get(key)
+        if bundle is not None:
+            self._cache_hits += 1
+            return bundle
+        self._cache_misses += 1
+        bundle = build()
+        self._tables[key] = bundle
+        return bundle
+
+    def _sync_bundle(self, key: tuple, protocol_factory, backend: str) -> tuple:
+        """``(effective_backend, compiled, table, reason)`` for a sync workload."""
+        return self._cached(
+            ("sync",) + key,
+            lambda: _precompile_tables_with_reason(protocol_factory(), backend),
+        )
+
+    def _async_bundle(self, key: tuple, protocol_factory, backend: str) -> tuple:
+        """``(compiled_protocol, table)`` for an asynchronous workload.
+
+        The synchronizer-compiled protocol itself is cached alongside its
+        incremental :class:`~repro.scheduling.compiled.LazyStrictTable`;
+        protocols whose table cannot be built (or ``backend="python"``)
+        cache ``(compiled, None)`` so the downgrade is only discovered once.
+        """
+
+        def build() -> tuple:
+            from repro.compilers import compile_to_asynchronous
+
+            compiled = compile_to_asynchronous(protocol_factory())
+            return compiled, _lazy_strict_table(compiled, backend)
+
+        return self._cached(("async",) + key, build)
+
+    # ------------------------------------------------------------------ #
+    # Object-level execution (powers the legacy shims)                    #
+    # ------------------------------------------------------------------ #
+    def run_protocol(
+        self,
+        graph: Graph,
+        protocol: Any,
+        *,
+        environment: str = "sync",
+        seed: int | None = None,
+        inputs: Mapping[int, Any] | None = None,
+        adversary: Any = None,
+        adversary_seed: int | None = None,
+        backend: str = "auto",
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        observer: Callable | None = None,
+        raise_on_timeout: bool = True,
+        compiled=None,
+        table=None,
+        cache_key: str | None = None,
+    ) -> ExecutionResult:
+        """Run one already-constructed protocol on one graph.
+
+        ``environment="sync"`` expects the protocol as written (strict or
+        multi-letter); ``environment="async"`` expects a strict protocol —
+        lower multi-letter protocols through
+        :func:`repro.compilers.compile_to_asynchronous` first, exactly as
+        with the legacy free functions.
+
+        ``cache_key`` opts the call into the session's table cache: runs
+        sharing a key reuse one compiled table (the caller asserts that they
+        execute equivalent protocols — same contract as passing ``table=``
+        by hand).  Explicit ``compiled``/``table`` arguments win over the
+        cache.
+        """
+        if environment == "sync":
+            reason = None
+            if cache_key is not None and compiled is None and table is None:
+                backend, compiled, table, reason = self._sync_bundle(
+                    (cache_key, backend), lambda: protocol, backend
+                )
+            return _annotated_sync_run(
+                reason,
+                graph,
+                protocol,
+                seed=seed,
+                inputs=inputs,
+                max_rounds=max_rounds,
+                observer=observer,
+                raise_on_timeout=raise_on_timeout,
+                backend=backend,
+                compiled=compiled,
+                table=table,
+            )
+        if environment == "async":
+            if cache_key is not None and table is None:
+                # The caller already holds a compiled protocol; cache only
+                # its incremental table (keyed per requested backend).
+                _, table = self._cached(
+                    ("async", cache_key, backend),
+                    lambda: (protocol, _lazy_strict_table(protocol, backend)),
+                )
+            return _run_asynchronous(
+                graph,
+                protocol,
+                adversary=adversary,
+                seed=seed,
+                adversary_seed=adversary_seed,
+                inputs=inputs,
+                max_events=max_events,
+                raise_on_timeout=raise_on_timeout,
+                observer=observer,
+                backend=backend,
+                table=table,
+            )
+        raise SpecError(f"unknown environment {environment!r}; expected 'sync' or 'async'")
+
+    def repeat_protocol(
+        self,
+        graph: Graph,
+        protocol_factory: Callable[[], Any],
+        *,
+        repetitions: int,
+        base_seed: int = 0,
+        inputs: Mapping[int, Any] | None = None,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        raise_on_timeout: bool = True,
+        backend: str = "python",
+        precompiled: tuple | None = None,
+    ) -> list[ExecutionResult]:
+        """Run *repetitions* independent synchronous executions.
+
+        Seeds are derived by :meth:`SeedPolicy.repetition_seed` (``base_seed
+        + i``, the historical rule) and the compile step is paid once: all
+        repetitions share one eager table, or one lazy table that
+        repetition 1 warms up for repetitions 2..n.
+        """
+        policy = SeedPolicy(base_seed)
+        if precompiled is None:
+            precompiled = precompile_tables(protocol_factory(), backend)
+        backend, compiled, table = precompiled
+        return [
+            _run_synchronous(
+                graph,
+                protocol_factory(),
+                seed=policy.repetition_seed(repetition),
+                inputs=inputs,
+                max_rounds=max_rounds,
+                raise_on_timeout=raise_on_timeout,
+                backend=backend,
+                compiled=compiled,
+                table=table,
+            )
+            for repetition in range(repetitions)
+        ]
+
+    def sweep_protocol_objects(
+        self,
+        protocol_factory: Callable[[], Any],
+        families: Mapping[str, Callable],
+        sizes: Sequence[int],
+        *,
+        repetitions: int = 3,
+        base_seed: int = 0,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        validator: Callable | None = None,
+        inputs_for: Callable | None = None,
+        extra_metrics: Callable | None = None,
+        backend: str = "auto",
+        precompiled: tuple | None = None,
+    ):
+        """Sweep an already-constructed workload (see :meth:`sweep`).
+
+        This is the object-level twin of :meth:`sweep` and the target of the
+        deprecated :func:`repro.analysis.sweep.sweep_protocol` shim; records
+        are bitwise-identical to the historical harness for equal arguments.
+        """
+        from repro.analysis.sweep import _sweep
+
+        return _sweep(
+            protocol_factory,
+            families,
+            sizes,
+            repetitions=repetitions,
+            base_seed=base_seed,
+            max_rounds=max_rounds,
+            validator=validator,
+            inputs_for=inputs_for,
+            extra_metrics=extra_metrics,
+            backend=backend,
+            precompiled=precompiled,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Spec-driven execution                                               #
+    # ------------------------------------------------------------------ #
+    def simulate(
+        self,
+        spec: RunSpec,
+        *,
+        graph: Graph | None = None,
+        raise_on_timeout: bool = True,
+    ) -> ExecutionResult:
+        """Execute *spec* once and return its :class:`ExecutionResult`.
+
+        The graph is built from the spec's registered family (pass ``graph``
+        to reuse one you already built — it must match the spec).  Compiled
+        tables come from the session cache, so simulating the same workload
+        twice pays the compile step once.
+        """
+        entry = spec.entry()
+        if not entry.spec_runnable:
+            raise SpecError(
+                f"protocol {spec.protocol!r} is not spec-runnable (it has a "
+                f"custom runner); invoke it through the CLI or its own API"
+            )
+        if graph is None:
+            graph = spec.build_graph()
+        inputs = spec.build_inputs(graph)
+        key = spec.workload_key()
+        if spec.environment == "sync":
+            backend, compiled, table, reason = self._sync_bundle(
+                key, spec.build_protocol, spec.backend
+            )
+            return _annotated_sync_run(
+                reason,
+                graph,
+                spec.build_protocol(),
+                seed=spec.seed,
+                inputs=inputs,
+                max_rounds=spec.max_rounds,
+                raise_on_timeout=raise_on_timeout,
+                backend=backend,
+                compiled=compiled,
+                table=table,
+            )
+        compiled, table = self._async_bundle(key, spec.build_protocol, spec.backend)
+        return _run_asynchronous(
+            graph,
+            compiled,
+            adversary=spec.build_adversary(),
+            seed=spec.seed,
+            adversary_seed=spec.adversary_seed,
+            inputs=inputs,
+            max_events=spec.max_events,
+            raise_on_timeout=raise_on_timeout,
+            backend=spec.backend,
+            table=table,
+        )
+
+    def repeat(
+        self,
+        spec: RunSpec,
+        repetitions: int,
+        *,
+        raise_on_timeout: bool = True,
+    ) -> list[ExecutionResult]:
+        """Execute *spec* ``repetitions`` times with derived seeds.
+
+        The graph is built once from the spec; run ``i`` uses seed
+        ``spec.seed + i`` (:meth:`SeedPolicy.repetition_seed`), reproducing
+        the legacy ``repeat_synchronous`` seeds bit-for-bit in the
+        synchronous environment.  Compiled tables are shared across the
+        repetitions *and* with every other call on this session.
+        """
+        entry = spec.entry()
+        if not entry.spec_runnable:
+            raise SpecError(f"protocol {spec.protocol!r} is not spec-runnable")
+        graph = spec.build_graph()
+        inputs = spec.build_inputs(graph)
+        base_seed = spec.seed if spec.seed is not None else 0
+        key = spec.workload_key()
+        if spec.environment == "sync":
+            *bundle, reason = self._sync_bundle(key, spec.build_protocol, spec.backend)
+            results = self.repeat_protocol(
+                graph,
+                spec.build_protocol,
+                repetitions=repetitions,
+                base_seed=base_seed,
+                inputs=inputs,
+                max_rounds=spec.max_rounds,
+                raise_on_timeout=raise_on_timeout,
+                backend=spec.backend,
+                precompiled=tuple(bundle),
+            )
+            if reason is not None:
+                for result in results:
+                    result.metadata["backend_reason"] = reason
+            return results
+        policy = SeedPolicy(base_seed)
+        compiled, table = self._async_bundle(key, spec.build_protocol, spec.backend)
+        return [
+            _run_asynchronous(
+                graph,
+                compiled,
+                adversary=spec.build_adversary(),
+                seed=policy.repetition_seed(repetition),
+                adversary_seed=spec.adversary_seed,
+                inputs=inputs,
+                max_events=spec.max_events,
+                raise_on_timeout=raise_on_timeout,
+                backend=spec.backend,
+                table=table,
+            )
+            for repetition in range(repetitions)
+        ]
+
+    def sweep(
+        self,
+        spec: RunSpec,
+        *,
+        sizes: Sequence[int],
+        families: Sequence[str] | Mapping[str, Callable] | None = None,
+        repetitions: int = 3,
+        validator: Callable | None = None,
+        inputs_for: Callable | None = None,
+        extra_metrics: Callable | None = None,
+    ):
+        """Sweep *spec* over ``families × sizes × repetitions``.
+
+        ``families`` may be registry names (the default is the spec's own
+        family) or an explicit ``{label: factory}`` mapping; ``validator``
+        defaults to the registered protocol's solution check.  Per-cell
+        seeds come from :meth:`SeedPolicy.sweep_cell`, making the records
+        bitwise-identical to the legacy ``sweep_protocol`` harness for the
+        same family labels.  Returns a
+        :class:`~repro.analysis.sweep.SweepResult`.
+        """
+        from repro.api.registry import GRAPH_FAMILIES
+
+        entry = spec.entry()
+        if not entry.spec_runnable:
+            raise SpecError(f"protocol {spec.protocol!r} is not spec-runnable")
+        if spec.environment != "sync":
+            raise SpecError("sweep() currently supports the synchronous environment only")
+        if families is None:
+            families = [spec.family]
+        if not isinstance(families, Mapping):
+            families = {name: GRAPH_FAMILIES.get(name) for name in families}
+        if validator is None:
+            validator = entry.validator
+        if inputs_for is None and entry.inputs_factory is not None:
+            inputs_for = lambda graph: entry.inputs_factory(graph, **spec.inputs)  # noqa: E731
+        bundle = self._sync_bundle(spec.workload_key(), spec.build_protocol, spec.backend)
+        return self.sweep_protocol_objects(
+            spec.build_protocol,
+            families,
+            sizes,
+            repetitions=repetitions,
+            base_seed=spec.seed if spec.seed is not None else 0,
+            max_rounds=spec.max_rounds,
+            validator=validator,
+            inputs_for=inputs_for,
+            extra_metrics=extra_metrics,
+            backend=spec.backend,
+            precompiled=tuple(bundle[:3]),
+        )

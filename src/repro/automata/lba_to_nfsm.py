@@ -39,7 +39,7 @@ from repro.core.protocol import ExtendedProtocol, TransitionChoice
 from repro.core.results import ExecutionResult
 from repro.graphs.generators import path_graph
 from repro.graphs.graph import Graph
-from repro.scheduling.sync_engine import run_synchronous
+from repro.scheduling.sync_engine import _run_synchronous
 
 MSG_NULL = "NULL"
 MSG_ACCEPT = "ACCEPT"
@@ -281,7 +281,7 @@ def decide_word_on_path(
     """
     protocol = LBAPathProtocol(machine)
     graph, inputs = path_network_for_word(word)
-    result = run_synchronous(
+    result = _run_synchronous(
         graph, protocol, seed=seed, inputs=inputs, max_rounds=max_rounds,
         raise_on_timeout=False,
     )

@@ -1,18 +1,25 @@
 """Command-line interface: run protocols, simulations and experiments.
 
-The CLI gives quick access to the library without writing Python::
+The CLI gives quick access to the library without writing Python.  Every
+registered protocol / graph family / adversary is reachable through the
+generic ``run`` command, which builds a :class:`repro.api.RunSpec` from its
+flags and executes it through a :class:`repro.api.Simulation` session::
 
-    python -m repro mis --family gnp_sparse --nodes 128 --seed 7
-    python -m repro mis --nodes 12 --asynchronous --adversary skewed-rates
-    python -m repro color --nodes 256 --family random_tree
-    python -m repro matching --nodes 64
-    python -m repro lba --language palindromes --word abba
+    python -m repro run mis --family gnp_sparse --nodes 128 --seed 7
+    python -m repro run mis --nodes 12 --asynchronous --adversary skewed-rates
+    python -m repro run coloring --nodes 256 --family random_tree
+    python -m repro run broadcast --input source=3
+    python -m repro run luby --nodes 64           # LOCAL-model baseline
+    python -m repro run --list                    # registry census
+    python -m repro run --spec workload.json      # serialized RunSpec
     python -m repro experiment E1 --quick
     python -m repro census
 
-Every command prints a short human-readable report and exits with a non-zero
-status if the produced solution fails verification, so the CLI can be used in
-scripts and CI pipelines.
+The historical per-problem commands (``mis``, ``color``, ``matching``,
+``broadcast``) remain as aliases of ``run`` with the protocol preselected.
+Every command prints a short human-readable report (or ``--json``) and exits
+with a non-zero status if the produced solution fails verification, so the
+CLI can be used in scripts and CI pipelines.
 """
 
 from __future__ import annotations
@@ -21,26 +28,13 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from typing import Any
 
 from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.api import ADVERSARIES, GRAPH_FAMILIES, PROTOCOLS, RunSpec, Simulation
 from repro.automata.languages import SAMPLE_LANGUAGES
 from repro.automata.lba_to_nfsm import decide_word_on_path
-from repro.compilers import compile_to_asynchronous
-from repro.graphs.generators import GRAPH_FAMILIES
-from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
-from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
-from repro.protocols.matching import maximal_matching_via_line_graph
-from repro.protocols.mis import MISProtocol, mis_from_result
-from repro.scheduling.adversary import default_adversary_suite
-from repro.scheduling.async_engine import run_asynchronous
-from repro.scheduling.sync_engine import run_synchronous
-from repro.verification import (
-    is_maximal_independent_set,
-    is_maximal_matching,
-    is_proper_coloring,
-)
-
-_ADVERSARIES = {policy.name: policy for policy in default_adversary_suite()}
+from repro.core.errors import SpecError, StoneAgeError
 
 #: Experiment workloads used with ``--quick`` (id -> keyword arguments).
 _QUICK_EXPERIMENT_ARGS = {
@@ -59,11 +53,6 @@ _QUICK_EXPERIMENT_ARGS = {
     "A1": {"sizes": (48,), "repetitions": 2},
     "A2": {"slow_factors": (1.0, 8.0), "size": 7},
 }
-
-
-def _build_graph(args: argparse.Namespace):
-    family = GRAPH_FAMILIES[args.family]
-    return family(args.nodes, args.seed)
 
 
 def _emit(payload: dict, as_json: bool) -> None:
@@ -98,115 +87,140 @@ def _backend_fields(result) -> dict:
 
 
 # ---------------------------------------------------------------------- #
-# Sub-command implementations                                             #
+# The generic registry-driven ``run`` command                             #
 # ---------------------------------------------------------------------- #
-def _cmd_mis(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    if args.asynchronous:
-        compiled = compile_to_asynchronous(MISProtocol())
-        result = run_asynchronous(
-            graph,
-            compiled,
-            seed=args.seed,
-            adversary=_ADVERSARIES[args.adversary],
-            adversary_seed=args.seed + 1,
-            max_events=args.max_events,
-            raise_on_timeout=False,
-            backend=args.backend,
-        )
+def _parse_value(text: str) -> Any:
+    """Best-effort typed parse of a ``key=value`` right-hand side."""
+    try:
+        return json.loads(text)
+    except (ValueError, TypeError):
+        return text
+
+
+def _parse_params(pairs: Sequence[str] | None, option: str) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for pair in pairs or ():
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise SpecError(f"{option} expects key=value, got {pair!r}")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _registry_census() -> dict[str, Any]:
+    return {
+        "protocols": {
+            name: entry.title for name, entry in PROTOCOLS.items()
+        },
+        "graph_families": GRAPH_FAMILIES.names(),
+        "adversaries": ADVERSARIES.names(),
+    }
+
+
+def _print_registry_list(as_json: bool) -> int:
+    census = _registry_census()
+    if as_json:
+        print(json.dumps(census, indent=2))
+        return 0
+    print("protocols:")
+    for name, title in census["protocols"].items():
+        print(f"  {name:<14} {title}")
+    print("graph families:")
+    for name in census["graph_families"]:
+        print(f"  {name}")
+    print("adversaries:")
+    for name in census["adversaries"]:
+        print(f"  {name}")
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> RunSpec:
+    """Build the :class:`RunSpec` described by the CLI flags."""
+    if args.spec is not None:
+        try:
+            with open(args.spec, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise SpecError(f"cannot read spec file: {error}") from error
+        except json.JSONDecodeError as error:
+            raise SpecError(f"{args.spec} is not valid JSON: {error}") from error
+        return RunSpec.from_dict(payload)
+    protocol = args.protocol
+    entry = PROTOCOLS.get(protocol)
+    asynchronous = bool(getattr(args, "asynchronous", False))
+    inputs = _parse_params(getattr(args, "input", None), "--input")
+    if getattr(args, "source", None) is not None:
+        inputs.setdefault("source", args.source)
+    return RunSpec(
+        protocol=protocol,
+        nodes=args.nodes,
+        graph=args.family if args.family is not None else entry.default_family,
+        environment="async" if asynchronous else "sync",
+        backend=args.backend,
+        seed=args.seed,
+        adversary=getattr(args, "adversary", None) if asynchronous else None,
+        adversary_seed=(args.seed + 1) if asynchronous else None,
+        protocol_params=_parse_params(getattr(args, "param", None), "--param"),
+        inputs=inputs,
+        max_rounds=args.max_rounds,
+        max_events=getattr(args, "max_events", 5_000_000),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "list", False):
+        return _print_registry_list(args.json)
+    if args.protocol is None and args.spec is None:
+        print("error: name a protocol, pass --spec, or use --list", file=sys.stderr)
+        return 2
+    try:
+        spec = _spec_from_args(args)
+        entry = PROTOCOLS.get(spec.protocol)
+        if entry.runner is not None and spec.environment != "sync":
+            raise SpecError(
+                f"protocol {spec.protocol!r} runs through a custom runner and "
+                f"does not support the asynchronous environment"
+            )
+        if args.show_spec:
+            print(json.dumps(spec.to_dict(), indent=2))
+            return 0
+        session = Simulation()
+        graph = spec.build_graph()
+    except StoneAgeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload: dict[str, Any] = {
+        "problem": entry.title,
+        "graph": f"{spec.family} n={graph.num_nodes} m={graph.num_edges}",
+        "mode": "asynchronous" if spec.environment == "async" else "synchronous",
+    }
+    if spec.environment == "async" and spec.adversary is not None:
+        payload["adversary"] = spec.adversary
+    if entry.runner is not None:
+        fields, valid, result = entry.runner(session, spec, graph)
+        payload.update(fields)
+        if result is not None:
+            payload.update(_backend_fields(result))
     else:
-        result = run_synchronous(
-            graph, MISProtocol(), seed=args.seed, max_rounds=args.max_rounds,
-            raise_on_timeout=False, backend=args.backend,
+        result = session.simulate(spec, graph=graph, raise_on_timeout=False)
+        payload["cost"] = (
+            f"{result.cost:.1f} "
+            + ("time units" if spec.environment == "async" else "rounds")
         )
-    selected = mis_from_result(result)
-    valid = result.reached_output and is_maximal_independent_set(graph, selected)
-    _emit(
-        {
-            "problem": "maximal independent set",
-            "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
-            "mode": "asynchronous" if args.asynchronous else "synchronous",
-            "cost": f"{result.cost:.1f} "
-                    + ("time units" if args.asynchronous else "rounds"),
-            "mis size": len(selected),
-            **_backend_fields(result),
-            "valid": valid,
-        },
-        args.json,
-    )
+        if entry.summary is not None:
+            payload.update(entry.summary(graph, result))
+        payload.update(_backend_fields(result))
+        valid = result.reached_output and (
+            entry.validator is None or entry.validator(graph, result)
+        )
+    payload["valid"] = valid
+    _emit(payload, args.json)
     return 0 if valid else 1
 
 
-def _cmd_color(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    result = run_synchronous(
-        graph, TreeColoringProtocol(), seed=args.seed, max_rounds=args.max_rounds,
-        raise_on_timeout=False, backend=args.backend,
-    )
-    colors = coloring_from_result(result)
-    valid = (
-        result.reached_output
-        and is_proper_coloring(graph, colors)
-        and len(set(colors.values())) <= 3
-    )
-    _emit(
-        {
-            "problem": "3-coloring",
-            "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
-            "rounds": result.rounds,
-            "colors used": sorted(set(colors.values())),
-            **_backend_fields(result),
-            "valid": valid,
-        },
-        args.json,
-    )
-    return 0 if valid else 1
-
-
-def _cmd_matching(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    matching, inner = maximal_matching_via_line_graph(
-        graph, seed=args.seed, backend=args.backend
-    )
-    valid = is_maximal_matching(graph, matching)
-    _emit(
-        {
-            "problem": "maximal matching (MIS on the line graph)",
-            "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
-            "line-graph rounds": inner.rounds if inner is not None else 0,
-            "matching size": len(matching),
-            **(_backend_fields(inner) if inner is not None else {}),
-            "valid": valid,
-        },
-        args.json,
-    )
-    return 0 if valid else 1
-
-
-def _cmd_broadcast(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    result = run_synchronous(
-        graph, BroadcastProtocol(), seed=args.seed,
-        inputs=broadcast_inputs(args.source), max_rounds=args.max_rounds,
-        raise_on_timeout=False, backend=args.backend,
-    )
-    informed = sum(1 for value in result.outputs.values() if value)
-    valid = result.reached_output and informed == graph.num_nodes
-    _emit(
-        {
-            "problem": "single-source broadcast",
-            "graph": f"{args.family} n={graph.num_nodes} m={graph.num_edges}",
-            "source": args.source,
-            "rounds": result.rounds,
-            "informed nodes": informed,
-            **_backend_fields(result),
-            "valid": valid,
-        },
-        args.json,
-    )
-    return 0 if valid else 1
-
-
+# ---------------------------------------------------------------------- #
+# Non-registry commands                                                   #
+# ---------------------------------------------------------------------- #
 def _cmd_lba(args: argparse.Namespace) -> int:
     factory, reference, alphabet = SAMPLE_LANGUAGES[args.language]
     machine = factory()
@@ -257,9 +271,15 @@ def _cmd_census(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # Argument parsing                                                        #
 # ---------------------------------------------------------------------- #
-def _add_graph_arguments(parser: argparse.ArgumentParser, default_family: str) -> None:
-    parser.add_argument("--family", choices=sorted(GRAPH_FAMILIES), default=default_family,
-                        help="graph family to generate (default: %(default)s)")
+def _add_run_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    default_family: str | None = None,
+    asynchronous_flags: bool = True,
+) -> None:
+    parser.add_argument("--family", choices=sorted(GRAPH_FAMILIES.names()),
+                        default=default_family,
+                        help="graph family to generate (default: the protocol's own)")
     parser.add_argument("--nodes", "-n", type=int, default=64, help="number of nodes")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--max-rounds", type=int, default=100_000)
@@ -270,7 +290,22 @@ def _add_graph_arguments(parser: argparse.ArgumentParser, default_family: str) -
                              "the vectorized NumPy engine, or automatic "
                              "selection (default: %(default)s); all backends "
                              "give identical results for a seed")
+    parser.add_argument("--param", action="append", metavar="KEY=VALUE",
+                        help="protocol constructor parameter (repeatable)")
+    parser.add_argument("--input", action="append", metavar="KEY=VALUE",
+                        help="protocol input parameter, e.g. source=3 (repeatable)")
+    parser.add_argument("--spec", metavar="FILE", default=None,
+                        help="load the full RunSpec from a JSON file "
+                             "(overrides the other workload flags)")
+    parser.add_argument("--show-spec", action="store_true",
+                        help="print the equivalent RunSpec JSON instead of running")
     parser.add_argument("--json", action="store_true", help="print machine-readable JSON")
+    if asynchronous_flags:
+        parser.add_argument("--asynchronous", action="store_true",
+                            help="compile with the synchronizer and run under an adversary")
+        parser.add_argument("--adversary", choices=sorted(ADVERSARIES.names()),
+                            default="uniform")
+        parser.add_argument("--max-events", type=int, default=5_000_000)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -280,26 +315,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    run = subparsers.add_parser(
+        "run", help="run any registered protocol (see `run --list`)"
+    )
+    run.add_argument("protocol", nargs="?", default=None,
+                     help="registered protocol name (see --list)")
+    run.add_argument("--list", action="store_true",
+                     help="list registered protocols, graph families and adversaries")
+    _add_run_arguments(run)
+    run.set_defaults(handler=_cmd_run)
+
+    # Historical per-problem commands: aliases of `run` with the protocol
+    # preselected (and their historical default graph families).
     mis = subparsers.add_parser("mis", help="run the Stone Age MIS protocol")
-    _add_graph_arguments(mis, "gnp_sparse")
-    mis.add_argument("--asynchronous", action="store_true",
-                     help="compile with the synchronizer and run under an adversary")
-    mis.add_argument("--adversary", choices=sorted(_ADVERSARIES), default="uniform")
-    mis.add_argument("--max-events", type=int, default=5_000_000)
-    mis.set_defaults(handler=_cmd_mis)
+    _add_run_arguments(mis, default_family="gnp_sparse")
+    mis.set_defaults(handler=_cmd_run, protocol="mis", list=False)
 
     color = subparsers.add_parser("color", help="run the tree 3-coloring protocol")
-    _add_graph_arguments(color, "random_tree")
-    color.set_defaults(handler=_cmd_color)
+    _add_run_arguments(color, default_family="random_tree", asynchronous_flags=False)
+    color.set_defaults(handler=_cmd_run, protocol="coloring", list=False)
 
     matching = subparsers.add_parser("matching", help="maximal matching via the line graph")
-    _add_graph_arguments(matching, "gnp_sparse")
-    matching.set_defaults(handler=_cmd_matching)
+    _add_run_arguments(matching, default_family="gnp_sparse", asynchronous_flags=False)
+    matching.set_defaults(handler=_cmd_run, protocol="matching", list=False)
 
     broadcast = subparsers.add_parser("broadcast", help="single-source broadcast")
-    _add_graph_arguments(broadcast, "random_tree")
+    _add_run_arguments(broadcast, default_family="random_tree", asynchronous_flags=False)
     broadcast.add_argument("--source", type=int, default=0)
-    broadcast.set_defaults(handler=_cmd_broadcast)
+    broadcast.set_defaults(handler=_cmd_run, protocol="broadcast", list=False)
 
     lba = subparsers.add_parser("lba", help="decide a word on a path of FSMs (Lemma 6.2)")
     lba.add_argument("--language", choices=sorted(SAMPLE_LANGUAGES), default="palindromes")

@@ -49,6 +49,24 @@ class ProtocolNotVectorizableError(ExecutionError):
     """
 
 
+class RegistryError(StoneAgeError):
+    """A named registry lookup or registration failed.
+
+    Raised by the :mod:`repro.api` registries when a protocol, graph family
+    or adversary name is unknown (the message lists the registered names) or
+    when a registration would silently overwrite an existing entry.
+    """
+
+
+class SpecError(StoneAgeError):
+    """A :class:`repro.api.RunSpec` is malformed or cannot be resolved.
+
+    Typical causes are an unknown environment/backend token, an unknown key
+    in a spec dictionary, or spec inputs handed to a protocol that does not
+    accept any.
+    """
+
+
 class GraphError(StoneAgeError):
     """A graph argument is malformed (e.g. self loop, unknown endpoint)."""
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 from repro.core.results import ExecutionResult
 from repro.graphs.graph import Graph
 from repro.protocols.mis import MISProtocol, mis_from_result
-from repro.scheduling.sync_engine import run_synchronous
+from repro.scheduling.sync_engine import _run_synchronous
 
 
 def maximal_matching_via_line_graph(
@@ -54,7 +54,7 @@ def maximal_matching_via_line_graph(
     line, edge_of_node = graph.line_graph()
     if line.num_nodes == 0:
         return [], None
-    result = run_synchronous(
+    result = _run_synchronous(
         line, MISProtocol(), seed=seed, max_rounds=max_rounds, backend=backend
     )
     chosen = mis_from_result(result)

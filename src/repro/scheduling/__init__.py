@@ -13,6 +13,13 @@ adversarial timing      :class:`AsynchronousEngine` :class:`VectorizedAsynchrono
 Both :func:`run_synchronous` and :func:`run_asynchronous` take
 ``backend="python" | "vectorized" | "auto"``; for any given seed the two
 backends of an environment produce identical results (terminating runs).
+
+The free-function entry points (``run_synchronous``, ``run_asynchronous``,
+``repeat_synchronous``) are deprecated shims since the introduction of the
+:class:`repro.api.Simulation` facade — they delegate to it and emit
+``DeprecationWarning``; results are unchanged.  New code should construct a
+session and go through ``simulate()`` / ``repeat()`` / ``sweep()`` (or the
+``*_protocol`` object-level variants).
 """
 
 from repro.scheduling.adversary import (

@@ -17,6 +17,7 @@ validate Theorem 3.1.
 from __future__ import annotations
 
 import random
+import warnings
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -328,8 +329,25 @@ def precompile_tables(
     under ``"vectorized"``.  Callers reusing the result across runs assert
     that those runs execute equivalent protocols.
     """
+    backend, compiled, table, _ = _precompile_tables_with_reason(protocol, backend)
+    return backend, compiled, table
+
+
+def _precompile_tables_with_reason(
+    protocol: ExtendedProtocol | Protocol,
+    backend: str,
+):
+    """:func:`precompile_tables` plus the selection reason as a fourth field.
+
+    The engine labels caller-supplied tables as exactly that; a
+    :class:`repro.api.Simulation` session precompiles on the caller's
+    behalf, so it threads this reason into ``result.metadata`` instead —
+    keeping the no-silent-fallback contract: an ``"auto"`` downgrade at
+    precompile time is reported on every run that used the bundle.
+    ``None`` means the engine's own reason is already accurate.
+    """
     if backend == "python":
-        return backend, None, None
+        return backend, None, None, None
     from repro.scheduling.vectorized_engine import (
         LazyExtendedTable,
         compile_protocol,
@@ -337,15 +355,19 @@ def precompile_tables(
 
     try:
         if getattr(protocol, "tabulation_hint", lambda: "eager")() == "lazy":
-            return backend, None, LazyExtendedTable(protocol)
-        return backend, compile_protocol(protocol), None
-    except ProtocolNotVectorizableError:
+            return backend, None, LazyExtendedTable(protocol), (
+                "protocol hints a lazy tabulation; lazy table (session-precompiled)"
+            )
+        return backend, compile_protocol(protocol), None, (
+            "reachable closure enumerated; eager table (session-precompiled)"
+        )
+    except ProtocolNotVectorizableError as exc:
         if backend == "vectorized":
             raise
-        return "python", None, None
+        return "python", None, None, f"auto fell back to the interpreter: {exc}"
 
 
-def run_synchronous(
+def _run_synchronous(
     graph: Graph,
     protocol: ExtendedProtocol | Protocol,
     *,
@@ -358,7 +380,11 @@ def run_synchronous(
     compiled=None,
     table=None,
 ) -> ExecutionResult:
-    """Convenience wrapper: build the selected engine and run it.
+    """Build the selected engine and run it (internal primitive).
+
+    This is the execution primitive behind the :class:`repro.api.Simulation`
+    facade (and the deprecated :func:`run_synchronous` shim); library code
+    calls it directly to avoid the deprecation warning.
 
     ``backend`` selects the execution strategy — ``"python"`` (the
     interpreted reference engine), ``"vectorized"`` (dense NumPy tables,
@@ -403,6 +429,51 @@ def run_synchronous(
     return result
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/API.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_synchronous(
+    graph: Graph,
+    protocol: ExtendedProtocol | Protocol,
+    *,
+    seed: int | None = None,
+    inputs: Mapping[int, Any] | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    observer: RoundObserver | None = None,
+    raise_on_timeout: bool = True,
+    backend: str = "python",
+    compiled=None,
+    table=None,
+) -> ExecutionResult:
+    """Deprecated shim: delegate to :meth:`repro.api.Simulation.run_protocol`.
+
+    Results are identical to earlier releases for every seed; only the entry
+    point moved.  Prefer a :class:`repro.api.Simulation` session — it owns
+    backend selection and keeps compiled tables warm across runs.
+    """
+    _deprecated("run_synchronous()", "repro.api.Simulation.simulate()/run_protocol()")
+    from repro.api.session import Simulation
+
+    return Simulation().run_protocol(
+        graph,
+        protocol,
+        environment="sync",
+        seed=seed,
+        inputs=inputs,
+        max_rounds=max_rounds,
+        observer=observer,
+        raise_on_timeout=raise_on_timeout,
+        backend=backend,
+        compiled=compiled,
+        table=table,
+    )
+
+
 def repeat_synchronous(
     graph: Graph,
     protocol_factory: Callable[[], ExtendedProtocol | Protocol],
@@ -414,28 +485,22 @@ def repeat_synchronous(
     raise_on_timeout: bool = True,
     backend: str = "python",
 ) -> Sequence[ExecutionResult]:
-    """Run *repetitions* independent executions with derived seeds.
+    """Deprecated shim: delegate to :meth:`repro.api.Simulation.repeat_protocol`.
 
-    ``inputs`` and ``raise_on_timeout`` are forwarded to every underlying
-    :func:`run_synchronous` call (earlier versions silently dropped them).
-    The compile step is paid once through :func:`precompile_tables`: all
-    repetitions share one eager table, or one lazy table that repetition 1
-    warms up for repetitions 2..n.
+    Seeds are derived exactly as before (``base_seed + repetition``, now via
+    :class:`repro.api.SeedPolicy`) and the compile step is still paid once,
+    so the returned results are bitwise-identical to earlier releases.
     """
-    backend, compiled, table = precompile_tables(protocol_factory(), backend)
-    results = []
-    for repetition in range(repetitions):
-        results.append(
-            run_synchronous(
-                graph,
-                protocol_factory(),
-                seed=base_seed + repetition,
-                inputs=inputs,
-                max_rounds=max_rounds,
-                raise_on_timeout=raise_on_timeout,
-                backend=backend,
-                compiled=compiled,
-                table=table,
-            )
-        )
-    return results
+    _deprecated("repeat_synchronous()", "repro.api.Simulation.repeat()/repeat_protocol()")
+    from repro.api.session import Simulation
+
+    return Simulation().repeat_protocol(
+        graph,
+        protocol_factory,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        inputs=inputs,
+        max_rounds=max_rounds,
+        raise_on_timeout=raise_on_timeout,
+        backend=backend,
+    )

@@ -1,0 +1,288 @@
+"""Unit tests for the Simulation session: caching, repeat/sweep, shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import RunSpec, SeedPolicy, Simulation
+from repro.core.errors import SpecError
+from repro.graphs.generators import gnp_random_graph, path_graph
+from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
+from repro.protocols.mis import MISProtocol
+from repro.scheduling.sync_engine import repeat_synchronous, run_synchronous
+from repro.analysis.sweep import sweep_protocol
+
+
+def _silently(callable_, *args, **kwargs):
+    """Call a deprecated shim with its warning suppressed."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return callable_(*args, **kwargs)
+
+
+class TestTableCache:
+    def test_simulate_twice_hits_the_cache(self):
+        session = Simulation()
+        spec = RunSpec(protocol="mis", nodes=16, seed=1)
+        first = session.simulate(spec)
+        second = session.simulate(spec)
+        assert first.summary_fields() == second.summary_fields()
+        assert session.cache_misses == 1
+        assert session.cache_hits == 1
+
+    def test_table_reused_across_repeat_and_sweep(self):
+        session = Simulation()
+        spec = RunSpec(protocol="mis", nodes=12, seed=2)
+        session.repeat(spec, 2)
+        assert session.cache_misses == 1 and session.cache_hits == 0
+        session.sweep(spec, sizes=[8], families=["gnp_sparse"], repetitions=1)
+        assert session.cache_hits == 1  # the sweep reused the repeat's table
+        session.simulate(spec)
+        assert session.cache_hits == 2
+        assert session.cache_info()["entries"] == 1
+
+    def test_distinct_workloads_get_distinct_entries(self):
+        session = Simulation()
+        session.simulate(RunSpec(protocol="mis", nodes=8, seed=1))
+        session.simulate(RunSpec(protocol="coloring", nodes=8, graph="path", seed=1))
+        assert session.cache_info() == {"hits": 0, "misses": 2, "entries": 2}
+
+    def test_object_path_cache_key(self):
+        session = Simulation()
+        graph = gnp_random_graph(12, 0.3, seed=1)
+        keyed = session.run_protocol(
+            graph, MISProtocol(), seed=3, backend="auto", cache_key="shared"
+        )
+        again = session.run_protocol(
+            graph, MISProtocol(), seed=3, backend="auto", cache_key="shared"
+        )
+        plain = session.run_protocol(graph, MISProtocol(), seed=3, backend="auto")
+        assert keyed.summary_fields() == again.summary_fields() == plain.summary_fields()
+        assert session.cache_hits == 1 and session.cache_misses == 1
+
+    def test_list_valued_params_produce_hashable_workload_keys(self):
+        # workload_key must freeze JSON-style param values recursively; a
+        # list/dict param used to crash the session cache with an
+        # unhashable key before reaching the protocol factory.
+        spec = RunSpec(
+            protocol="mis",
+            protocol_params={"weights": [1, 2], "options": {"nested": [3]}},
+        )
+        assert hash(spec.workload_key()) is not None
+        equal = RunSpec(
+            protocol="mis",
+            protocol_params={"options": {"nested": [3]}, "weights": [1, 2]},
+        )
+        assert equal.workload_key() == spec.workload_key()
+
+    def test_session_precompile_keeps_the_real_selection_reason(self):
+        # A session precompiles on the caller's behalf; the reported reason
+        # must stay the authoritative selection reason, not "caller-supplied".
+        session = Simulation()
+        result = session.simulate(RunSpec(protocol="mis", nodes=12, seed=1, backend="auto"))
+        assert "session-precompiled" in result.metadata["backend_reason"]
+        assert "caller-supplied" not in result.metadata["backend_reason"]
+        repeats = session.repeat(RunSpec(protocol="mis", nodes=12, seed=1, backend="auto"), 2)
+        assert all(
+            "session-precompiled" in r.metadata["backend_reason"] for r in repeats
+        )
+
+    def test_auto_downgrade_reason_is_reported_per_run(self):
+        # An "auto" downgrade discovered at precompile time must be visible
+        # on every run that used the bundle — no silent fallback.
+        from repro.core.protocol import TransitionChoice
+
+        class Unbounded(BroadcastProtocol):
+            def initial_state(self, input_value=None):
+                return 0
+
+            def query_letter(self, state):
+                return "TOKEN"
+
+            def options(self, state, count):
+                return (TransitionChoice(int(state) + 1, "TOKEN"),)
+
+        session = Simulation()
+        result = session.run_protocol(
+            path_graph(3),
+            Unbounded(),
+            seed=1,
+            backend="auto",
+            max_rounds=5,
+            raise_on_timeout=False,
+            cache_key="unbounded-tmp",
+        )
+        assert result.metadata["backend"] == "python"
+        assert "fell back" in result.metadata["backend_reason"]
+
+    def test_runner_entries_are_not_spec_runnable(self):
+        session = Simulation()
+        with pytest.raises(SpecError, match="not spec-runnable"):
+            session.simulate(RunSpec(protocol="matching", nodes=8))
+
+
+class TestRepeat:
+    def test_matches_legacy_repeat_synchronous(self):
+        spec = RunSpec(
+            protocol="mis", nodes=20, graph="gnp_sparse", seed=5, graph_seed=4,
+            backend="auto",
+        )
+        facade = Simulation().repeat(spec, 3)
+        legacy = _silently(
+            repeat_synchronous,
+            spec.build_graph(),
+            MISProtocol,
+            repetitions=3,
+            base_seed=5,
+            backend="auto",
+        )
+        assert [r.summary_fields() for r in facade] == [
+            r.summary_fields() for r in legacy
+        ]
+        assert [r.seed for r in facade] == [5, 6, 7]
+
+    def test_async_repeat_derives_seeds(self):
+        session = Simulation()
+        spec = RunSpec(
+            protocol="mis",
+            nodes=8,
+            graph="gnp_dense",
+            seed=3,
+            environment="async",
+            adversary="uniform",
+        )
+        results = session.repeat(spec, 2)
+        assert [r.seed for r in results] == [3, 4]
+        assert all(r.reached_output for r in results)
+
+    def test_repeat_forwards_inputs(self):
+        session = Simulation()
+        spec = RunSpec(
+            protocol="broadcast", nodes=6, graph="path", seed=1, inputs={"source": 2}
+        )
+        results = session.repeat(spec, 2)
+        assert all(r.reached_output for r in results)
+
+
+class TestSweep:
+    def test_matches_legacy_sweep_protocol(self):
+        families = {"gnp_sparse": lambda n, seed=None: gnp_random_graph(n, 0.2, seed)}
+        legacy = _silently(
+            sweep_protocol,
+            MISProtocol,
+            families,
+            [8, 16],
+            repetitions=2,
+            base_seed=7,
+            backend="auto",
+        )
+        session = Simulation()
+        facade = session.sweep(
+            RunSpec(protocol="mis", seed=7, backend="auto"),
+            families=families,
+            sizes=[8, 16],
+            repetitions=2,
+        )
+        assert facade.protocol_name == legacy.protocol_name
+        assert facade.records == legacy.records
+
+    def test_registry_family_names_resolve(self):
+        session = Simulation()
+        result = session.sweep(
+            RunSpec(protocol="coloring", seed=1),
+            families=["path", "star"],
+            sizes=[8],
+            repetitions=1,
+        )
+        assert result.families() == ["path", "star"]
+        assert result.all_valid()
+
+    def test_default_family_and_validator_come_from_the_registry(self):
+        session = Simulation()
+        result = session.sweep(
+            RunSpec(protocol="mis", seed=1), sizes=[8], repetitions=1
+        )
+        assert result.families() == ["gnp_sparse"]
+        assert result.all_valid()
+
+    def test_async_sweep_rejected(self):
+        session = Simulation()
+        spec = RunSpec(protocol="mis", seed=1, environment="async")
+        with pytest.raises(SpecError, match="synchronous environment"):
+            session.sweep(spec, sizes=[8])
+
+
+class TestDeprecationShims:
+    def test_run_synchronous_warns_and_matches_facade(self):
+        graph = gnp_random_graph(16, 0.2, seed=2)
+        with pytest.warns(DeprecationWarning, match="run_synchronous"):
+            legacy = run_synchronous(graph, MISProtocol(), seed=9, backend="auto")
+        facade = Simulation().run_protocol(graph, MISProtocol(), seed=9, backend="auto")
+        assert legacy.summary_fields() == facade.summary_fields()
+
+    def test_run_asynchronous_warns_and_matches_facade(self):
+        from repro.compilers import compile_to_asynchronous
+        from repro.scheduling.async_engine import run_asynchronous
+
+        graph = gnp_random_graph(8, 0.4, seed=3)
+        compiled = compile_to_asynchronous(MISProtocol())
+        with pytest.warns(DeprecationWarning, match="run_asynchronous"):
+            legacy = run_asynchronous(graph, compiled, seed=1, adversary_seed=2)
+        facade = Simulation().run_protocol(
+            graph,
+            compiled,
+            environment="async",
+            seed=1,
+            adversary_seed=2,
+            backend="python",
+        )
+        assert legacy.final_states == facade.final_states
+        assert legacy.time_units == facade.time_units
+
+    def test_repeat_synchronous_warns_and_matches_facade(self):
+        graph = path_graph(6)
+        with pytest.warns(DeprecationWarning, match="repeat_synchronous"):
+            legacy = repeat_synchronous(
+                graph,
+                BroadcastProtocol,
+                repetitions=2,
+                base_seed=1,
+                inputs=broadcast_inputs(0),
+            )
+        facade = Simulation().repeat_protocol(
+            graph,
+            BroadcastProtocol,
+            repetitions=2,
+            base_seed=1,
+            inputs=broadcast_inputs(0),
+        )
+        assert [r.summary_fields() for r in legacy] == [
+            r.summary_fields() for r in facade
+        ]
+
+    def test_sweep_protocol_warns_and_matches_facade(self):
+        families = {"path": lambda n, seed=None: path_graph(n)}
+        with pytest.warns(DeprecationWarning, match="sweep_protocol"):
+            legacy = sweep_protocol(
+                MISProtocol, families, [6], repetitions=1, base_seed=3
+            )
+        facade = Simulation().sweep(
+            RunSpec(protocol="mis", seed=3), families=families, sizes=[6], repetitions=1
+        )
+        assert legacy.records == facade.records
+
+    def test_seed_policy_is_the_single_derivation_source(self):
+        # The shim-visible seeds must equal SeedPolicy's, proving the legacy
+        # call paths really route through the centralised helper.
+        policy = SeedPolicy(base_seed=10)
+        graph = path_graph(5)
+        legacy = _silently(
+            repeat_synchronous, graph, BroadcastProtocol, repetitions=3,
+            base_seed=10, inputs=broadcast_inputs(0),
+        )
+        assert [r.seed for r in legacy] == [policy.repetition_seed(i) for i in range(3)]
+        families = {"path": lambda n, seed=None: path_graph(n)}
+        sweep = _silently(
+            sweep_protocol, MISProtocol, families, [6], repetitions=1, base_seed=10
+        )
+        assert sweep.records[0].reached_output

@@ -1,0 +1,159 @@
+"""Unit tests for RunSpec serialization/resolution and the registries."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ADVERSARIES,
+    GRAPH_FAMILIES,
+    PROTOCOLS,
+    RunSpec,
+    register_adversary,
+    register_graph_family,
+    register_protocol,
+)
+from repro.core.errors import RegistryError, SpecError
+from repro.graphs.graph import Graph
+from repro.protocols.mis import MISProtocol
+from repro.scheduling.adversary import UniformRandomAdversary
+
+
+class TestRunSpecValidation:
+    def test_defaults(self):
+        spec = RunSpec(protocol="mis")
+        assert spec.environment == "sync"
+        assert spec.backend == "auto"
+        assert spec.family == "gnp_sparse"  # the protocol's default family
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(SpecError, match="environment"):
+            RunSpec(protocol="mis", environment="quantum")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SpecError, match="backend"):
+            RunSpec(protocol="mis", backend="gpu")
+
+    def test_adversary_requires_async(self):
+        with pytest.raises(SpecError, match="environment='async'"):
+            RunSpec(protocol="mis", adversary="uniform")
+
+    def test_none_param_dicts_normalised(self):
+        spec = RunSpec(protocol="mis", protocol_params=None, inputs=None)
+        assert spec.protocol_params == {} and spec.inputs == {}
+
+
+class TestRunSpecSerialization:
+    def test_round_trip_through_dict_and_json(self):
+        spec = RunSpec(
+            protocol="mis",
+            nodes=48,
+            graph="cycle",
+            environment="async",
+            adversary="skewed-rates",
+            adversary_params={"slow_factor": 4.0},
+            seed=11,
+            protocol_params={"climb_weight": 3},
+        )
+        restored = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+
+    def test_partial_dict_uses_defaults(self):
+        spec = RunSpec.from_dict({"protocol": "coloring", "nodes": 10})
+        assert spec == RunSpec(protocol="coloring", nodes=10)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown RunSpec keys"):
+            RunSpec.from_dict({"protocol": "mis", "nodez": 4})
+
+    def test_protocol_is_mandatory(self):
+        with pytest.raises(SpecError, match="protocol"):
+            RunSpec.from_dict({"nodes": 4})
+
+    def test_replace_returns_modified_copy(self):
+        spec = RunSpec(protocol="mis", nodes=8)
+        bigger = spec.replace(nodes=64)
+        assert bigger.nodes == 64 and spec.nodes == 8
+        assert bigger.protocol == "mis"
+
+
+class TestRunSpecResolution:
+    def test_build_protocol_forwards_params(self):
+        spec = RunSpec(protocol="mis", protocol_params={"climb_weight": 3})
+        protocol = spec.build_protocol()
+        assert isinstance(protocol, MISProtocol)
+
+    def test_build_graph_uses_graph_seed_then_seed(self):
+        by_seed = RunSpec(protocol="mis", graph="gnp_sparse", nodes=24, seed=5)
+        explicit = RunSpec(
+            protocol="mis", graph="gnp_sparse", nodes=24, seed=99, graph_seed=5
+        )
+        assert by_seed.build_graph().edges == explicit.build_graph().edges
+
+    def test_build_inputs_rejected_for_inputless_protocols(self):
+        spec = RunSpec(protocol="mis", inputs={"source": 1})
+        with pytest.raises(SpecError, match="takes no inputs"):
+            spec.build_inputs(spec.build_graph())
+
+    def test_build_inputs_for_broadcast(self):
+        spec = RunSpec(protocol="broadcast", nodes=6, graph="path", inputs={"source": 2})
+        assert spec.build_inputs(spec.build_graph()) == {2: "source"}
+
+    def test_build_adversary(self):
+        spec = RunSpec(
+            protocol="mis",
+            environment="async",
+            adversary="uniform",
+            adversary_params={"low": 0.25, "high": 2.0},
+        )
+        adversary = spec.build_adversary()
+        assert isinstance(adversary, UniformRandomAdversary)
+        assert adversary.low == 0.25
+
+    def test_unknown_protocol_name_lists_alternatives(self):
+        with pytest.raises(RegistryError, match="registered:.*mis"):
+            RunSpec(protocol="misx").entry()
+
+    def test_runner_entries_have_no_factory(self):
+        with pytest.raises(SpecError, match="custom runner"):
+            RunSpec(protocol="matching").build_protocol()
+
+
+class TestRegistries:
+    def test_builtins_are_registered(self):
+        assert {"mis", "coloring", "broadcast", "matching"} <= set(PROTOCOLS.names())
+        assert {"path", "random_tree", "gnp_sparse"} <= set(GRAPH_FAMILIES.names())
+        assert {"uniform", "synchronous", "bursty"} <= set(ADVERSARIES.names())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_graph_family("path")(lambda n, seed=None: None)
+
+    def test_unknown_lookup_reports_candidates(self):
+        with pytest.raises(RegistryError, match="unknown adversary"):
+            ADVERSARIES.get("does-not-exist")
+
+    def test_extension_round_trip(self):
+        @register_graph_family("test-family-tmp")
+        def tiny(n, seed=None):
+            return Graph(2, [(0, 1)])
+
+        @register_adversary("test-adversary-tmp")
+        class TmpAdversary(UniformRandomAdversary):
+            pass
+
+        @register_protocol("test-protocol-tmp", title="tmp", default_family="path")
+        class TmpProtocol(MISProtocol):
+            pass
+
+        try:
+            assert GRAPH_FAMILIES.get("test-family-tmp")(2).num_edges == 1
+            assert ADVERSARIES.get("test-adversary-tmp") is TmpAdversary
+            entry = PROTOCOLS.get("test-protocol-tmp")
+            assert entry.factory is TmpProtocol and entry.spec_runnable
+            spec = RunSpec(protocol="test-protocol-tmp", nodes=4)
+            assert spec.family == "path"
+        finally:
+            GRAPH_FAMILIES.unregister("test-family-tmp")
+            ADVERSARIES.unregister("test-adversary-tmp")
+            PROTOCOLS.unregister("test-protocol-tmp")

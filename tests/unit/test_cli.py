@@ -11,7 +11,8 @@ class TestParser:
     def test_every_subcommand_is_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("mis", "color", "matching", "broadcast", "lba", "experiment", "census"):
+        for command in ("run", "mis", "color", "matching", "broadcast", "lba",
+                        "experiment", "census"):
             assert command in text
 
     def test_missing_command_is_an_error(self):
@@ -58,6 +59,137 @@ class TestProtocolCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "informed nodes" in output
+
+
+class TestGenericRunCommand:
+    #: Full golden payload of one deterministic run: the generic command's
+    #: JSON contract, asserted key for key so accidental schema or seed
+    #: drift is caught immediately.
+    GOLDEN_MIS_JSON = {
+        "problem": "maximal independent set",
+        "graph": "gnp_sparse n=16 m=29",
+        "mode": "synchronous",
+        "cost": "17.0 rounds",
+        "mis size": 6,
+        "backend": "vectorized (eager table)",
+        "backend reason": "reachable closure enumerated; eager table (session-precompiled)",
+        "valid": True,
+    }
+
+    def test_golden_json_output(self, capsys):
+        exit_code = main(["run", "mis", "--nodes", "16", "--seed", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload == self.GOLDEN_MIS_JSON
+
+    def test_alias_produces_the_same_payload(self, capsys):
+        main(["run", "mis", "--nodes", "16", "--seed", "1", "--json"])
+        generic = json.loads(capsys.readouterr().out)
+        main(["mis", "--nodes", "16", "--seed", "1", "--json"])
+        alias = json.loads(capsys.readouterr().out)
+        assert generic == alias
+
+    def test_list_registries_json(self, capsys):
+        exit_code = main(["run", "--list", "--json"])
+        census = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert set(census) == {"protocols", "graph_families", "adversaries"}
+        assert census["protocols"]["mis"] == "maximal independent set"
+        assert {"mis", "coloring", "broadcast", "matching"} <= set(census["protocols"])
+        assert "random_tree" in census["graph_families"]
+        assert "skewed-rates" in census["adversaries"]
+
+    def test_list_registries_human_readable(self, capsys):
+        exit_code = main(["run", "--list"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "protocols:" in output and "adversaries:" in output
+
+    def test_registered_baseline_is_runnable(self, capsys):
+        exit_code = main(["run", "luby", "--nodes", "32", "--seed", "2", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["valid"] is True and payload["mis size"] > 0
+
+    def test_unknown_protocol_reports_candidates(self, capsys):
+        exit_code = main(["run", "mehs", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown protocol" in captured.err and "mis" in captured.err
+
+    def test_run_without_protocol_is_an_error(self, capsys):
+        exit_code = main(["run"])
+        assert exit_code == 2
+        assert "name a protocol" in capsys.readouterr().err
+
+    def test_show_spec_round_trips(self, capsys):
+        exit_code = main([
+            "run", "broadcast", "--nodes", "10", "--seed", "4",
+            "--input", "source=3", "--show-spec",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["protocol"] == "broadcast"
+        assert payload["inputs"] == {"source": 3}
+        from repro.api import RunSpec
+
+        assert RunSpec.from_dict(payload).nodes == 10
+
+    def test_runner_protocols_reject_asynchronous(self, capsys):
+        exit_code = main(["run", "luby", "--nodes", "8", "--asynchronous"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "does not support the asynchronous environment" in captured.err
+
+    def test_non_object_spec_file_is_a_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "num.json"
+        bad.write_text("42")
+        exit_code = main(["run", "--spec", str(bad)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "must be built from a mapping" in captured.err
+
+    def test_missing_spec_file_is_a_clean_error(self, capsys):
+        exit_code = main(["run", "--spec", "/nonexistent/workload.json"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot read spec file" in captured.err
+
+    def test_malformed_spec_file_is_a_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        exit_code = main(["run", "--spec", str(bad)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not valid JSON" in captured.err
+
+    def test_bad_param_syntax_is_a_clean_error(self, capsys):
+        exit_code = main(["run", "mis", "--param", "no-equals-sign"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "expects key=value" in captured.err
+
+    def test_spec_file_execution(self, capsys, tmp_path):
+        spec_file = tmp_path / "workload.json"
+        spec_file.write_text(json.dumps({
+            "protocol": "mis", "nodes": 16, "seed": 1, "backend": "vectorized",
+        }))
+        exit_code = main(["run", "--spec", str(spec_file), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["cost"] == self.GOLDEN_MIS_JSON["cost"]
+        assert payload["mis size"] == self.GOLDEN_MIS_JSON["mis size"]
+
+    def test_asynchronous_run_reports_adversary(self, capsys):
+        exit_code = main([
+            "run", "mis", "--nodes", "8", "--family", "gnp_dense", "--seed", "2",
+            "--asynchronous", "--adversary", "bursty", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["mode"] == "asynchronous"
+        assert payload["adversary"] == "bursty"
+        assert "time units" in payload["cost"]
 
 
 class TestLBACommand:
