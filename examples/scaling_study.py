@@ -31,15 +31,25 @@ MIS_FAMILY_NAMES = ["random_tree", "gnp_sparse", "cycle", "grid"]
 TREE_FAMILY_NAMES = ["random_tree", "path", "star", "binary_tree"]
 
 
-def mis_study(session: Simulation, sizes: list[int], repetitions: int, backend: str) -> None:
+# Module-level validators (not lambdas) so ``--workers`` can ship them to
+# the worker processes of a pooled sweep.
+def _valid_mis(graph, result) -> bool:
+    return is_maximal_independent_set(graph, mis_from_result(result))
+
+
+def _valid_coloring(graph, result) -> bool:
+    return is_proper_coloring(graph, coloring_from_result(result))
+
+
+def mis_study(session: Simulation, sizes: list[int], repetitions: int, backend: str,
+              workers: int | None) -> None:
     sweep = session.sweep(
         RunSpec(protocol="mis", seed=1, backend=backend),
         families=MIS_FAMILY_NAMES,
         sizes=sizes,
         repetitions=repetitions,
-        validator=lambda graph, result: is_maximal_independent_set(
-            graph, mis_from_result(result)
-        ),
+        validator=_valid_mis,
+        workers=workers,
     )
     by_size = sweep.mean_cost_by_size()
     rows = [
@@ -53,15 +63,15 @@ def mis_study(session: Simulation, sizes: list[int], repetitions: int, backend: 
           f"all runs produced valid MIS's: {sweep.all_valid()}\n")
 
 
-def coloring_study(session: Simulation, sizes: list[int], repetitions: int, backend: str) -> None:
+def coloring_study(session: Simulation, sizes: list[int], repetitions: int, backend: str,
+                   workers: int | None) -> None:
     sweep = session.sweep(
         RunSpec(protocol="coloring", seed=2, backend=backend),
         families=TREE_FAMILY_NAMES,
         sizes=sizes,
         repetitions=repetitions,
-        validator=lambda graph, result: is_proper_coloring(
-            graph, coloring_from_result(result)
-        ),
+        validator=_valid_coloring,
+        workers=workers,
     )
     by_size = sweep.mean_cost_by_size()
     rows = [
@@ -84,13 +94,16 @@ def main() -> None:
                         default="auto")
     parser.add_argument("--quick", action="store_true",
                         help="tiny workload for smoke tests (overrides --max-size)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard sweep cells over this many worker processes "
+                             "(results are identical to serial execution)")
     args = parser.parse_args()
     max_size = 64 if args.quick else args.max_size
     repetitions = 1 if args.quick else args.repetitions
     sizes = geometric_sizes(16, max_size)
     session = Simulation()
-    mis_study(session, sizes, repetitions, args.backend)
-    coloring_study(session, sizes, repetitions, args.backend)
+    mis_study(session, sizes, repetitions, args.backend, args.workers)
+    coloring_study(session, sizes, repetitions, args.backend, args.workers)
 
 
 if __name__ == "__main__":

@@ -16,10 +16,11 @@ it), but it is a valid head set every single time.
 
 from __future__ import annotations
 
+import argparse
 import random
 import zlib
 
-from repro.api import Simulation
+from repro.api import RunSpec, Simulation
 from repro.compilers import compile_to_asynchronous
 from repro.graphs import Graph
 from repro.protocols.mis import MISProtocol, mis_from_result
@@ -41,7 +42,46 @@ def deployment(num_sensors: int, radio_range: float, seed: int) -> Graph:
     return Graph(num_sensors, edges)
 
 
+def deployment_family(n: int, seed: int | None = None) -> Graph:
+    """``(n, seed) -> Graph`` family wrapper for sweeps (module-level so a
+    pooled sweep can ship it to worker processes)."""
+    return deployment(num_sensors=n, radio_range=0.42, seed=seed or 0)
+
+
+def election_ladder(workers: int | None) -> None:
+    """Sweep deployments × adversaries with one asynchronous sweep call.
+
+    ``session.sweep`` on an ``environment="async"`` spec walks the full
+    ``families × sizes × adversaries`` grid; the per-cell graph seed ignores
+    the adversary, so every policy of a row is electing heads on the *same*
+    deployment and the time-unit columns are directly comparable.
+    """
+    session = Simulation()
+    sweep = session.sweep(
+        RunSpec(protocol="mis", environment="async", seed=11),
+        families={"deployment": deployment_family},
+        sizes=[10, 14],
+        adversaries=["synchronous", "uniform", "bursty"],
+        repetitions=1,
+        workers=workers,
+    )
+    print("\n== Election cost ladder (time units, same deployment per row) ==")
+    header = f"{'n':>4}  " + "".join(f"{name:>14}" for name in sweep.adversaries())
+    print(header)
+    for size in sweep.sizes():
+        cells = "".join(
+            f"{sweep.costs(size=size, adversary=name)[0]:>14.1f}"
+            for name in sweep.adversaries()
+        )
+        print(f"{size:>4}  {cells}")
+    print(f"every cell produced a valid head set: {sweep.all_valid()}")
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the election ladder sweep")
+    args = parser.parse_args()
     network = deployment(num_sensors=14, radio_range=0.42, seed=7)
     print(f"sensor network: {network.num_nodes} nodes, {network.num_edges} radio links")
     print(f"max degree: {network.max_degree()}\n")
@@ -74,6 +114,8 @@ def main() -> None:
 
     print("\nEvery schedule yields a correct cluster-head set; the paper's synchronizer")
     print("keeps fast nodes at most one simulated round ahead of their slowest neighbour.")
+
+    election_ladder(args.workers)
 
 
 if __name__ == "__main__":

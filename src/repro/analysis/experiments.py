@@ -27,7 +27,7 @@ from repro.baselines.luby import luby_mis
 from repro.compilers import compile_to_asynchronous, lower_to_single_query
 from repro.graphs import generators
 from repro.graphs.properties import good_nodes_tree
-from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
+from repro.protocols.broadcast import BroadcastProtocol
 from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
 from repro.protocols.mis import MISProtocol, mis_from_result
 from repro.scheduling.adversary import default_adversary_suite
@@ -67,12 +67,15 @@ def experiment_mis_scaling(
     repetitions: int = 3,
     base_seed: int = 1,
     backend: str = "auto",
+    workers: int | None = None,
 ) -> ExperimentReport:
     """Measure MIS rounds against n and classify the growth (E1).
 
     The default ``backend="auto"`` routes the sweep through the vectorized
     batch engine, which is what makes sizes beyond a few thousand nodes
     practical; results are seed-for-seed identical to the interpreter.
+    ``workers`` shards the sweep cells over a process pool — every record is
+    bitwise-identical to serial execution (see :mod:`repro.api.executor`).
     """
     sizes = list(sizes) if sizes is not None else geometric_sizes(16, 1024)
     sweep = Simulation().sweep(
@@ -81,6 +84,7 @@ def experiment_mis_scaling(
         sizes=sizes,
         repetitions=repetitions,
         validator=_mis_validator,
+        workers=workers,
     )
     report = ExperimentReport(
         experiment_id="E1",
@@ -115,6 +119,7 @@ def experiment_coloring_scaling(
     repetitions: int = 3,
     base_seed: int = 2,
     backend: str = "auto",
+    workers: int | None = None,
 ) -> ExperimentReport:
     """Measure tree-coloring rounds against n and classify the growth (E2)."""
     sizes = list(sizes) if sizes is not None else geometric_sizes(16, 2048)
@@ -124,6 +129,7 @@ def experiment_coloring_scaling(
         sizes=sizes,
         repetitions=repetitions,
         validator=_coloring_validator,
+        workers=workers,
     )
     report = ExperimentReport(
         experiment_id="E2",
@@ -154,113 +160,153 @@ def _backend_note(result) -> str:
     return f"{backend}/{result.metadata.get('backend_mode')}"
 
 
+def _e3_gnp(n: int, seed: int | None = None):
+    """The G(n, 0.4) family of the synchronizer-overhead experiment.
+
+    Module-level (not a lambda) so pooled sweep cells can carry it across
+    the process boundary.
+    """
+    return generators.gnp_random_graph(n, 0.4, seed)
+
+
+#: Registry names of the default adversary suite, in suite order.
+E3_ADVERSARIES = tuple(policy.name for policy in default_adversary_suite())
+
+
 def experiment_synchronizer_overhead(
     sizes: Sequence[int] = (6, 9, 12),
     base_seed: int = 3,
     backend: str = "auto",
+    workers: int | None = None,
 ) -> ExperimentReport:
     """Compare synchronous rounds against asynchronous time units (E3).
 
-    ``backend`` selects the execution engines (see
-    :meth:`repro.api.Simulation.run_protocol`); the default
-    ``"auto"`` routes through the vectorized batch engines, which is what
-    makes n ≥ 1024 sizes practical for this experiment — including the
-    *synchronous* executions of the compiled protocols, which tabulate
-    lazily since the eager closure is not enumerable.  The lockstep rows
-    (adversary ``"(lockstep)"``) run the compiled protocol in the
-    synchronous environment — the friendliest admissible schedule — so the
+    The experiment is two sweeps per protocol through the session facade:
+    one synchronous sweep for the base round counts and one asynchronous
+    sweep over the full adversary suite.  The async seed rule
+    (:meth:`repro.api.SeedPolicy.async_sweep_cell`) derives a cell's graph
+    seed *without* the adversary, so both sweeps — and every adversary —
+    execute on the identical graph and the per-row ratio is a true same-graph
+    overhead.  ``workers`` shards the asynchronous cells over a process pool
+    (results identical to serial).  The lockstep rows (adversary
+    ``"(lockstep)"``) run the compiled protocol in the synchronous
+    environment — the friendliest admissible schedule — so the
     constant-factor claim is also pinned without adversarial noise.
     """
+    from repro.api.seeds import SeedPolicy
+
     report = ExperimentReport(
         experiment_id="E3",
         title="Synchronizer overhead (Theorem 3.1)",
         paper_claim="asynchronous simulation costs a constant multiplicative factor",
         headers=["protocol", "adversary", "n", "base rounds", "async time units", "ratio"],
     )
+    sizes = list(sizes)
+    adversaries = list(E3_ADVERSARIES)
     ratios = []
     backend_notes = set()
-    # One session for the whole experiment: the compiled protocols' lazy
-    # tables (sync and async flavours) stay warm across sizes and
-    # adversaries through the session cache, keyed per workload below.
+    # One session for the whole experiment: compiled tables (sync and async
+    # flavours) stay warm across both protocols' sweeps and the lockstep legs.
     session = Simulation()
+    policy = SeedPolicy(base_seed)
     compiled_mis = compile_to_asynchronous(MISProtocol())
-    compiled_broadcast = compile_to_asynchronous(BroadcastProtocol())
-    for size_index, size in enumerate(sizes):
-        graph = generators.gnp_random_graph(size, 0.4, seed=base_seed + size)
-        base_result = session.run_protocol(
-            graph, MISProtocol(), seed=base_seed + size_index, backend=backend,
-            cache_key="e3-mis-base",
-        )
-        path = generators.path_graph(size)
-        base_broadcast = session.run_protocol(
-            path, BroadcastProtocol(), inputs=broadcast_inputs(0), seed=base_seed,
-            backend=backend, cache_key="e3-broadcast-base",
-        )
-        backend_notes.add(_backend_note(base_result))
-        # Lockstep leg: the compiled protocol under the friendliest schedule,
+
+    mis_families = {"gnp": _e3_gnp}
+    mis_sync = session.sweep(
+        RunSpec(protocol="mis", seed=base_seed, backend=backend),
+        families=mis_families,
+        sizes=sizes,
+        repetitions=1,
+    )
+    mis_async = session.sweep(
+        RunSpec(protocol="mis", environment="async", seed=base_seed, backend=backend),
+        families=mis_families,
+        sizes=sizes,
+        adversaries=adversaries,
+        repetitions=1,
+        workers=workers,
+    )
+    broadcast_sync = session.sweep(
+        RunSpec(protocol="broadcast", seed=base_seed, backend=backend),
+        families=["path"],
+        sizes=sizes,
+        repetitions=1,
+    )
+    broadcast_async = session.sweep(
+        RunSpec(
+            protocol="broadcast", environment="async", seed=base_seed, backend=backend
+        ),
+        families=["path"],
+        sizes=sizes,
+        adversaries=adversaries,
+        repetitions=1,
+        workers=workers,
+    )
+
+    def base_rounds(sweep, family, size):
+        for record in sweep.records:
+            if record.family == family and record.size == size and record.reached_output:
+                return record.cost
+        return None
+
+    for size in sizes:
+        mis_base = base_rounds(mis_sync, "gnp", size)
+        # Lockstep leg: the compiled protocol under the friendliest schedule
+        # on the *same* graph the sweeps used (rebuilt from the cell seed),
         # exercising the lazy-tabulated synchronous vectorized path.
+        graph = _e3_gnp(size, policy.sweep_cell("gnp", size, 0).graph_seed)
         lockstep = session.run_protocol(
             graph,
             compiled_mis,
-            seed=base_seed + size_index,
+            seed=policy.async_cell_seed("gnp", size, 0, "(lockstep)"),
             max_rounds=5_000_000,
             raise_on_timeout=False,
             backend=backend,
             cache_key="e3-mis-lockstep",
         )
         backend_notes.add(_backend_note(lockstep))
-        if lockstep.reached_output and base_result.rounds:
-            ratio = lockstep.rounds / base_result.rounds
+        if lockstep.reached_output and mis_base:
+            ratio = lockstep.rounds / mis_base
             ratios.append(ratio)
             report.add_row(
-                "mis", "(lockstep)", size, base_result.rounds,
-                lockstep.rounds, round(ratio, 1),
+                "mis", "(lockstep)", size, round(mis_base), lockstep.rounds,
+                round(ratio, 1),
             )
-        for adversary in default_adversary_suite():
-            async_result = session.run_protocol(
-                graph,
-                compiled_mis,
-                environment="async",
-                seed=base_seed + size_index,
-                adversary=adversary,
-                adversary_seed=base_seed + 100 + size_index,
-                max_events=5_000_000,
-                raise_on_timeout=False,
-                backend=backend,
-                cache_key="e3-mis-async",
-            )
-            if async_result.reached_output and base_result.rounds:
-                ratio = async_result.time_units / base_result.rounds
+        broadcast_base = base_rounds(broadcast_sync, "path", size)
+        for adversary in adversaries:
+            mis_rows = [
+                record
+                for record in mis_async.records
+                if record.size == size
+                and record.adversary == adversary
+                and record.reached_output
+            ]
+            if mis_rows and mis_base:
+                ratio = mis_rows[0].cost / mis_base
                 ratios.append(ratio)
                 report.add_row(
-                    "mis", adversary.name, size, base_result.rounds,
-                    round(async_result.time_units, 1), round(ratio, 1),
+                    "mis", adversary, size, round(mis_base),
+                    round(mis_rows[0].cost, 1), round(ratio, 1),
                 )
-            async_broadcast = session.run_protocol(
-                path,
-                compiled_broadcast,
-                environment="async",
-                inputs=broadcast_inputs(0),
-                seed=base_seed,
-                adversary=adversary,
-                adversary_seed=base_seed + 200 + size_index,
-                max_events=5_000_000,
-                raise_on_timeout=False,
-                backend=backend,
-                cache_key="e3-broadcast-async",
-            )
-            if async_broadcast.reached_output and base_broadcast.rounds:
-                ratio = async_broadcast.time_units / base_broadcast.rounds
+            broadcast_rows = [
+                record
+                for record in broadcast_async.records
+                if record.size == size
+                and record.adversary == adversary
+                and record.reached_output
+            ]
+            if broadcast_rows and broadcast_base:
+                ratio = broadcast_rows[0].cost / broadcast_base
                 report.add_row(
-                    "broadcast", adversary.name, size, base_broadcast.rounds,
-                    round(async_broadcast.time_units, 1), round(ratio, 1),
+                    "broadcast", adversary, size, round(broadcast_base),
+                    round(broadcast_rows[0].cost, 1), round(ratio, 1),
                 )
     stats = summarize(ratios) if ratios else None
     if stats:
         report.conclusion = (
             f"MIS overhead ratio mean={stats.mean:.1f}, max={stats.maximum:.1f} "
             f"(constant in n, dominated by |Sigma|^2 pausing steps per round); "
-            f"sync backends used: {', '.join(sorted(backend_notes))}"
+            f"lockstep backends used: {', '.join(sorted(backend_notes))}"
         )
         # The overhead must not grow with n: compare smallest vs largest size.
         report.passed = stats.maximum < 50 * max(stats.minimum, 1.0)

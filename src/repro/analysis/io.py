@@ -30,6 +30,7 @@ SWEEP_CSV_FIELDS = [
     "rounds",
     "reached_output",
     "valid",
+    "adversary",
 ]
 
 
@@ -76,7 +77,9 @@ def read_sweep_json(path: str | Path) -> SweepResult:
     payload = json.loads(Path(path).read_text())
     records = []
     for row in payload["records"]:
-        base = {field: row[field] for field in SWEEP_CSV_FIELDS}
+        # ``adversary`` is absent from documents written before async sweeps
+        # existed; SweepRecord's default ("") fills the gap.
+        base = {field: row[field] for field in SWEEP_CSV_FIELDS if field in row}
         extra = {key: value for key, value in row.items() if key not in SWEEP_CSV_FIELDS}
         records.append(SweepRecord(**base, extra=extra))
     return SweepResult(protocol_name=payload["protocol"], records=records)

@@ -30,7 +30,13 @@ Validator = Callable[[Graph, ExecutionResult], bool]
 
 @dataclass
 class SweepRecord:
-    """One measured execution inside a sweep."""
+    """One measured execution inside a sweep.
+
+    ``cost`` is the run's natural cost: synchronous rounds, or normalised
+    time units for asynchronous cells.  ``adversary`` names the adversary of
+    an asynchronous cell and stays ``""`` for synchronous records, keeping
+    historical records and serialized sweeps unchanged.
+    """
 
     family: str
     size: int
@@ -41,6 +47,7 @@ class SweepRecord:
     rounds: int | None
     reached_output: bool
     valid: bool
+    adversary: str = ""
     extra: dict[str, Any] = field(default_factory=dict)
 
 
@@ -51,13 +58,19 @@ class SweepResult:
     protocol_name: str
     records: list[SweepRecord]
 
-    def costs(self, family: str | None = None, size: int | None = None) -> list[float]:
-        """Measured costs filtered by family and/or size."""
+    def costs(
+        self,
+        family: str | None = None,
+        size: int | None = None,
+        adversary: str | None = None,
+    ) -> list[float]:
+        """Measured costs filtered by family, size and/or adversary."""
         return [
             record.cost
             for record in self.records
             if (family is None or record.family == family)
             and (size is None or record.size == size)
+            and (adversary is None or record.adversary == adversary)
         ]
 
     def sizes(self) -> list[int]:
@@ -65,6 +78,10 @@ class SweepResult:
 
     def families(self) -> list[str]:
         return sorted({record.family for record in self.records})
+
+    def adversaries(self) -> list[str]:
+        """Adversary labels of asynchronous records (empty for sync sweeps)."""
+        return sorted({record.adversary for record in self.records if record.adversary})
 
     def all_valid(self) -> bool:
         return all(record.valid and record.reached_output for record in self.records)

@@ -29,6 +29,12 @@ available as deprecated shims) with three concepts:
   decorators — see docs/API.md for the extension guide.
 """
 
+from repro.api.executor import (
+    WORKERS_ENV,
+    effective_workers,
+    run_specs,
+    shard_repetition_specs,
+)
 from repro.api.registry import (
     ADVERSARIES,
     GRAPH_FAMILIES,
@@ -49,13 +55,17 @@ __all__ = [
     "ENVIRONMENTS",
     "GRAPH_FAMILIES",
     "PROTOCOLS",
+    "WORKERS_ENV",
     "CellSeeds",
     "ProtocolEntry",
     "Registry",
     "RunSpec",
     "SeedPolicy",
     "Simulation",
+    "effective_workers",
     "register_adversary",
     "register_graph_family",
     "register_protocol",
+    "run_specs",
+    "shard_repetition_specs",
 ]

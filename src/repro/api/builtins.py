@@ -21,6 +21,12 @@ from repro.api.registry import (
     register_adversary,
 )
 from repro.baselines.beeping import sop_selection_mis
+from repro.baselines.centralized import (
+    greedy_coloring,
+    greedy_maximal_matching,
+    random_order_mis,
+)
+from repro.baselines.cole_vishkin import cole_vishkin_3_coloring
 from repro.baselines.luby import luby_mis
 from repro.graphs.generators import GRAPH_FAMILIES as _BUILTIN_FAMILIES
 from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
@@ -180,5 +186,79 @@ PROTOCOLS.register(
         title="beeping SOP selection (Afek et al. baseline)",
         default_family="gnp_sparse",
         runner=_beeping_runner,
+    ),
+)
+
+
+def _cole_vishkin_runner(session, spec, graph):
+    outcome = cole_vishkin_3_coloring(graph)
+    valid = (
+        is_proper_coloring(graph, outcome.colors)
+        and len(set(outcome.colors.values())) <= 3
+    )
+    fields = {
+        "rounds": outcome.rounds,
+        "reduction iterations": outcome.reduction_iterations,
+        "colors used": sorted(set(outcome.colors.values())),
+    }
+    return fields, valid, None
+
+
+def _greedy_mis_runner(session, spec, graph):
+    selected = random_order_mis(graph, seed=spec.seed)
+    valid = is_maximal_independent_set(graph, selected)
+    return {"mis size": len(selected)}, valid, None
+
+
+def _greedy_coloring_runner(session, spec, graph):
+    colors = greedy_coloring(graph)
+    valid = is_proper_coloring(graph, colors)
+    fields = {"colors used": len(set(colors.values()))}
+    return fields, valid, None
+
+
+def _greedy_matching_runner(session, spec, graph):
+    matching = greedy_maximal_matching(graph)
+    valid = is_maximal_matching(graph, matching)
+    return {"matching size": len(matching)}, valid, None
+
+
+PROTOCOLS.register(
+    "cole-vishkin",
+    ProtocolEntry(
+        name="cole-vishkin",
+        title="Cole-Vishkin tree 3-coloring (LOCAL-model baseline)",
+        default_family="random_tree",
+        runner=_cole_vishkin_runner,
+    ),
+)
+
+PROTOCOLS.register(
+    "greedy-mis",
+    ProtocolEntry(
+        name="greedy-mis",
+        title="randomized greedy MIS (centralized reference)",
+        default_family="gnp_sparse",
+        runner=_greedy_mis_runner,
+    ),
+)
+
+PROTOCOLS.register(
+    "greedy-coloring",
+    ProtocolEntry(
+        name="greedy-coloring",
+        title="first-fit greedy coloring (centralized reference)",
+        default_family="random_tree",
+        runner=_greedy_coloring_runner,
+    ),
+)
+
+PROTOCOLS.register(
+    "greedy-matching",
+    ProtocolEntry(
+        name="greedy-matching",
+        title="greedy maximal matching (centralized reference)",
+        default_family="gnp_sparse",
+        runner=_greedy_matching_runner,
     ),
 )

@@ -1,0 +1,339 @@
+"""Multiprocess execution of serialized :class:`~repro.api.RunSpec`s.
+
+A :class:`~repro.api.RunSpec` names every piece of a workload by registry
+name and round-trips through plain dictionaries, which makes it the unit of
+work a process pool can dispatch: the parent serializes ``spec.to_dict()``,
+each worker rebuilds the workload from the registries and runs it through a
+worker-local :class:`~repro.api.Simulation` session, and the parent merges
+the results back **in deterministic spec order**.
+
+Three contracts govern this module:
+
+* **Determinism** — pooled execution is bitwise-identical to serial
+  execution for every seed.  Each task carries its own fully derived seeds
+  (see :func:`shard_repetition_specs` and the sweep planners in
+  :mod:`repro.api.session`), so results depend only on the spec, never on
+  which worker ran it or in which order tasks completed.  Locked by
+  ``tests/integration/test_executor_parity.py``.
+* **Serialization boundary** — task payloads contain spec dictionaries,
+  registry names and (optionally) picklable callables; nothing else crosses
+  the process boundary on the way in, and :class:`TaskOutcome` (result or a
+  structured error, plus the worker's cache-counter delta) is the only thing
+  that crosses it on the way out.  Unpicklable workloads are detected *up
+  front*: an explicit ``workers=`` request raises
+  :class:`~repro.core.errors.ExecutorError`, while the opportunistic
+  ``REPRO_WORKERS`` environment default silently stays serial.
+* **Worker cache lifecycle** — every worker process owns one long-lived
+  :class:`~repro.api.Simulation` whose compiled-table cache stays warm
+  across all tasks of the pool, so a 100-cell sweep pays at most one
+  compile per worker.  Each outcome reports the hit/miss delta its task
+  produced; the parent aggregates the deltas into the dispatching session's
+  counters (:meth:`Simulation.absorb_worker_cache`), keeping
+  ``session.cache_info()`` meaningful across serial and pooled calls alike.
+
+Worker failures never hang the pool: an exception inside a task comes back
+as a structured error payload and is re-raised in the parent as
+:class:`~repro.core.errors.WorkerCrashError` carrying the poisoned spec and
+the worker traceback; a worker that dies outright (killed, segfault,
+``os._exit``) surfaces as the same error type via the executor's broken-pool
+detection.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.seeds import SeedPolicy
+from repro.api.spec import RunSpec
+from repro.core.errors import (
+    ExecutorError,
+    OutputNotReachedError,
+    WorkerCrashError,
+)
+
+#: Environment variable consulted when a call does not pass ``workers=``:
+#: ``REPRO_WORKERS=2 pytest`` runs every pool-safe repeat/sweep through a
+#: 2-worker pool, which is how CI exercises the pooled code paths.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def effective_workers(workers: int | None) -> int:
+    """Resolve a ``workers`` argument: explicit value, else the environment.
+
+    Returns at least 1.  ``None`` falls back to :data:`WORKERS_ENV` (itself
+    defaulting to 1 — serial), so existing call sites transparently become
+    pooled when the environment opts in.
+    """
+    if workers is None:
+        try:
+            workers = int(os.environ.get(WORKERS_ENV, "") or 1)
+        except ValueError:
+            workers = 1
+    return max(int(workers), 1)
+
+
+def _pool_context():
+    """The multiprocessing start method used for worker pools.
+
+    ``fork`` (where available) inherits the parent's registries, so even
+    protocols registered at runtime — test doubles, plugins — stay
+    spec-addressable inside workers.  Platforms without ``fork`` fall back
+    to ``spawn``, where workers re-import :mod:`repro.api` and therefore see
+    the built-in registrations only.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ---------------------------------------------------------------------- #
+# Workload sharding                                                       #
+# ---------------------------------------------------------------------- #
+def spec_shardable(spec: RunSpec) -> bool:
+    """Whether pooled repetitions of *spec* can reproduce serial execution.
+
+    A fully unseeded spec (``seed=None`` *and* ``graph_seed=None``) builds a
+    fresh random graph per process, so no sharding can match the single
+    graph the serial path builds once — such workloads stay serial.
+    """
+    return spec.seed is not None or spec.graph_seed is not None
+
+
+def shard_repetition_specs(spec: RunSpec, repetitions: int) -> list[RunSpec]:
+    """The per-run specs of ``Simulation.repeat(spec, repetitions)``.
+
+    Run ``i`` gets ``SeedPolicy(base).repetition_seed(i)`` as its protocol
+    seed — exactly the serial derivation — and the graph seed is pinned to
+    the *base* seed so every shard rebuilds the identical graph the serial
+    path builds once (callers gate on :func:`spec_shardable`, so the pin is
+    always a concrete integer here).  The derivation is a pure function of
+    the spec, which is what makes pooled and serial execution
+    interchangeable; a Hypothesis property test pins the seeds to the
+    serial rule.
+    """
+    base_seed = spec.seed if spec.seed is not None else 0
+    policy = SeedPolicy(base_seed)
+    graph_seed = spec.graph_seed if spec.graph_seed is not None else spec.seed
+    return [
+        spec.replace(seed=policy.repetition_seed(repetition), graph_seed=graph_seed)
+        for repetition in range(repetitions)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# The wire format                                                         #
+# ---------------------------------------------------------------------- #
+@dataclass
+class TaskOutcome:
+    """What one worker task sends back to the parent.
+
+    Exactly one of ``value`` / ``error`` / ``timeout`` is populated;
+    ``cache_hits``/``cache_misses`` are the *delta* the task produced on the
+    worker session's compiled-table counters.
+    """
+
+    value: Any = None
+    error: dict[str, Any] | None = None
+    timeout: Any = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass(frozen=True)
+class SpecTask:
+    """One unit of pool work: execute a serialized spec.
+
+    ``record`` optionally asks for a :class:`~repro.analysis.sweep.
+    SweepRecord` instead of the raw :class:`~repro.core.results.
+    ExecutionResult` — that is how sweep cells travel (the graph and result
+    stay inside the worker; only the plain-data record crosses back).
+    """
+
+    spec: dict[str, Any]
+    raise_on_timeout: bool = False
+    record: dict[str, Any] | None = None
+    graph_factory: Callable[..., Any] | None = None
+    validator: Callable[..., bool] | None = None
+    inputs_for: Callable[..., Any] | None = None
+    extra_metrics: Callable[..., dict[str, Any]] | None = field(default=None)
+
+
+#: The one long-lived session of a worker process; its compiled-table cache
+#: stays warm across every task the worker executes for the pool.
+_WORKER_SESSION = None
+
+
+def _worker_session():
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        from repro.api.session import Simulation
+
+        _WORKER_SESSION = Simulation()
+    return _WORKER_SESSION
+
+
+def _execute_task(task: SpecTask, session) -> Any:
+    """Run one task on *session* and return its value (result or record)."""
+    spec = RunSpec.from_dict(task.spec)
+    if task.record is None:
+        return session.simulate(spec, raise_on_timeout=task.raise_on_timeout)
+    from repro.api.session import run_sweep_cell
+
+    return run_sweep_cell(task, spec, session)
+
+
+def run_task(task: SpecTask, session=None) -> TaskOutcome:
+    """Execute *task*, catching failures into a structured outcome.
+
+    This is the function the pool maps over task lists; with an explicit
+    *session* it doubles as the serial execution path, so serial and pooled
+    runs share one code path cell-for-cell.
+    """
+    if session is None:
+        session = _worker_session()
+    hits, misses = session.cache_hits, session.cache_misses
+    try:
+        value = _execute_task(task, session)
+    except OutputNotReachedError as exc:
+        return TaskOutcome(
+            timeout=(str(exc), exc.result),
+            cache_hits=session.cache_hits - hits,
+            cache_misses=session.cache_misses - misses,
+        )
+    except Exception as exc:  # noqa: BLE001 — every failure must cross back
+        return TaskOutcome(
+            error={
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+                "spec": task.spec,
+            },
+            cache_hits=session.cache_hits - hits,
+            cache_misses=session.cache_misses - misses,
+        )
+    return TaskOutcome(
+        value=value,
+        cache_hits=session.cache_hits - hits,
+        cache_misses=session.cache_misses - misses,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Dispatch                                                                #
+# ---------------------------------------------------------------------- #
+def payloads_picklable(tasks: Sequence[SpecTask]) -> str | None:
+    """``None`` when every task crosses the process boundary, else why not."""
+    try:
+        pickle.dumps(list(tasks))
+    except Exception as exc:  # noqa: BLE001 — any pickling failure disqualifies
+        return f"{type(exc).__name__}: {exc}"
+    return None
+
+
+def execute_tasks(
+    tasks: Sequence[SpecTask],
+    *,
+    workers: int | None = None,
+    session=None,
+    explicit_workers: bool = False,
+) -> list[Any]:
+    """Run *tasks* serially or on a worker pool; return values in task order.
+
+    *session* receives the cache-counter deltas (and executes the tasks
+    itself on the serial path).  ``explicit_workers`` marks a caller-chosen
+    worker count: unpicklable payloads then raise
+    :class:`~repro.core.errors.ExecutorError` instead of silently running
+    serially (the environment-variable default degrades gracefully — custom
+    in-process callables keep working, just without the pool).
+    """
+    count = effective_workers(workers)
+    if count > 1 and len(tasks) > 1:
+        reason = payloads_picklable(tasks)
+        if reason is None:
+            return _execute_pooled(tasks, count, session)
+        if explicit_workers:
+            raise ExecutorError(
+                f"workload cannot be dispatched to worker processes "
+                f"(payload not picklable: {reason}); pass module-level "
+                f"factories/validators or drop workers="
+            )
+    # Serial path: run directly on the dispatching session.  Exceptions
+    # (including timeouts) propagate as themselves — the structured
+    # WorkerCrashError wrapping exists only for failures that crossed a
+    # process boundary.
+    return [_execute_task(task, session) for task in tasks]
+
+
+def _execute_pooled(tasks: Sequence[SpecTask], workers: int, session) -> list[Any]:
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)), mp_context=_pool_context()
+        ) as pool:
+            outcomes = list(pool.map(run_task, tasks))
+    except BrokenProcessPool as exc:
+        raise WorkerCrashError(
+            "a worker process died before returning its task outcome "
+            "(killed, out of memory, or crashed in native code); "
+            "the pool was shut down cleanly"
+        ) from exc
+    return _merge_outcomes(outcomes, session=session)
+
+
+def _merge_outcomes(outcomes: list[TaskOutcome], session) -> list[Any]:
+    """Deterministically merge outcomes: aggregate stats, surface errors."""
+    if session is not None:
+        session.absorb_worker_cache(
+            sum(outcome.cache_hits for outcome in outcomes),
+            sum(outcome.cache_misses for outcome in outcomes),
+        )
+    for outcome in outcomes:
+        if outcome.error is not None:
+            error = outcome.error
+            raise WorkerCrashError(
+                f"worker failed executing spec for protocol "
+                f"{error['spec'].get('protocol')!r}: "
+                f"{error['type']}: {error['message']}",
+                spec=error["spec"],
+                worker_traceback=error["traceback"],
+            )
+        if outcome.timeout is not None:
+            message, partial = outcome.timeout
+            raise OutputNotReachedError(message, partial)
+    return [outcome.value for outcome in outcomes]
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int | None = None,
+    session=None,
+    raise_on_timeout: bool = False,
+) -> list:
+    """Execute independent *specs*, pooled, in deterministic spec order.
+
+    The module-level convenience entry point: results are merged back in the
+    order the specs were given, bitwise-identical to calling
+    ``session.simulate`` on each spec serially.  Pass a
+    :class:`~repro.api.Simulation` *session* to aggregate worker cache
+    counters into it (a throwaway session is used otherwise).
+    """
+    if session is None:
+        from repro.api.session import Simulation
+
+        session = Simulation()
+    tasks = [
+        SpecTask(spec=spec.to_dict(), raise_on_timeout=raise_on_timeout)
+        for spec in specs
+    ]
+    return execute_tasks(
+        tasks, workers=workers, session=session, explicit_workers=workers is not None
+    )

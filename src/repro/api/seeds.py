@@ -68,3 +68,31 @@ class SeedPolicy:
         """
         seed = self.cell_seed(family, size, repetition)
         return CellSeeds(graph_seed=seed, run_seed=seed + 1)
+
+    def async_cell_seed(
+        self, family: str, size: int, repetition: int, adversary: str | None
+    ) -> int:
+        """Run seed of one asynchronous sweep cell (adversary-dependent)."""
+        mixer = random.Random(
+            f"{self.base_seed}|{family}|{size}|{repetition}|{adversary or ''}"
+        )
+        return mixer.randrange(_CELL_SEED_BOUND)
+
+    def async_sweep_cell(
+        self, family: str, size: int, repetition: int, adversary: str | None
+    ) -> CellSeeds:
+        """Seeds of one asynchronous ``(family, size, adversary, repetition)`` cell.
+
+        The *graph* seed deliberately ignores the adversary — it is the same
+        :meth:`cell_seed` the synchronous rule uses — so every adversary of a
+        cell, and the synchronous sweep of the same base seed, all execute on
+        the *identical* graph.  That shared-graph property is what lets the
+        synchronizer-overhead experiment (E3) compute per-graph overhead
+        ratios straight from two sweeps.  Only the *run* seed mixes the
+        adversary in, keeping the protocol coin streams independent across
+        adversaries.
+        """
+        return CellSeeds(
+            graph_seed=self.cell_seed(family, size, repetition),
+            run_seed=self.async_cell_seed(family, size, repetition, adversary),
+        )

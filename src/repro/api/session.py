@@ -25,8 +25,10 @@ registry name.
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
 from typing import Any
 
+from repro.api import executor as _executor
 from repro.api.seeds import SeedPolicy
 from repro.api.spec import RunSpec
 from repro.core.errors import (
@@ -62,6 +64,95 @@ def _annotated_sync_run(reason: str | None, *args, **kwargs) -> ExecutionResult:
     if reason is not None:
         result.metadata["backend_reason"] = reason
     return result
+
+
+@dataclass
+class _RegistryInputs:
+    """Picklable default ``inputs_for``: the registry inputs factory by name.
+
+    Replaces the historical closure over the protocol entry so that pooled
+    sweep cells can carry their inputs rule across the process boundary —
+    the factory itself is resolved from the worker's registry, never
+    pickled.  Calling it is behaviourally identical to
+    ``entry.inputs_factory(graph, **spec.inputs)``.
+    """
+
+    protocol: str
+    inputs: dict[str, Any] = field(default_factory=dict)
+
+    def __call__(self, graph: Any) -> Mapping[int, Any]:
+        from repro.api.registry import PROTOCOLS
+
+        entry = PROTOCOLS.get(self.protocol)
+        return entry.inputs_factory(graph, **self.inputs)
+
+
+def run_sweep_cell(task, spec: RunSpec, session: "Simulation"):
+    """Execute one sweep cell and assemble its record (serial and pooled).
+
+    This single function runs every sweep cell — the parent session executes
+    it directly on the serial path and the worker processes execute it for
+    pooled dispatch — so the two paths cannot drift: a cell's record depends
+    only on the spec's fully derived seeds, never on which process ran it.
+    The compiled table comes from *session*'s cache keyed by the workload,
+    so all cells of a sweep share one compile per process.
+    """
+    from repro.analysis.sweep import SweepRecord
+
+    if task.graph_factory is not None:
+        graph = task.graph_factory(spec.nodes, spec.graph_seed)
+    else:
+        graph = spec.build_graph()
+    inputs = task.inputs_for(graph) if task.inputs_for is not None else None
+    key = spec.workload_key()
+    if spec.environment == "sync":
+        backend, compiled, table, reason = session._sync_bundle(
+            key, spec.build_protocol, spec.backend
+        )
+        result = _annotated_sync_run(
+            reason,
+            graph,
+            spec.build_protocol(),
+            seed=spec.seed,
+            inputs=inputs,
+            max_rounds=spec.max_rounds,
+            raise_on_timeout=False,
+            backend=backend,
+            compiled=compiled,
+            table=table,
+        )
+    else:
+        compiled, table = session._async_bundle(key, spec.build_protocol, spec.backend)
+        result = _run_asynchronous(
+            graph,
+            compiled,
+            adversary=spec.build_adversary(),
+            seed=spec.seed,
+            adversary_seed=spec.adversary_seed,
+            inputs=inputs,
+            max_events=spec.max_events,
+            raise_on_timeout=False,
+            backend=spec.backend,
+            table=table,
+        )
+    valid = result.reached_output and (
+        task.validator is None or task.validator(graph, result)
+    )
+    extra = task.extra_metrics(graph, result) if task.extra_metrics else {}
+    meta = task.record
+    return SweepRecord(
+        family=meta["family"],
+        size=meta["size"],
+        repetition=meta["repetition"],
+        graph_nodes=graph.num_nodes,
+        graph_edges=graph.num_edges,
+        cost=result.cost,
+        rounds=result.rounds,
+        reached_output=result.reached_output,
+        valid=valid,
+        adversary=meta.get("adversary", ""),
+        extra=extra,
+    )
 
 
 def _lazy_strict_table(protocol, backend: str):
@@ -121,6 +212,19 @@ class Simulation:
             "misses": self._cache_misses,
             "entries": len(self._tables),
         }
+
+    def absorb_worker_cache(self, hits: int, misses: int) -> None:
+        """Fold worker-pool cache counters into this session's stats.
+
+        Pooled ``repeat``/``sweep`` calls compile inside worker processes;
+        each worker reports the hit/miss delta of every task and the
+        executor aggregates the deltas here, so ``cache_info()`` keeps
+        describing the whole workload regardless of where it ran.  Worker
+        table *entries* stay in the workers (they die with the pool), so
+        ``entries`` counts parent-resident tables only.
+        """
+        self._cache_hits += hits
+        self._cache_misses += misses
 
     def _cached(self, key: tuple, build: Callable[[], tuple]) -> tuple:
         bundle = self._tables.get(key)
@@ -373,6 +477,7 @@ class Simulation:
         repetitions: int,
         *,
         raise_on_timeout: bool = True,
+        workers: int | None = None,
     ) -> list[ExecutionResult]:
         """Execute *spec* ``repetitions`` times with derived seeds.
 
@@ -381,10 +486,32 @@ class Simulation:
         the legacy ``repeat_synchronous`` seeds bit-for-bit in the
         synchronous environment.  Compiled tables are shared across the
         repetitions *and* with every other call on this session.
+
+        ``workers`` > 1 dispatches the repetitions to a process pool (see
+        :mod:`repro.api.executor`): each worker rebuilds the workload from
+        the spec's registries with its per-run seed fully derived up front,
+        so the returned results are bitwise-identical to serial execution
+        and arrive in repetition order.  ``None`` consults the
+        ``REPRO_WORKERS`` environment variable (default: serial).
         """
         entry = spec.entry()
         if not entry.spec_runnable:
             raise SpecError(f"protocol {spec.protocol!r} is not spec-runnable")
+        count = _executor.effective_workers(workers)
+        if count > 1 and repetitions > 1 and _executor.spec_shardable(spec):
+            shards = _executor.shard_repetition_specs(spec, repetitions)
+            tasks = [
+                _executor.SpecTask(
+                    spec=shard.to_dict(), raise_on_timeout=raise_on_timeout
+                )
+                for shard in shards
+            ]
+            return _executor.execute_tasks(
+                tasks,
+                workers=count,
+                session=self,
+                explicit_workers=workers is not None,
+            )
         graph = spec.build_graph()
         inputs = spec.build_inputs(graph)
         base_seed = spec.seed if spec.seed is not None else 0
@@ -431,27 +558,43 @@ class Simulation:
         sizes: Sequence[int],
         families: Sequence[str] | Mapping[str, Callable] | None = None,
         repetitions: int = 3,
+        adversaries: Sequence[str | None] | None = None,
         validator: Callable | None = None,
         inputs_for: Callable | None = None,
         extra_metrics: Callable | None = None,
+        workers: int | None = None,
     ):
-        """Sweep *spec* over ``families × sizes × repetitions``.
+        """Sweep *spec* over ``families × sizes [× adversaries] × repetitions``.
 
         ``families`` may be registry names (the default is the spec's own
         family) or an explicit ``{label: factory}`` mapping; ``validator``
-        defaults to the registered protocol's solution check.  Per-cell
-        seeds come from :meth:`SeedPolicy.sweep_cell`, making the records
-        bitwise-identical to the legacy ``sweep_protocol`` harness for the
-        same family labels.  Returns a
+        defaults to the registered protocol's solution check.  Returns a
         :class:`~repro.analysis.sweep.SweepResult`.
+
+        Synchronous specs sweep ``families × sizes × repetitions`` with
+        per-cell seeds from :meth:`SeedPolicy.sweep_cell`, making the
+        records bitwise-identical to the legacy ``sweep_protocol`` harness
+        for the same family labels.  Asynchronous specs additionally sweep
+        the ``adversaries`` axis (registry names; default: the spec's own
+        adversary) with seeds from :meth:`SeedPolicy.async_sweep_cell` —
+        the graph seed of a cell ignores the adversary, so every adversary
+        (and a synchronous sweep of the same base seed) runs on the
+        identical graph, and ``record.cost`` is the normalised time units.
+
+        ``workers`` > 1 dispatches the cells to a process pool in
+        deterministic cell order — records are bitwise-identical to serial
+        execution (see :mod:`repro.api.executor`); ``None`` consults
+        ``REPRO_WORKERS``.  Pooled dispatch requires picklable custom
+        factories/validators; the environment default falls back to serial
+        for in-process closures, an explicit ``workers=`` raises.
         """
         from repro.api.registry import GRAPH_FAMILIES
 
         entry = spec.entry()
         if not entry.spec_runnable:
             raise SpecError(f"protocol {spec.protocol!r} is not spec-runnable")
-        if spec.environment != "sync":
-            raise SpecError("sweep() currently supports the synchronous environment only")
+        if adversaries is not None and spec.environment != "async":
+            raise SpecError("adversaries= requires an environment='async' spec")
         if families is None:
             families = [spec.family]
         if not isinstance(families, Mapping):
@@ -459,18 +602,118 @@ class Simulation:
         if validator is None:
             validator = entry.validator
         if inputs_for is None and entry.inputs_factory is not None:
-            inputs_for = lambda graph: entry.inputs_factory(graph, **spec.inputs)  # noqa: E731
-        bundle = self._sync_bundle(spec.workload_key(), spec.build_protocol, spec.backend)
-        return self.sweep_protocol_objects(
-            spec.build_protocol,
-            families,
-            sizes,
+            inputs_for = _RegistryInputs(spec.protocol, dict(spec.inputs))
+        count = _executor.effective_workers(workers)
+        if spec.environment == "sync" and count <= 1:
+            # The historical serial path: one shared warm table, records
+            # bitwise-identical to the legacy harness.
+            bundle = self._sync_bundle(
+                spec.workload_key(), spec.build_protocol, spec.backend
+            )
+            return self.sweep_protocol_objects(
+                spec.build_protocol,
+                families,
+                sizes,
+                repetitions=repetitions,
+                base_seed=spec.seed if spec.seed is not None else 0,
+                max_rounds=spec.max_rounds,
+                validator=validator,
+                inputs_for=inputs_for,
+                extra_metrics=extra_metrics,
+                backend=spec.backend,
+                precompiled=tuple(bundle[:3]),
+            )
+        tasks = self._plan_sweep_cells(
+            spec,
+            families=families,
+            sizes=sizes,
             repetitions=repetitions,
-            base_seed=spec.seed if spec.seed is not None else 0,
-            max_rounds=spec.max_rounds,
+            adversaries=adversaries,
             validator=validator,
             inputs_for=inputs_for,
             extra_metrics=extra_metrics,
-            backend=spec.backend,
-            precompiled=tuple(bundle[:3]),
         )
+        records = _executor.execute_tasks(
+            tasks,
+            workers=count,
+            session=self,
+            explicit_workers=workers is not None,
+        )
+        from repro.analysis.sweep import SweepResult
+
+        return SweepResult(
+            protocol_name=spec.build_protocol().name, records=records
+        )
+
+    def _plan_sweep_cells(
+        self,
+        spec: RunSpec,
+        *,
+        families: Mapping[str, Callable],
+        sizes: Sequence[int],
+        repetitions: int,
+        adversaries: Sequence[str | None] | None,
+        validator: Callable | None,
+        inputs_for: Callable | None,
+        extra_metrics: Callable | None,
+    ) -> list:
+        """The deterministic cell-task list of one sweep.
+
+        Cells are ordered ``families × sizes [× adversaries] × repetitions``
+        and every task carries its fully derived seeds, so the task list —
+        not execution order — defines the sweep.  Registry-named families
+        travel as names (workers resolve their own registry); custom
+        factories ride along as callables and must be picklable for pooled
+        dispatch.
+        """
+        from repro.api.registry import GRAPH_FAMILIES
+
+        policy = SeedPolicy(spec.seed if spec.seed is not None else 0)
+        if spec.environment == "async":
+            adversary_axis = (
+                list(adversaries) if adversaries is not None else [spec.adversary]
+            )
+        else:
+            adversary_axis = [None]
+        tasks = []
+        for family_name, factory in families.items():
+            registered = (
+                family_name in GRAPH_FAMILIES
+                and factory is GRAPH_FAMILIES.get(family_name)
+            )
+            for size in sizes:
+                for adversary in adversary_axis:
+                    for repetition in range(repetitions):
+                        if spec.environment == "async":
+                            seeds = policy.async_sweep_cell(
+                                family_name, size, repetition, adversary
+                            )
+                        else:
+                            seeds = policy.sweep_cell(family_name, size, repetition)
+                        cell_spec = spec.replace(
+                            nodes=size,
+                            graph=family_name if registered else spec.graph,
+                            seed=seeds.run_seed,
+                            graph_seed=seeds.graph_seed,
+                            adversary=(
+                                adversary if spec.environment == "async" else None
+                            ),
+                        )
+                        record = {
+                            "family": family_name,
+                            "size": size,
+                            "repetition": repetition,
+                        }
+                        if spec.environment == "async":
+                            record["adversary"] = adversary or "(default)"
+                        tasks.append(
+                            _executor.SpecTask(
+                                spec=cell_spec.to_dict(),
+                                record=record,
+                                graph_factory=None if registered else factory,
+                                validator=validator,
+                                inputs_for=inputs_for,
+                                extra_metrics=extra_metrics,
+                            )
+                        )
+        return tasks

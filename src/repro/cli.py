@@ -10,10 +10,17 @@ flags and executes it through a :class:`repro.api.Simulation` session::
     python -m repro run coloring --nodes 256 --family random_tree
     python -m repro run broadcast --input source=3
     python -m repro run luby --nodes 64           # LOCAL-model baseline
+    python -m repro run mis --repetitions 8 --workers 4   # pooled repeats
     python -m repro run --list                    # registry census
     python -m repro run --spec workload.json      # serialized RunSpec
-    python -m repro experiment E1 --quick
+    python -m repro experiment E1 --quick --workers 4
     python -m repro census
+
+``--repetitions R`` runs the spec R times with derived seeds and reports the
+aggregate; ``--workers N`` dispatches those repetitions (and the sweeps of
+experiments E1–E3) to a multiprocess worker pool — results are identical to
+serial execution for every seed (see repro.api.executor).  The
+``REPRO_WORKERS`` environment variable supplies a default worker count.
 
 The historical per-problem commands (``mis``, ``color``, ``matching``,
 ``broadcast``) remain as aliases of ``run`` with the protocol preselected.
@@ -173,6 +180,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.protocol is None and args.spec is None:
         print("error: name a protocol, pass --spec, or use --list", file=sys.stderr)
         return 2
+    repetitions = getattr(args, "repetitions", 1) or 1
+    workers = getattr(args, "workers", None)
     try:
         spec = _spec_from_args(args)
         entry = PROTOCOLS.get(spec.protocol)
@@ -181,10 +190,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"protocol {spec.protocol!r} runs through a custom runner and "
                 f"does not support the asynchronous environment"
             )
+        if repetitions > 1 and entry.runner is not None:
+            raise SpecError(
+                f"protocol {spec.protocol!r} runs through a custom runner and "
+                f"does not support --repetitions"
+            )
         if args.show_spec:
             print(json.dumps(spec.to_dict(), indent=2))
             return 0
         session = Simulation()
+        if repetitions > 1:
+            return _run_repeated(session, spec, entry, repetitions, workers, args.json)
         graph = spec.build_graph()
     except StoneAgeError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -218,6 +234,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if valid else 1
 
 
+def _run_repeated(
+    session: Simulation,
+    spec: Any,
+    entry: Any,
+    repetitions: int,
+    workers: int | None,
+    as_json: bool,
+) -> int:
+    """Execute ``--repetitions R`` derived-seed runs (optionally pooled)."""
+    results = session.repeat(
+        spec, repetitions, raise_on_timeout=False, workers=workers
+    )
+    graph = spec.build_graph()
+    costs = [result.cost for result in results if result.reached_output]
+    all_valid = all(
+        result.reached_output
+        and (entry.validator is None or entry.validator(graph, result))
+        for result in results
+    )
+    payload: dict[str, Any] = {
+        "problem": entry.title,
+        "graph": f"{spec.family} n={graph.num_nodes} m={graph.num_edges}",
+        "mode": "asynchronous" if spec.environment == "async" else "synchronous",
+        "repetitions": repetitions,
+        "workers": workers if workers is not None else "(serial or $REPRO_WORKERS)",
+        "seeds": [result.seed for result in results],
+        "mean cost": round(sum(costs) / len(costs), 2) if costs else None,
+        "reached output": sum(1 for result in results if result.reached_output),
+    }
+    payload.update(_backend_fields(results[0]))
+    payload["valid"] = all_valid
+    _emit(payload, as_json)
+    return 0 if all_valid else 1
+
+
 # ---------------------------------------------------------------------- #
 # Non-registry commands                                                   #
 # ---------------------------------------------------------------------- #
@@ -247,12 +298,19 @@ def _cmd_lba(args: argparse.Namespace) -> int:
     return 0 if verdict == expected else 1
 
 
+#: Experiments whose harness accepts a ``workers=`` pool size (E1–E3 sweep
+#: through the session facade; the remaining experiments are trace-driven).
+_WORKERS_AWARE_EXPERIMENTS = frozenset({"E1", "E2", "E3"})
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     identifiers = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
     all_passed = True
     for identifier in identifiers:
         runner = ALL_EXPERIMENTS[identifier]
-        kwargs = _QUICK_EXPERIMENT_ARGS.get(identifier, {}) if args.quick else {}
+        kwargs = dict(_QUICK_EXPERIMENT_ARGS.get(identifier, {})) if args.quick else {}
+        if args.workers is not None and identifier in _WORKERS_AWARE_EXPERIMENTS:
+            kwargs["workers"] = args.workers
         report = runner(**kwargs)
         print(report.render())
         print()
@@ -294,6 +352,13 @@ def _add_run_arguments(
                         help="protocol constructor parameter (repeatable)")
     parser.add_argument("--input", action="append", metavar="KEY=VALUE",
                         help="protocol input parameter, e.g. source=3 (repeatable)")
+    parser.add_argument("--repetitions", "-r", type=int, default=1,
+                        help="run the spec this many times with derived seeds "
+                             "and report the aggregate (default: 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="dispatch repeated runs to this many worker "
+                             "processes; results are identical to serial "
+                             "execution (default: $REPRO_WORKERS or serial)")
     parser.add_argument("--spec", metavar="FILE", default=None,
                         help="load the full RunSpec from a JSON file "
                              "(overrides the other workload flags)")
@@ -355,6 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS) + ["all"])
     experiment.add_argument("--quick", action="store_true",
                             help="use a small workload (seconds instead of minutes)")
+    experiment.add_argument("--workers", type=int, default=None,
+                            help="worker-pool size for the sweep-driven "
+                                 "experiments (E1-E3); results are identical "
+                                 "to serial execution")
     experiment.set_defaults(handler=_cmd_experiment)
 
     census = subparsers.add_parser("census", help="print the size census of every protocol")

@@ -49,6 +49,37 @@ class ProtocolNotVectorizableError(ExecutionError):
     """
 
 
+class ExecutorError(ExecutionError):
+    """The multiprocess spec executor could not dispatch or merge a workload.
+
+    Raised before any worker runs when a pooled workload is not serializable
+    (e.g. a custom graph-family factory or validator that cannot be pickled
+    was combined with an explicit ``workers=`` request), and after execution
+    when the pool infrastructure itself failed.
+    """
+
+
+class WorkerCrashError(ExecutorError):
+    """A worker process failed while executing one serialized spec.
+
+    The failure is *structured*: the offending spec (as its ``to_dict``
+    payload) and the worker-side traceback are attached, so a poisoned cell
+    in a large sweep surfaces as one actionable error instead of a hung
+    pool or a bare ``BrokenProcessPool``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        spec: dict | None = None,
+        worker_traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.spec = spec
+        self.worker_traceback = worker_traceback
+
+
 class RegistryError(StoneAgeError):
     """A named registry lookup or registration failed.
 

@@ -1,0 +1,193 @@
+"""Property tests for the spec/seed layer the executor's determinism rests on.
+
+The multiprocess executor is only correct if (a) a :class:`RunSpec` survives
+the serialization boundary losslessly and (b) every derived seed is a pure
+function of its coordinates — independent of evaluation order, chunking or
+which process computes it.  Hypothesis explores both properties over the
+whole input space instead of a handful of golden values.
+
+The suite skips cleanly when Hypothesis is not installed (it is a test-only
+dependency; CI installs it explicitly).
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.api import RunSpec, SeedPolicy, shard_repetition_specs  # noqa: E402
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# JSON-representable parameter values (what a spec can carry through a file).
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=6), children, max_size=3),
+    max_leaves=6,
+)
+
+param_dicts = st.dictionaries(st.text(min_size=1, max_size=8), json_values, max_size=3)
+
+environments = st.sampled_from(["sync", "async"])
+backends = st.sampled_from(["python", "vectorized", "auto"])
+maybe_seed = st.none() | st.integers(min_value=0, max_value=2**31)
+
+
+@st.composite
+def run_specs_strategy(draw):
+    environment = draw(environments)
+    return RunSpec(
+        protocol=draw(st.sampled_from(["mis", "coloring", "broadcast"])),
+        nodes=draw(st.integers(min_value=1, max_value=4096)),
+        graph=draw(st.none() | st.sampled_from(["path", "random_tree", "gnp_sparse"])),
+        environment=environment,
+        backend=draw(backends),
+        seed=draw(maybe_seed),
+        graph_seed=draw(maybe_seed),
+        adversary=(
+            draw(st.none() | st.sampled_from(["uniform", "bursty"]))
+            if environment == "async"
+            else None
+        ),
+        adversary_seed=draw(maybe_seed),
+        protocol_params=draw(param_dicts),
+        graph_params=draw(param_dicts),
+        adversary_params=draw(param_dicts),
+        inputs=draw(param_dicts),
+        max_rounds=draw(st.integers(min_value=1, max_value=10**9)),
+        max_events=draw(st.integers(min_value=1, max_value=10**9)),
+    )
+
+
+class TestRunSpecRoundTrip:
+    @COMMON
+    @given(spec=run_specs_strategy())
+    def test_dict_round_trip_is_lossless(self, spec):
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    @COMMON
+    @given(spec=run_specs_strategy())
+    def test_json_round_trip_is_lossless(self, spec):
+        hypothesis.assume(_json_clean(spec))
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert RunSpec.from_dict(payload) == spec
+
+    @COMMON
+    @given(spec=run_specs_strategy())
+    def test_workload_key_is_hashable_and_stable(self, spec):
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert hash(spec.workload_key()) == hash(rebuilt.workload_key())
+        assert spec.workload_key() == rebuilt.workload_key()
+
+
+def _json_clean(spec) -> bool:
+    """Whether the spec's params survive JSON textually (no int-keyed dicts,
+    no float/int aliasing like ``1`` vs ``1.0`` inside containers)."""
+    payload = spec.to_dict()
+    try:
+        return json.loads(json.dumps(payload)) == payload
+    except (TypeError, ValueError):
+        return False
+
+
+class TestSeedPolicySharding:
+    """Derived seeds are pure functions of their coordinates.
+
+    This is the whole determinism argument of pooled execution: any
+    partition of a workload over workers computes the same seeds the serial
+    loop computes, in any order.
+    """
+
+    @COMMON
+    @given(
+        base=st.integers(min_value=0, max_value=2**31),
+        repetitions=st.integers(min_value=1, max_value=32),
+    )
+    def test_repetition_shards_reproduce_the_serial_seeds(self, base, repetitions):
+        spec = RunSpec(protocol="mis", nodes=8, seed=base)
+        shards = shard_repetition_specs(spec, repetitions)
+        policy = SeedPolicy(base)
+        assert [shard.seed for shard in shards] == [
+            policy.repetition_seed(i) for i in range(repetitions)
+        ]
+        assert len({shard.graph_seed for shard in shards}) == 1
+
+    @COMMON
+    @given(
+        base=st.integers(min_value=0, max_value=2**31),
+        family=st.text(min_size=1, max_size=12),
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=10**6), min_size=1, max_size=6
+        ),
+        repetitions=st.integers(min_value=1, max_value=6),
+    )
+    def test_cell_seeds_do_not_depend_on_evaluation_order(
+        self, base, family, sizes, repetitions
+    ):
+        policy = SeedPolicy(base)
+        forward = [
+            policy.sweep_cell(family, size, rep)
+            for size in sizes
+            for rep in range(repetitions)
+        ]
+        backward = [
+            policy.sweep_cell(family, size, rep)
+            for size in reversed(sizes)
+            for rep in reversed(range(repetitions))
+        ]
+        assert forward == list(reversed(backward))
+
+    @COMMON
+    @given(
+        base=st.integers(min_value=0, max_value=2**31),
+        family=st.text(min_size=1, max_size=12),
+        size=st.integers(min_value=1, max_value=10**6),
+        repetition=st.integers(min_value=0, max_value=8),
+        adversaries=st.lists(
+            st.none() | st.text(min_size=1, max_size=12),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+    )
+    def test_async_cells_share_the_graph_across_adversaries(
+        self, base, family, size, repetition, adversaries
+    ):
+        policy = SeedPolicy(base)
+        cells = [
+            policy.async_sweep_cell(family, size, repetition, adversary)
+            for adversary in adversaries
+        ]
+        # One graph per (family, size, repetition) — the sync rule's seed —
+        # regardless of the adversary axis.
+        sync_graph_seed = policy.sweep_cell(family, size, repetition).graph_seed
+        assert {cell.graph_seed for cell in cells} == {sync_graph_seed}
+
+    @COMMON
+    @given(
+        base=st.integers(min_value=0, max_value=2**31),
+        family=st.text(min_size=1, max_size=12),
+        size=st.integers(min_value=1, max_value=10**6),
+        repetition=st.integers(min_value=0, max_value=8),
+        adversary=st.text(min_size=1, max_size=12),
+    )
+    def test_async_run_seed_is_deterministic_and_adversary_mixed(
+        self, base, family, size, repetition, adversary
+    ):
+        policy = SeedPolicy(base)
+        first = policy.async_cell_seed(family, size, repetition, adversary)
+        again = policy.async_cell_seed(family, size, repetition, adversary)
+        assert first == again
+        assert 0 <= first < 2**31

@@ -121,6 +121,88 @@ class TestTableCache:
             session.simulate(RunSpec(protocol="matching", nodes=8))
 
 
+class TestCacheAccounting:
+    """Hit/miss bookkeeping across every execution path, pooled included.
+
+    Invariant: every repetition / sweep cell / simulate call performs exactly
+    one table lookup, wherever it runs.  Serial lookups hit the parent cache
+    directly; pooled lookups happen in worker sessions whose deltas the
+    executor folds back (``absorb_worker_cache``), so ``hits + misses``
+    equals the number of units of work either way.  ``entries`` counts
+    parent-resident tables only — worker tables die with the pool.
+    """
+
+    def test_serial_trio_accounting(self):
+        session = Simulation()
+        spec = RunSpec(protocol="mis", nodes=10, seed=1)
+        session.simulate(spec)                                   # 1 lookup
+        session.repeat(spec, 3)                                  # 1 lookup
+        session.sweep(spec, sizes=[8], repetitions=2)            # 1 lookup
+        assert session.cache_info() == {"hits": 2, "misses": 1, "entries": 1}
+
+    def test_pooled_repeat_aggregates_worker_counters(self):
+        session = Simulation()
+        spec = RunSpec(protocol="mis", nodes=10, seed=1)
+        session.repeat(spec, 4, workers=2)
+        info = session.cache_info()
+        assert info["hits"] + info["misses"] == 4
+        assert 1 <= info["misses"] <= 2  # one compile per worker, at most
+        assert info["entries"] == 0  # worker tables are not parent-resident
+
+    def test_pooled_sweep_aggregates_worker_counters(self):
+        session = Simulation()
+        sweep = session.sweep(
+            RunSpec(protocol="mis", seed=1),
+            sizes=[6, 8],
+            repetitions=2,
+            workers=2,
+        )
+        info = session.cache_info()
+        assert info["hits"] + info["misses"] == len(sweep.records) == 4
+        assert info["misses"] <= 2
+
+    def test_serial_async_sweep_counts_one_lookup_per_cell(self):
+        session = Simulation()
+        sweep = session.sweep(
+            RunSpec(protocol="mis", nodes=8, seed=1, environment="async"),
+            sizes=[6],
+            adversaries=["uniform", "bursty"],
+            repetitions=2,
+        )
+        info = session.cache_info()
+        assert info["hits"] + info["misses"] == len(sweep.records) == 4
+        assert info == {"hits": 3, "misses": 1, "entries": 1}
+
+    def test_pooled_and_serial_counters_describe_the_same_workload(self):
+        spec = RunSpec(protocol="coloring", nodes=10, seed=2)
+        serial = Simulation()
+        serial.repeat(spec, 3)
+        serial.sweep(spec, sizes=[8], repetitions=2)
+        pooled = Simulation()
+        pooled.repeat(spec, 3, workers=2)
+        pooled.sweep(spec, sizes=[8], repetitions=2, workers=2)
+        # Serial pays 2 lookups (one per call); pooled pays one per unit of
+        # work — 3 repetitions + 2 cells — because each worker task looks up
+        # its own session.  Both views are internally consistent.
+        s, p = serial.cache_info(), pooled.cache_info()
+        assert s["hits"] + s["misses"] == 2
+        assert p["hits"] + p["misses"] == 5
+
+    def test_cache_key_reuse_across_object_level_runs(self):
+        session = Simulation()
+        graph = gnp_random_graph(10, 0.3, seed=1)
+        for _ in range(3):
+            session.run_protocol(
+                graph, MISProtocol(), seed=2, backend="auto", cache_key="shared"
+            )
+        assert session.cache_info() == {"hits": 2, "misses": 1, "entries": 1}
+        # A different requested backend is a different workload.
+        session.run_protocol(
+            graph, MISProtocol(), seed=2, backend="python", cache_key="shared"
+        )
+        assert session.cache_info()["entries"] == 2
+
+
 class TestRepeat:
     def test_matches_legacy_repeat_synchronous(self):
         spec = RunSpec(
@@ -205,11 +287,22 @@ class TestSweep:
         assert result.families() == ["gnp_sparse"]
         assert result.all_valid()
 
-    def test_async_sweep_rejected(self):
+    def test_async_sweep_produces_time_unit_records(self):
+        # Async sweeps (families × sizes × adversaries) subsumed the former
+        # "synchronous environment only" restriction.
         session = Simulation()
         spec = RunSpec(protocol="mis", seed=1, environment="async")
-        with pytest.raises(SpecError, match="synchronous environment"):
-            session.sweep(spec, sizes=[8])
+        sweep = session.sweep(spec, sizes=[8], repetitions=1)
+        assert len(sweep.records) == 1
+        assert sweep.records[0].rounds is None
+        assert sweep.all_valid()
+
+    def test_adversaries_axis_rejected_for_sync_spec(self):
+        session = Simulation()
+        with pytest.raises(SpecError, match="environment='async'"):
+            session.sweep(
+                RunSpec(protocol="mis", seed=1), sizes=[8], adversaries=["uniform"]
+            )
 
 
 class TestDeprecationShims:

@@ -1,0 +1,200 @@
+"""Unit tests for the multiprocess RunSpec executor.
+
+Determinism of the parity matrix lives in
+``tests/integration/test_executor_parity.py``; this module covers the
+executor's mechanics — worker-count resolution, shard derivation, ordered
+merging, structured failure surfacing (poisoned cells, dead workers,
+timeouts) and the serial fallback for unpicklable workloads.
+"""
+
+import os
+
+import pytest
+
+from repro.api import (
+    PROTOCOLS,
+    ProtocolEntry,
+    RunSpec,
+    SeedPolicy,
+    Simulation,
+    effective_workers,
+    run_specs,
+    shard_repetition_specs,
+)
+from repro.core.errors import (
+    ExecutorError,
+    OutputNotReachedError,
+    WorkerCrashError,
+)
+from repro.graphs.generators import path_graph
+
+
+class TestEffectiveWorkers:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert effective_workers(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert effective_workers(None) == 2
+
+    def test_serial_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert effective_workers(None) == 1
+
+    def test_garbage_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert effective_workers(None) == 1
+
+    def test_floor_at_one(self):
+        assert effective_workers(0) == 1
+        assert effective_workers(-4) == 1
+
+
+class TestShardRepetitionSpecs:
+    def test_seeds_follow_the_serial_rule(self):
+        spec = RunSpec(protocol="mis", nodes=16, seed=5)
+        shards = shard_repetition_specs(spec, 4)
+        policy = SeedPolicy(5)
+        assert [shard.seed for shard in shards] == [
+            policy.repetition_seed(i) for i in range(4)
+        ]
+
+    def test_graph_seed_pinned_to_base(self):
+        spec = RunSpec(protocol="mis", nodes=16, seed=5)
+        shards = shard_repetition_specs(spec, 3)
+        assert all(shard.graph_seed == 5 for shard in shards)
+        explicit = shard_repetition_specs(spec.replace(graph_seed=9), 3)
+        assert all(shard.graph_seed == 9 for shard in explicit)
+
+    def test_shards_round_trip_through_dicts(self):
+        spec = RunSpec(
+            protocol="broadcast", nodes=8, graph="path", seed=2, inputs={"source": 1}
+        )
+        for shard in shard_repetition_specs(spec, 3):
+            assert RunSpec.from_dict(shard.to_dict()) == shard
+
+
+class TestRunSpecs:
+    def test_results_merge_in_spec_order(self):
+        specs = [RunSpec(protocol="mis", nodes=8, seed=seed) for seed in (4, 1, 3)]
+        results = run_specs(specs, workers=2)
+        assert [result.seed for result in results] == [4, 1, 3]
+
+    def test_pooled_matches_serial(self):
+        specs = [RunSpec(protocol="mis", nodes=12, seed=seed) for seed in range(3)]
+        serial = run_specs(specs, workers=1)
+        pooled = run_specs(specs, workers=2)
+        assert [r.summary_fields() for r in serial] == [
+            r.summary_fields() for r in pooled
+        ]
+
+    def test_poisoned_spec_surfaces_as_structured_error(self):
+        specs = [RunSpec(protocol="mis", nodes=8, seed=0)] * 2 + [
+            RunSpec(protocol="mis", nodes=8, seed=0, protocol_params={"bogus": 1})
+        ]
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run_specs(specs, workers=2)
+        error = excinfo.value
+        assert error.spec is not None and error.spec["protocol"] == "mis"
+        assert "bogus" in (error.worker_traceback or "")
+
+    def test_timeout_propagates_with_partial_result(self):
+        specs = [RunSpec(protocol="mis", nodes=16, seed=0, max_rounds=1)] * 2
+        with pytest.raises(OutputNotReachedError) as excinfo:
+            run_specs(specs, workers=2, raise_on_timeout=True)
+        assert excinfo.value.result is not None
+
+    def test_worker_cache_counters_flow_into_the_session(self):
+        session = Simulation()
+        specs = [RunSpec(protocol="mis", nodes=8, seed=seed) for seed in range(4)]
+        run_specs(specs, workers=2, session=session)
+        info = session.cache_info()
+        # Every task performs exactly one table lookup in its worker; the
+        # split between hits and misses depends on task placement, the total
+        # does not.  Parent-resident entries stay untouched.
+        assert info["hits"] + info["misses"] == 4
+        assert info["misses"] >= 1
+        assert info["entries"] == 0
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="worker-death injection needs the fork start method",
+)
+class TestWorkerDeath:
+    def test_dead_worker_is_a_structured_error_not_a_hang(self):
+        class Lethal:
+            def __init__(self):
+                os._exit(13)
+
+        PROTOCOLS.register(
+            "lethal-test-protocol",
+            ProtocolEntry(name="lethal-test-protocol", title="dies", factory=Lethal),
+        )
+        try:
+            specs = [RunSpec(protocol="lethal-test-protocol", nodes=4, seed=0)] * 2
+            with pytest.raises(WorkerCrashError, match="worker process died"):
+                run_specs(specs, workers=2)
+        finally:
+            PROTOCOLS.unregister("lethal-test-protocol")
+
+
+class TestSerialFallback:
+    def test_env_workers_fall_back_for_unpicklable_payloads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        session = Simulation()
+        sweep = session.sweep(
+            RunSpec(protocol="mis", seed=1),
+            families={"lam": lambda n, seed=None: path_graph(n)},
+            sizes=[6],
+            repetitions=2,
+        )
+        assert len(sweep.records) == 2
+        assert sweep.all_valid()
+
+    def test_explicit_workers_reject_unpicklable_payloads(self):
+        session = Simulation()
+        with pytest.raises(ExecutorError, match="picklable"):
+            session.sweep(
+                RunSpec(protocol="mis", seed=1),
+                families={"lam": lambda n, seed=None: path_graph(n)},
+                sizes=[6],
+                repetitions=2,
+                workers=2,
+            )
+
+    def test_single_task_stays_serial(self):
+        session = Simulation()
+        results = session.repeat(RunSpec(protocol="mis", nodes=8, seed=1), 1, workers=4)
+        assert len(results) == 1
+        # The parent session compiled (serial path), so the miss is local.
+        assert session.cache_info()["entries"] == 1
+
+    def test_fully_unseeded_specs_stay_serial(self):
+        # seed=None + graph_seed=None builds a fresh random graph per
+        # process, which no sharding can reproduce — the repeat must run
+        # serially on one shared graph even when a pool was requested.
+        session = Simulation()
+        spec = RunSpec(protocol="mis", nodes=16, seed=None)
+        results = session.repeat(spec, 3, workers=2)
+        assert len({id(result.graph) for result in results}) == 1
+        # A pinned graph seed makes the workload shardable again.
+        pooled = Simulation().repeat(spec.replace(graph_seed=7), 3, workers=2)
+        serial = Simulation().repeat(spec.replace(graph_seed=7), 3)
+        assert [r.graph for r in pooled] == [r.graph for r in serial]
+
+    def test_serial_failures_raise_the_original_exception(self):
+        # The structured WorkerCrashError wrapping is for failures that
+        # crossed a process boundary; in-process execution must surface
+        # the original exception type for callers to catch.
+        def exploding_validator(graph, result):
+            raise ValueError("validator boom")
+
+        with pytest.raises(ValueError, match="validator boom"):
+            Simulation().sweep(
+                RunSpec(protocol="mis", seed=1, environment="async"),
+                sizes=[6],
+                repetitions=1,
+                validator=exploding_validator,
+            )

@@ -1,0 +1,96 @@
+"""Census tests for the built-in registries.
+
+The registries are the naming layer everything spec-driven rests on — specs,
+the CLI's generic ``run`` command and the multiprocess executor all resolve
+workloads by name.  These tests pin the full built-in census so a lost
+registration (e.g. an import refactor dropping a baseline) fails loudly, and
+check the structural invariants every entry must satisfy.
+"""
+
+from repro.api import ADVERSARIES, GRAPH_FAMILIES, PROTOCOLS, RunSpec, Simulation
+
+EXPECTED_PROTOCOLS = {
+    # The paper's nFSM protocols (spec-runnable).
+    "mis",
+    "coloring",
+    "broadcast",
+    # Reductions and stronger-model baselines (custom runners).
+    "matching",
+    "luby",
+    "beeping-sop",
+    "cole-vishkin",
+    # Centralized references.
+    "greedy-mis",
+    "greedy-coloring",
+    "greedy-matching",
+}
+
+EXPECTED_FAMILIES = {
+    "path",
+    "cycle",
+    "star",
+    "binary_tree",
+    "random_tree",
+    "grid",
+    "gnp_sparse",
+    "gnp_dense",
+    "complete",
+}
+
+EXPECTED_ADVERSARIES = {
+    "synchronous",
+    "uniform",
+    "exponential",
+    "skewed-rates",
+    "bursty",
+    "targeted-laggard",
+}
+
+
+class TestCensus:
+    def test_protocol_census(self):
+        assert set(PROTOCOLS.names()) == EXPECTED_PROTOCOLS
+
+    def test_graph_family_census(self):
+        assert set(GRAPH_FAMILIES.names()) == EXPECTED_FAMILIES
+
+    def test_adversary_census(self):
+        assert set(ADVERSARIES.names()) == EXPECTED_ADVERSARIES
+
+
+class TestEntryInvariants:
+    def test_every_entry_is_runnable_or_has_a_runner(self):
+        for name, entry in PROTOCOLS.items():
+            assert entry.name == name
+            assert entry.spec_runnable or entry.runner is not None
+
+    def test_default_families_are_registered(self):
+        for _, entry in PROTOCOLS.items():
+            assert entry.default_family in GRAPH_FAMILIES
+
+    def test_adversary_factories_build_named_policies(self):
+        for name, factory in ADVERSARIES.items():
+            assert factory().name == name
+
+
+class TestBaselineRunners:
+    """Every runner entry executes through the CLI contract:
+    ``runner(session, spec, graph) -> (fields, valid, result_or_None)``."""
+
+    def test_runner_entries_produce_valid_solutions(self):
+        session = Simulation()
+        for name, entry in PROTOCOLS.items():
+            if entry.runner is None:
+                continue
+            spec = RunSpec(protocol=name, nodes=24, seed=3)
+            graph = spec.build_graph()
+            fields, valid, _ = entry.runner(session, spec, graph)
+            assert valid, f"baseline {name!r} produced an invalid solution"
+            assert fields, f"baseline {name!r} reported no fields"
+
+    def test_cole_vishkin_uses_three_colors(self):
+        entry = PROTOCOLS.get("cole-vishkin")
+        spec = RunSpec(protocol="cole-vishkin", nodes=60, seed=1)
+        fields, valid, _ = entry.runner(Simulation(), spec, spec.build_graph())
+        assert valid
+        assert set(fields["colors used"]) <= {0, 1, 2}
