@@ -1,0 +1,94 @@
+"""Result store: warm replay of an E1-style sweep versus cold execution.
+
+The content-addressable store (`repro/api/store.py`) answers a seeded
+workload from disk instead of re-running engines, so the warm replay of a
+sweep should cost JSON decoding, not simulation.  The pytest-benchmark
+half times the warm replay (and tags the run's store counters into
+``extra_info`` so the perf-trajectory log carries hit/miss history); the
+wall-clock half measures the cold/warm ratio on an interpreted-backend
+sweep and soft-asserts the headline win.  Correctness is asserted hard
+either way: zero engine runs and bitwise-identical records on every warm
+pass.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import ExperimentReport
+from repro.api import RunSpec, Simulation
+from repro.core.counters import engine_runs
+
+from speedup import soft_assert_speedup
+
+STORE_SPEEDUP_TARGET = 3.0
+
+SWEEP_KWARGS = {
+    "families": ["gnp_sparse", "random_tree"],
+    "sizes": [64, 128, 256],
+    "repetitions": 2,
+}
+
+
+def _sweep(store):
+    # backend="python" keeps each cell CPU-bound, as in the executor bench.
+    return Simulation(store=store).sweep(
+        RunSpec(protocol="mis", seed=1, backend="python"), **SWEEP_KWARGS
+    )
+
+
+def test_bench_warm_store_replay(benchmark, tmp_path):
+    store = tmp_path / "store"
+    cold = _sweep(store)
+
+    def replay():
+        return _sweep(store)
+
+    warm = benchmark(replay)
+    assert warm.records == cold.records
+
+    stats = Simulation(store=store).store.stats()
+    benchmark.extra_info["store"] = stats
+    benchmark.extra_info["cells"] = len(cold.records)
+    assert stats["entries"] == len(cold.records)
+
+
+def test_bench_store_cold_vs_warm_speedup(tmp_path, experiment_recorder):
+    store = tmp_path / "store"
+
+    start = time.perf_counter()
+    cold = _sweep(store)
+    cold_time = time.perf_counter() - start
+
+    engines_before = engine_runs()
+    start = time.perf_counter()
+    warm = _sweep(store)
+    warm_time = time.perf_counter() - start
+
+    # Correctness is hard: warm replay executes nothing and changes nothing.
+    assert engine_runs() == engines_before
+    assert warm.records == cold.records
+
+    ratio = cold_time / warm_time
+    report = ExperimentReport(
+        experiment_id="STORE",
+        title="Result store: warm replay of an E1-style sweep",
+        paper_claim="seeded runs are pure functions of their spec — cache them",
+        headers=["cells", "cold s", "warm s", "speedup", "engine runs (warm)"],
+    )
+    report.add_row(
+        len(cold.records),
+        round(cold_time, 2),
+        round(warm_time, 3),
+        round(ratio, 1),
+        0,
+    )
+    report.conclusion = (
+        f"{len(cold.records)} cells replayed from the store in {warm_time:.3f}s "
+        f"({ratio:.1f}x vs cold), zero engine executions, records bitwise-identical"
+    )
+    report.passed = True
+    experiment_recorder(report)
+    soft_assert_speedup(
+        ratio, "warm store replay of E1-style sweep", target=STORE_SPEEDUP_TARGET
+    )

@@ -29,12 +29,17 @@ def headline(bench_json: dict, source: str) -> dict:
     benchmarks = {}
     for bench in bench_json.get("benchmarks", []):
         stats = bench.get("stats", {})
-        benchmarks[bench.get("fullname", bench.get("name", "?"))] = {
+        entry = {
             "min": stats.get("min"),
             "mean": stats.get("mean"),
             "stddev": stats.get("stddev"),
             "rounds": stats.get("rounds"),
         }
+        # Benchmarks tag structured counters (e.g. the result store's
+        # hit/miss stats) into extra_info; carry them into the trajectory.
+        if bench.get("extra_info"):
+            entry["extra_info"] = bench["extra_info"]
+        benchmarks[bench.get("fullname", bench.get("name", "?"))] = entry
     return {
         "source": source,
         "datetime": bench_json.get("datetime"),

@@ -68,6 +68,7 @@ def experiment_mis_scaling(
     base_seed: int = 1,
     backend: str = "auto",
     workers: int | None = None,
+    store: "str | None" = None,
 ) -> ExperimentReport:
     """Measure MIS rounds against n and classify the growth (E1).
 
@@ -76,9 +77,11 @@ def experiment_mis_scaling(
     practical; results are seed-for-seed identical to the interpreter.
     ``workers`` shards the sweep cells over a process pool — every record is
     bitwise-identical to serial execution (see :mod:`repro.api.executor`).
+    ``store`` attaches a persistent result store: a rerun of the same
+    workload replays every cell from the store with zero engine executions.
     """
     sizes = list(sizes) if sizes is not None else geometric_sizes(16, 1024)
-    sweep = Simulation().sweep(
+    sweep = Simulation(store=store).sweep(
         RunSpec(protocol="mis", seed=base_seed, backend=backend),
         families=MIS_FAMILIES,
         sizes=sizes,
@@ -120,10 +123,14 @@ def experiment_coloring_scaling(
     base_seed: int = 2,
     backend: str = "auto",
     workers: int | None = None,
+    store: "str | None" = None,
 ) -> ExperimentReport:
-    """Measure tree-coloring rounds against n and classify the growth (E2)."""
+    """Measure tree-coloring rounds against n and classify the growth (E2).
+
+    ``store`` attaches a persistent result store (see E1).
+    """
     sizes = list(sizes) if sizes is not None else geometric_sizes(16, 2048)
-    sweep = Simulation().sweep(
+    sweep = Simulation(store=store).sweep(
         RunSpec(protocol="coloring", seed=base_seed, backend=backend),
         families=TREE_FAMILIES,
         sizes=sizes,
@@ -178,6 +185,7 @@ def experiment_synchronizer_overhead(
     base_seed: int = 3,
     backend: str = "auto",
     workers: int | None = None,
+    store: "str | None" = None,
 ) -> ExperimentReport:
     """Compare synchronous rounds against asynchronous time units (E3).
 
@@ -207,7 +215,10 @@ def experiment_synchronizer_overhead(
     backend_notes = set()
     # One session for the whole experiment: compiled tables (sync and async
     # flavours) stay warm across both protocols' sweeps and the lockstep legs.
-    session = Simulation()
+    # With a store, the registry-family sweeps (path broadcast) are served
+    # from it on reruns; the custom G(n, 0.4) cells are not spec-describable
+    # and bypass the store by design.
+    session = Simulation(store=store)
     policy = SeedPolicy(base_seed)
     compiled_mis = compile_to_asynchronous(MISProtocol())
 

@@ -48,6 +48,13 @@ from repro.api.registry import (
 from repro.api.seeds import CellSeeds, SeedPolicy
 from repro.api.spec import ENVIRONMENTS, RunSpec
 from repro.api.session import Simulation
+from repro.api.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    canonical_spec_json,
+    spec_cacheable,
+    spec_hash,
+)
 from repro.api import builtins as _builtins  # noqa: F401  (populates the registries)
 
 __all__ = [
@@ -55,17 +62,22 @@ __all__ = [
     "ENVIRONMENTS",
     "GRAPH_FAMILIES",
     "PROTOCOLS",
+    "STORE_SCHEMA_VERSION",
     "WORKERS_ENV",
     "CellSeeds",
     "ProtocolEntry",
     "Registry",
+    "ResultStore",
     "RunSpec",
     "SeedPolicy",
     "Simulation",
+    "canonical_spec_json",
     "effective_workers",
     "register_adversary",
     "register_graph_family",
     "register_protocol",
     "run_specs",
     "shard_repetition_specs",
+    "spec_cacheable",
+    "spec_hash",
 ]

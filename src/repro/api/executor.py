@@ -143,6 +143,7 @@ class TaskOutcome:
     timeout: Any = None
     cache_hits: int = 0
     cache_misses: int = 0
+    store_writes: int = 0
 
 
 @dataclass(frozen=True)
@@ -153,6 +154,12 @@ class SpecTask:
     SweepRecord` instead of the raw :class:`~repro.core.results.
     ExecutionResult` — that is how sweep cells travel (the graph and result
     stay inside the worker; only the plain-data record crosses back).
+
+    ``store`` optionally names a result-store root directory: the executing
+    side then persists the cell's result into that store after running it
+    (see :mod:`repro.api.store`).  Workers only ever *write* — the parent
+    filters store hits out of the task list before dispatching, so misses
+    are counted exactly once, on the parent's handle.
     """
 
     spec: dict[str, Any]
@@ -162,6 +169,7 @@ class SpecTask:
     validator: Callable[..., bool] | None = None
     inputs_for: Callable[..., Any] | None = None
     extra_metrics: Callable[..., dict[str, Any]] | None = field(default=None)
+    store: str | None = None
 
 
 #: The one long-lived session of a worker process; its compiled-table cache
@@ -188,6 +196,12 @@ def _execute_task(task: SpecTask, session) -> Any:
     return run_sweep_cell(task, spec, session)
 
 
+def _store_write_delta(session, baseline: int) -> int:
+    """Store writes this task produced (the store may appear mid-task)."""
+    store = getattr(session, "store", None)
+    return store.writes - baseline if store is not None else 0
+
+
 def run_task(task: SpecTask, session=None) -> TaskOutcome:
     """Execute *task*, catching failures into a structured outcome.
 
@@ -198,6 +212,8 @@ def run_task(task: SpecTask, session=None) -> TaskOutcome:
     if session is None:
         session = _worker_session()
     hits, misses = session.cache_hits, session.cache_misses
+    store = getattr(session, "store", None)
+    writes = store.writes if store is not None else 0
     try:
         value = _execute_task(task, session)
     except OutputNotReachedError as exc:
@@ -205,6 +221,7 @@ def run_task(task: SpecTask, session=None) -> TaskOutcome:
             timeout=(str(exc), exc.result),
             cache_hits=session.cache_hits - hits,
             cache_misses=session.cache_misses - misses,
+            store_writes=_store_write_delta(session, writes),
         )
     except Exception as exc:  # noqa: BLE001 — every failure must cross back
         return TaskOutcome(
@@ -216,11 +233,13 @@ def run_task(task: SpecTask, session=None) -> TaskOutcome:
             },
             cache_hits=session.cache_hits - hits,
             cache_misses=session.cache_misses - misses,
+            store_writes=_store_write_delta(session, writes),
         )
     return TaskOutcome(
         value=value,
         cache_hits=session.cache_hits - hits,
         cache_misses=session.cache_misses - misses,
+        store_writes=_store_write_delta(session, writes),
     )
 
 
@@ -295,6 +314,11 @@ def _merge_outcomes(outcomes: list[TaskOutcome], session) -> list[Any]:
             sum(outcome.cache_hits for outcome in outcomes),
             sum(outcome.cache_misses for outcome in outcomes),
         )
+        store = getattr(session, "store", None)
+        if store is not None:
+            store.absorb_worker_writes(
+                sum(outcome.store_writes for outcome in outcomes)
+            )
     for outcome in outcomes:
         if outcome.error is not None:
             error = outcome.error
@@ -325,15 +349,84 @@ def run_specs(
     ``session.simulate`` on each spec serially.  Pass a
     :class:`~repro.api.Simulation` *session* to aggregate worker cache
     counters into it (a throwaway session is used otherwise).
+
+    When the session has a result store attached, store hits are filtered
+    out *before* dispatch — a fully warm workload touches no pool and runs
+    no engines — and every freshly computed seeded result is persisted.
+    With ``raise_on_timeout`` the store path raises the first (in spec
+    order) non-terminating result's error after all specs have executed,
+    so a timeout does not forfeit the caching of the other results.
     """
     if session is None:
         from repro.api.session import Simulation
 
         session = Simulation()
+    count = effective_workers(workers)
+    store = getattr(session, "store", None)
+    if store is not None and count > 1 and len(specs) > 1:
+        return _run_specs_stored(
+            specs,
+            count,
+            session,
+            store,
+            raise_on_timeout=raise_on_timeout,
+            explicit=workers is not None,
+        )
+    # Serial (and storeless) dispatch: ``session.simulate`` already does the
+    # store bookkeeping itself, one spec at a time.
     tasks = [
         SpecTask(spec=spec.to_dict(), raise_on_timeout=raise_on_timeout)
         for spec in specs
     ]
     return execute_tasks(
-        tasks, workers=workers, session=session, explicit_workers=workers is not None
+        tasks, workers=count, session=session, explicit_workers=workers is not None
     )
+
+
+def _run_specs_stored(
+    specs: Sequence[RunSpec],
+    count: int,
+    session,
+    store,
+    *,
+    raise_on_timeout: bool,
+    explicit: bool,
+) -> list:
+    """Pooled :func:`run_specs` against a result store (hits pre-filtered)."""
+    from repro.api import store as _store
+
+    results: list = [None] * len(specs)
+    missing: list[int] = []
+    for index, spec in enumerate(specs):
+        if not _store.spec_cacheable(spec):
+            store.note_bypass()
+            missing.append(index)
+            continue
+        cached = _store.fetch(store, spec)
+        if cached is None:
+            missing.append(index)
+        else:
+            results[index] = cached
+    if missing:
+        miss_specs = [specs[index] for index in missing]
+        if len(missing) > 1:
+            tasks = [
+                SpecTask(spec=spec.to_dict(), raise_on_timeout=False)
+                for spec in miss_specs
+            ]
+            values = execute_tasks(
+                tasks, workers=count, session=session, explicit_workers=explicit
+            )
+        else:
+            values = [
+                session._execute_spec(spec, raise_on_timeout=False)
+                for spec in miss_specs
+            ]
+        for index, value in zip(missing, values):
+            results[index] = value
+            _store.stash(store, specs[index], value)
+    if raise_on_timeout:
+        for spec, result in zip(specs, results):
+            if not result.reached_output:
+                raise OutputNotReachedError(_store.timeout_message(spec), result)
+    return results

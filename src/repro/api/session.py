@@ -24,6 +24,7 @@ registry name.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -96,9 +97,12 @@ def run_sweep_cell(task, spec: RunSpec, session: "Simulation"):
     only on the spec's fully derived seeds, never on which process ran it.
     The compiled table comes from *session*'s cache keyed by the workload,
     so all cells of a sweep share one compile per process.
-    """
-    from repro.analysis.sweep import SweepRecord
 
+    A task carrying a ``store`` path persists the cell's execution result
+    into that result store *where the cell ran* — inside the worker for
+    pooled dispatch — so graph and result never cross the process boundary
+    just to be cached; only the write count travels back.
+    """
     if task.graph_factory is not None:
         graph = task.graph_factory(spec.nodes, spec.graph_seed)
     else:
@@ -135,6 +139,25 @@ def run_sweep_cell(task, spec: RunSpec, session: "Simulation"):
             backend=spec.backend,
             table=table,
         )
+    if getattr(task, "store", None) is not None:
+        from repro.api import store as _store
+
+        if session.store is None:
+            session.store = _store.ResultStore(task.store)
+        _store.stash(session.store, spec, result)
+    return build_sweep_record(task, spec, graph, result)
+
+
+def build_sweep_record(task, spec: RunSpec, graph, result):
+    """Assemble one cell's :class:`~repro.analysis.sweep.SweepRecord`.
+
+    Shared by the live execution path and the store-hit path, so a cached
+    cell reconstructs its record through the same validator /
+    extra-metrics calls a fresh run would make — records are identical
+    whichever path produced them.
+    """
+    from repro.analysis.sweep import SweepRecord
+
     valid = result.reached_output and (
         task.validator is None or task.validator(graph, result)
     )
@@ -185,12 +208,33 @@ class Simulation:
     >>> result = session.simulate(RunSpec(protocol="mis", nodes=64, seed=7))
     >>> result.reached_output
     True
+
+    ``store=`` (a :class:`~repro.api.store.ResultStore` or a directory
+    path; ``cache_dir=`` is the path-only spelling) attaches a persistent
+    content-addressable result cache: every seeded spec executed through
+    ``simulate()`` / ``repeat()`` / ``sweep()`` is first looked up by its
+    canonical hash and only runs the engines on a miss — a fully warm
+    store replays a whole sweep with *zero* engine executions, returning
+    results bitwise-identical to the cold run.  Unseeded specs always
+    bypass the store (their results are not content-addressable).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        store: "Any | None" = None,
+        cache_dir: "str | None" = None,
+    ) -> None:
         self._tables: dict[tuple, tuple] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        if store is None and cache_dir is not None:
+            store = cache_dir
+        if store is not None and isinstance(store, (str, os.PathLike)):
+            from repro.api.store import ResultStore
+
+            store = ResultStore(store)
+        self.store = store
 
     # ------------------------------------------------------------------ #
     # Compiled-table cache                                                #
@@ -205,13 +249,21 @@ class Simulation:
         """Lookups that had to compile (first sight of a workload)."""
         return self._cache_misses
 
-    def cache_info(self) -> dict[str, int]:
-        """Hit/miss counters plus the number of cached workloads."""
-        return {
+    def cache_info(self) -> dict[str, Any]:
+        """Hit/miss counters plus the number of cached workloads.
+
+        When a result store is attached, its hit/miss/bypass/write counters
+        ride along under the ``"store"`` key, so one call describes both
+        caching layers — compiled tables and persisted results.
+        """
+        info: dict[str, Any] = {
             "hits": self._cache_hits,
             "misses": self._cache_misses,
             "entries": len(self._tables),
         }
+        if self.store is not None:
+            info["store"] = self.store.stats()
+        return info
 
     def absorb_worker_cache(self, hits: int, misses: int) -> None:
         """Fold worker-pool cache counters into this session's stats.
@@ -430,6 +482,13 @@ class Simulation:
         to reuse one you already built — it must match the spec).  Compiled
         tables come from the session cache, so simulating the same workload
         twice pays the compile step once.
+
+        With a result store attached, a seeded spec is served from the
+        store when its canonical hash is present (no engine runs; the
+        result is rehydrated onto a freshly rebuilt graph and is identical
+        to a live run, including the ``OutputNotReachedError`` a
+        non-terminating cached run re-raises) and is persisted after a
+        miss.  Unseeded specs bypass the store.
         """
         entry = spec.entry()
         if not entry.spec_runnable:
@@ -437,6 +496,28 @@ class Simulation:
                 f"protocol {spec.protocol!r} is not spec-runnable (it has a "
                 f"custom runner); invoke it through the CLI or its own API"
             )
+        if self.store is None:
+            return self._execute_spec(
+                spec, graph=graph, raise_on_timeout=raise_on_timeout
+            )
+        from repro.api import store as _store
+
+        cached = _store.fetch(self.store, spec, graph=graph)
+        if cached is None:
+            cached = self._execute_spec(spec, graph=graph, raise_on_timeout=False)
+            _store.stash(self.store, spec, cached)
+        if raise_on_timeout and not cached.reached_output:
+            raise OutputNotReachedError(_store.timeout_message(spec), cached)
+        return cached
+
+    def _execute_spec(
+        self,
+        spec: RunSpec,
+        *,
+        graph: Graph | None = None,
+        raise_on_timeout: bool = True,
+    ) -> ExecutionResult:
+        """Run *spec* through the engines unconditionally (no store lookup)."""
         if graph is None:
             graph = spec.build_graph()
         inputs = spec.build_inputs(graph)
@@ -497,6 +578,14 @@ class Simulation:
         entry = spec.entry()
         if not entry.spec_runnable:
             raise SpecError(f"protocol {spec.protocol!r} is not spec-runnable")
+        if self.store is not None:
+            from repro.api import store as _store
+
+            if _store.spec_cacheable(spec):
+                return self._repeat_stored(
+                    spec, repetitions, raise_on_timeout=raise_on_timeout, workers=workers
+                )
+            self.store.note_bypass()
         count = _executor.effective_workers(workers)
         if count > 1 and repetitions > 1 and _executor.spec_shardable(spec):
             shards = _executor.shard_repetition_specs(spec, repetitions)
@@ -551,6 +640,65 @@ class Simulation:
             for repetition in range(repetitions)
         ]
 
+    def _repeat_stored(
+        self,
+        spec: RunSpec,
+        repetitions: int,
+        *,
+        raise_on_timeout: bool,
+        workers: int | None,
+    ) -> list[ExecutionResult]:
+        """``repeat()`` against the result store.
+
+        Every repetition is a fully derived shard spec (the same derivation
+        pooled dispatch uses, bitwise-identical to serial execution), so
+        each shard is looked up independently: hits are rehydrated, misses
+        run — pooled when ``workers`` asks for it — and are persisted.  A
+        fully warm store answers the whole call with zero engine runs.
+        Unlike the storeless serial path, a timeout surfaces after all
+        repetitions executed (they are cached either way); the raised
+        error is the first non-terminating repetition's, as before.
+        """
+        from repro.api import store as _store
+
+        shards = _executor.shard_repetition_specs(spec, repetitions)
+        results: list[ExecutionResult | None] = [None] * repetitions
+        graph: Graph | None = None
+        missing: list[int] = []
+        for index, shard in enumerate(shards):
+            if graph is None:
+                graph = shard.build_graph()
+            results[index] = _store.fetch(self.store, shard, graph=graph)
+            if results[index] is None:
+                missing.append(index)
+        if missing:
+            count = _executor.effective_workers(workers)
+            miss_shards = [shards[index] for index in missing]
+            if count > 1 and len(missing) > 1:
+                tasks = [
+                    _executor.SpecTask(spec=shard.to_dict(), raise_on_timeout=False)
+                    for shard in miss_shards
+                ]
+                values = _executor.execute_tasks(
+                    tasks,
+                    workers=count,
+                    session=self,
+                    explicit_workers=workers is not None,
+                )
+            else:
+                values = [
+                    self._execute_spec(shard, graph=graph, raise_on_timeout=False)
+                    for shard in miss_shards
+                ]
+            for index, result in zip(missing, values):
+                results[index] = result
+                _store.stash(self.store, shards[index], result)
+        if raise_on_timeout:
+            for result in results:
+                if not result.reached_output:
+                    raise OutputNotReachedError(_store.timeout_message(spec), result)
+        return results
+
     def sweep(
         self,
         spec: RunSpec,
@@ -601,10 +749,21 @@ class Simulation:
             families = {name: GRAPH_FAMILIES.get(name) for name in families}
         if validator is None:
             validator = entry.validator
+        custom_inputs = inputs_for is not None
         if inputs_for is None and entry.inputs_factory is not None:
             inputs_for = _RegistryInputs(spec.protocol, dict(spec.inputs))
         count = _executor.effective_workers(workers)
-        if spec.environment == "sync" and count <= 1:
+        use_store = False
+        if self.store is not None:
+            from repro.api import store as _store
+
+            # A caller-supplied inputs rule shapes the execution result but
+            # is invisible to the spec hash, so such sweeps bypass the store
+            # (registry-default inputs are a pure function of the spec).
+            use_store = _store.spec_cacheable(spec) and not custom_inputs
+            if not use_store:
+                self.store.note_bypass()
+        if spec.environment == "sync" and count <= 1 and not use_store:
             # The historical serial path: one shared warm table, records
             # bitwise-identical to the legacy harness.
             bundle = self._sync_bundle(
@@ -633,17 +792,69 @@ class Simulation:
             inputs_for=inputs_for,
             extra_metrics=extra_metrics,
         )
-        records = _executor.execute_tasks(
-            tasks,
-            workers=count,
-            session=self,
-            explicit_workers=workers is not None,
-        )
+        if use_store:
+            records = self._run_stored_cells(
+                tasks, count, explicit=workers is not None
+            )
+        else:
+            records = _executor.execute_tasks(
+                tasks,
+                workers=count,
+                session=self,
+                explicit_workers=workers is not None,
+            )
         from repro.analysis.sweep import SweepResult
 
         return SweepResult(
             protocol_name=spec.build_protocol().name, records=records
         )
+
+    def _run_stored_cells(self, tasks: list, count: int, *, explicit: bool) -> list:
+        """Execute sweep-cell *tasks* against the result store.
+
+        Hits are rehydrated parent-side into sweep records (the validator
+        and metrics re-run on the rebuilt graph, so records stay live
+        objects); misses are re-dispatched — serial or pooled — with the
+        store root attached, so the executing side persists each cell where
+        it runs.  Cells with custom graph factories are not spec-describable
+        and bypass the store entirely.
+        """
+        import dataclasses
+
+        from repro.api import store as _store
+
+        records: list = [None] * len(tasks)
+        missing: list[int] = []
+        for index, task in enumerate(tasks):
+            if task.graph_factory is not None:
+                self.store.note_bypass()
+                missing.append(index)
+                continue
+            cell_spec = RunSpec.from_dict(task.spec)
+            graph = cell_spec.build_graph()
+            cached = _store.fetch(self.store, cell_spec, graph=graph)
+            if cached is None:
+                missing.append(index)
+            else:
+                records[index] = build_sweep_record(task, cell_spec, graph, cached)
+        if missing:
+            store_root = str(self.store.root)
+            miss_tasks = [
+                dataclasses.replace(
+                    tasks[index],
+                    store=None if tasks[index].graph_factory is not None else store_root,
+                )
+                for index in missing
+            ]
+            values = _executor.execute_tasks(
+                miss_tasks,
+                workers=count,
+                session=self,
+                explicit_workers=explicit,
+            )
+            for index, record in zip(missing, values):
+                records[index] = record
+        return records
 
     def _plan_sweep_cells(
         self,

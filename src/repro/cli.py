@@ -13,8 +13,19 @@ flags and executes it through a :class:`repro.api.Simulation` session::
     python -m repro run mis --repetitions 8 --workers 4   # pooled repeats
     python -m repro run --list                    # registry census
     python -m repro run --spec workload.json      # serialized RunSpec
+    python -m repro run mis -r 6 --store cache/   # content-addressed results
     python -m repro experiment E1 --quick --workers 4
     python -m repro census
+    python -m repro serve --store cache/          # spec job service (HTTP)
+    python -m repro store stats cache/
+    python -m repro store gc cache/ --max-entries 1000
+
+``--store DIR`` attaches a persistent content-addressable result store:
+seeded runs whose canonical spec hash is already in DIR are served without
+executing the engines, byte-identical to the original run; fresh results
+are persisted for the next invocation.  ``serve`` exposes the same store
+as an HTTP job service (POST a RunSpec JSON to ``/jobs``), and ``store
+stats`` / ``store gc`` inspect and bound the cache directory.
 
 ``--repetitions R`` runs the spec R times with derived seeds and reports the
 aggregate; ``--workers N`` dispatches those repetitions (and the sweeps of
@@ -198,7 +209,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.show_spec:
             print(json.dumps(spec.to_dict(), indent=2))
             return 0
-        session = Simulation()
+        session = Simulation(store=getattr(args, "store", None))
         if repetitions > 1:
             return _run_repeated(session, spec, entry, repetitions, workers, args.json)
         graph = spec.build_graph()
@@ -242,7 +253,13 @@ def _run_repeated(
     workers: int | None,
     as_json: bool,
 ) -> int:
-    """Execute ``--repetitions R`` derived-seed runs (optionally pooled)."""
+    """Execute ``--repetitions R`` derived-seed runs (optionally pooled).
+
+    The aggregate report includes the session's cache accounting — compiled
+    table hits/misses and, when ``--store`` attached a result store, its
+    hit/miss/bypass/write counters — so scripted callers can assert cold
+    and warm behaviour straight off ``--json`` output.
+    """
     results = session.repeat(
         spec, repetitions, raise_on_timeout=False, workers=workers
     )
@@ -264,6 +281,19 @@ def _run_repeated(
         "reached output": sum(1 for result in results if result.reached_output),
     }
     payload.update(_backend_fields(results[0]))
+    info = session.cache_info()
+    if as_json:
+        payload["cache"] = info
+    else:
+        payload["table cache"] = f"{info['hits']} hits / {info['misses']} misses"
+        store_info = info.get("store")
+        if store_info is not None:
+            payload["result store"] = (
+                f"{store_info['hits']} hits / {store_info['misses']} misses / "
+                f"{store_info['bypasses']} bypasses "
+                f"({store_info['writes']} writes, "
+                f"{store_info['entries']} entries)"
+            )
     payload["valid"] = all_valid
     _emit(payload, as_json)
     return 0 if all_valid else 1
@@ -311,11 +341,68 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs = dict(_QUICK_EXPERIMENT_ARGS.get(identifier, {})) if args.quick else {}
         if args.workers is not None and identifier in _WORKERS_AWARE_EXPERIMENTS:
             kwargs["workers"] = args.workers
+        if (
+            getattr(args, "store", None) is not None
+            and identifier in _WORKERS_AWARE_EXPERIMENTS
+        ):
+            kwargs["store"] = args.store
         report = runner(**kwargs)
         print(report.render())
         print()
         all_passed = all_passed and bool(report.passed)
     return 0 if all_passed else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover — interactive
+    from repro.api.service import serve
+
+    serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        ledger_dir=args.ledger_dir,
+    )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.api.store import STORE_SCHEMA_VERSION, ResultStore
+
+    store = ResultStore(args.store)
+    if args.action == "stats":
+        paths = store._entry_paths()
+        size = 0
+        for path in paths:
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+        _emit(
+            {
+                "root": str(store.root),
+                "schema": STORE_SCHEMA_VERSION,
+                "entries": len(paths),
+                "bytes": size,
+            },
+            args.json,
+        )
+        return 0
+    removed = store.gc(
+        max_entries=args.max_entries,
+        max_age_seconds=(
+            args.max_age_days * 86_400.0 if args.max_age_days is not None else None
+        ),
+    )
+    _emit(
+        {
+            "root": str(store.root),
+            "evicted": removed,
+            "entries": store.entry_count(),
+        },
+        args.json,
+    )
+    return 0
 
 
 def _cmd_census(args: argparse.Namespace) -> int:
@@ -359,6 +446,11 @@ def _add_run_arguments(
                         help="dispatch repeated runs to this many worker "
                              "processes; results are identical to serial "
                              "execution (default: $REPRO_WORKERS or serial)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="attach a content-addressable result store: "
+                             "seeded runs are served from DIR when their "
+                             "spec hash is present and persisted after a "
+                             "miss (see `repro store stats`)")
     parser.add_argument("--spec", metavar="FILE", default=None,
                         help="load the full RunSpec from a JSON file "
                              "(overrides the other workload flags)")
@@ -424,10 +516,46 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker-pool size for the sweep-driven "
                                  "experiments (E1-E3); results are identical "
                                  "to serial execution")
+    experiment.add_argument("--store", metavar="DIR", default=None,
+                            help="result-store directory for the sweep-driven "
+                                 "experiments (E1-E3): reruns replay cached "
+                                 "cells without executing the engines")
     experiment.set_defaults(handler=_cmd_experiment)
 
     census = subparsers.add_parser("census", help="print the size census of every protocol")
     census.set_defaults(handler=_cmd_census)
+
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="serve spec jobs over HTTP in front of a result store",
+    )
+    serve_cmd.add_argument("--store", metavar="DIR", required=True,
+                           help="result-store directory backing the service")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8008)
+    serve_cmd.add_argument("--workers", type=int, default=None,
+                           help="worker-pool size for batched job execution")
+    serve_cmd.add_argument("--ledger-dir", metavar="DIR", default=None,
+                           help="job-event JSONL directory "
+                                "(default: <store>/ledger)")
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    store_cmd = subparsers.add_parser(
+        "store", help="inspect or garbage-collect a result store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="action", required=True)
+    store_stats = store_sub.add_parser("stats", help="entry count and on-disk size")
+    store_stats.add_argument("store", metavar="DIR")
+    store_stats.add_argument("--json", action="store_true")
+    store_stats.set_defaults(handler=_cmd_store)
+    store_gc = store_sub.add_parser("gc", help="evict entries beyond the given bounds")
+    store_gc.add_argument("store", metavar="DIR")
+    store_gc.add_argument("--max-entries", type=int, default=None,
+                          help="keep at most this many entries (newest win)")
+    store_gc.add_argument("--max-age-days", type=float, default=None,
+                          help="drop entries older than this many days")
+    store_gc.add_argument("--json", action="store_true")
+    store_gc.set_defaults(handler=_cmd_store)
 
     return parser
 

@@ -80,6 +80,26 @@ class WorkerCrashError(ExecutorError):
         self.worker_traceback = worker_traceback
 
 
+class StoreError(StoneAgeError):
+    """The content-addressable result store could not serve a request.
+
+    Store *reads* never raise this during normal operation — corrupt or
+    stale entries degrade to cache misses (recompute-and-repair) — so it
+    only surfaces for genuinely unservable requests, such as asking for the
+    canonical hash of a value that has no canonical form.
+    """
+
+
+class StorePayloadError(StoreError):
+    """A value cannot be canonically serialized for the result store.
+
+    Raised when a spec parameter or a result field carries a type outside
+    the store's canonical encoding (JSON scalars, lists, tuples, sets,
+    bytes and dicts).  Callers writing cache entries treat this as a
+    bypass — the run still happens, its result just is not cached.
+    """
+
+
 class RegistryError(StoneAgeError):
     """A named registry lookup or registration failed.
 

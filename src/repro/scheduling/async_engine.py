@@ -38,6 +38,7 @@ from collections.abc import Callable, Mapping
 from typing import Any
 
 from repro.core.alphabet import is_epsilon
+from repro.core.counters import record_engine_run
 from repro.core.errors import (
     ExecutionError,
     OutputNotReachedError,
@@ -305,6 +306,7 @@ def _run_asynchronous(
     engine — supplying one forces ``backend="python"`` semantics under
     ``"auto"`` (and is rejected by ``"vectorized"``).
     """
+    record_engine_run("async")
     if backend not in ASYNC_BACKENDS:
         raise ExecutionError(
             f"unknown backend {backend!r}; expected one of {ASYNC_BACKENDS}"

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.alphabet import Observation, is_epsilon
+from repro.core.counters import record_engine_run
 from repro.core.errors import (
     ExecutionError,
     OutputNotReachedError,
@@ -404,6 +405,7 @@ def _run_synchronous(
     the table was built from an equivalent protocol — the engine only
     cross-checks that the initial states are present.
     """
+    record_engine_run("sync")
     engine, selection = _make_engine(
         graph,
         protocol,

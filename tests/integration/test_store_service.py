@@ -1,0 +1,276 @@
+"""Integration determinism harness for the result store and job service.
+
+The tentpole claim of the store is *replay without execution*: once a
+seeded workload ran cold, rerunning it against the same store must
+(a) perform **zero** engine executions — counter-asserted via
+:mod:`repro.core.counters`, which every engine primitive increments — and
+(b) reproduce the cold run's records and payloads **bitwise**, under both
+serial and pooled (``workers=2``) execution.  The service smoke test then
+drives the same contract over HTTP: submit, poll, fetch; resubmits are
+deduplicated and answered from the store byte-for-byte.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import RunSpec, Simulation, run_specs
+from repro.api.store import canonical_json, result_to_payload, spec_hash
+from repro.core.counters import engine_runs
+
+SWEEP_KWARGS = {
+    "families": ["gnp_sparse", "random_tree"],
+    "sizes": [16, 24],
+    "repetitions": 2,
+}
+SWEEP_SPEC = RunSpec(protocol="mis", seed=11)
+CELLS = 2 * 2 * 2
+
+
+def _record_tuples(sweep):
+    return [
+        (
+            record.family,
+            record.size,
+            record.repetition,
+            record.graph_nodes,
+            record.graph_edges,
+            record.cost,
+            record.rounds,
+            record.reached_output,
+            record.valid,
+            record.adversary,
+            record.extra,
+        )
+        for record in sweep.records
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# The determinism harness: cold then warm, serial and pooled              #
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("warm_workers", [None, 2], ids=["serial", "workers2"])
+def test_warm_sweep_runs_zero_engines_and_is_bitwise_identical(
+    tmp_path, warm_workers
+):
+    cold_session = Simulation(store=tmp_path / "store")
+    before_cold = engine_runs()
+    cold = cold_session.sweep(SWEEP_SPEC, **SWEEP_KWARGS)
+    assert engine_runs() - before_cold == CELLS
+    assert cold_session.store.stats()["writes"] == CELLS
+    assert cold_session.store.stats()["entries"] == CELLS
+
+    warm_session = Simulation(store=tmp_path / "store")
+    before_warm = engine_runs()
+    warm = warm_session.sweep(SWEEP_SPEC, workers=warm_workers, **SWEEP_KWARGS)
+    assert engine_runs() == before_warm  # ZERO engine executions
+    stats = warm_session.store.stats()
+    assert stats["hits"] == CELLS
+    assert stats["misses"] == 0
+    assert stats["writes"] == 0
+    assert _record_tuples(warm) == _record_tuples(cold)
+
+
+@pytest.mark.parametrize("cold_workers", [None, 2], ids=["serial", "workers2"])
+def test_pooled_and_serial_cold_runs_fill_identical_stores(
+    tmp_path, cold_workers
+):
+    """The store contents are execution-strategy-independent, byte for byte."""
+    session = Simulation(store=tmp_path / "store")
+    session.sweep(SWEEP_SPEC, workers=cold_workers, **SWEEP_KWARGS)
+    entries = {
+        path.name: path.read_bytes() for path in session.store._entry_paths()
+    }
+    assert len(entries) == CELLS
+
+    other = Simulation(store=tmp_path / "other")
+    other.sweep(
+        SWEEP_SPEC, workers=2 if cold_workers is None else None, **SWEEP_KWARGS
+    )
+    other_entries = {
+        path.name: path.read_bytes() for path in other.store._entry_paths()
+    }
+    assert other_entries == entries
+
+
+@pytest.mark.parametrize("warm_workers", [None, 2], ids=["serial", "workers2"])
+def test_warm_repeat_is_bitwise_identical(tmp_path, warm_workers):
+    spec = RunSpec(protocol="coloring", nodes=20, seed=4, graph="random_tree")
+    cold = Simulation(store=tmp_path / "store").repeat(spec, 4)
+
+    warm_session = Simulation(store=tmp_path / "store")
+    before = engine_runs()
+    warm = warm_session.repeat(spec, 4, workers=warm_workers)
+    assert engine_runs() == before
+    assert warm == cold
+    assert [
+        canonical_json(result_to_payload(result)) for result in warm
+    ] == [canonical_json(result_to_payload(result)) for result in cold]
+
+
+def test_warm_run_specs_dispatches_no_pool_tasks(tmp_path):
+    specs = [RunSpec(protocol="mis", nodes=n, seed=s) for n in (16, 24) for s in (1, 2)]
+    session = Simulation(store=tmp_path / "store")
+    cold = run_specs(specs, workers=2, session=session)
+
+    warm_session = Simulation(store=tmp_path / "store")
+    before = engine_runs()
+    warm = run_specs(specs, workers=2, session=warm_session)
+    assert engine_runs() == before
+    assert warm == cold
+    assert warm_session.store.stats()["hits"] == len(specs)
+
+
+def test_partial_warm_store_runs_only_the_missing_cells(tmp_path):
+    """A half-warm store executes exactly the missing half."""
+    session = Simulation(store=tmp_path / "store")
+    session.sweep(SWEEP_SPEC, families=["gnp_sparse"], sizes=[16, 24], repetitions=2)
+
+    before = engine_runs()
+    full = Simulation(store=tmp_path / "store")
+    sweep = full.sweep(SWEEP_SPEC, **SWEEP_KWARGS)
+    assert engine_runs() - before == CELLS // 2  # only random_tree cells ran
+    stats = full.store.stats()
+    assert stats["hits"] == CELLS // 2
+    assert stats["entries"] == CELLS
+    assert len(sweep.records) == CELLS
+
+
+# ---------------------------------------------------------------------- #
+# The job service, over real HTTP                                         #
+# ---------------------------------------------------------------------- #
+@pytest.fixture()
+def service_url(tmp_path):
+    from repro.api.service import JobService, make_server
+
+    service = JobService(tmp_path / "store")
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}", service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url, *, raw=False):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            body = response.read()
+            return response.status, body if raw else json.loads(body)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _wait_done(base, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, status = _get(f"{base}/jobs/{job_id}")
+        if status["status"] in ("done", "failed"):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish in time")
+
+
+def test_service_job_lifecycle_and_cached_resubmit(service_url):
+    base, service = service_url
+    spec = {"protocol": "mis", "nodes": 24, "seed": 9}
+    digest = spec_hash(RunSpec.from_dict(spec))
+
+    code, submitted = _post(f"{base}/jobs", spec)
+    assert code in (200, 202)
+    assert submitted["job"] == digest  # the job id IS the spec hash
+    status = _wait_done(base, digest)
+    assert status["status"] == "done"
+    assert status["error"] is None
+
+    code, payload = _get(f"{base}/jobs/{digest}/result", raw=True)
+    assert code == 200
+    decoded = json.loads(payload)
+    assert decoded["reached_output"] is True
+
+    # Resubmission: same job, no new execution.
+    before = engine_runs()
+    code, resubmitted = _post(f"{base}/jobs", spec)
+    assert code == 200
+    assert resubmitted["job"] == digest
+    assert resubmitted["status"] == "done"
+    assert engine_runs() == before
+
+    # The ledger streams the lifecycle.
+    code, events = _get(f"{base}/jobs/{digest}/events", raw=True)
+    kinds = [json.loads(line)["event"] for line in events.decode().splitlines()]
+    assert kinds[:3] == ["queued", "started", "finished"]
+
+    code, stats = _get(f"{base}/stats")
+    assert stats["jobs"]["done"] >= 1
+    assert stats["store"]["writes"] == 1
+
+
+def test_fresh_service_serves_byte_identical_results(tmp_path):
+    """A brand-new service over a warm store answers without executing."""
+    from repro.api.service import JobService, make_server
+
+    spec = {"protocol": "coloring", "nodes": 16, "seed": 3, "graph": "random_tree"}
+
+    def run_service(expect_cached):
+        service = JobService(tmp_path / "store")
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        base = f"http://{host}:{port}"
+        try:
+            _, submitted = _post(f"{base}/jobs", spec)
+            assert submitted["cached"] is expect_cached
+            _wait_done(base, submitted["job"])
+            _, payload = _get(f"{base}/jobs/{submitted['job']}/result", raw=True)
+            return payload
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    cold_payload = run_service(expect_cached=False)
+    before = engine_runs()
+    warm_payload = run_service(expect_cached=True)
+    assert engine_runs() == before
+    assert warm_payload == cold_payload  # byte-identical across processes
+
+
+def test_service_rejects_malformed_specs(service_url):
+    base, _ = service_url
+    assert _post(f"{base}/jobs", {"protocol": "no-such-protocol"})[0] == 400
+    assert _post(f"{base}/jobs", {"protocol": "mis", "bogus_key": 1})[0] == 400
+    assert _get(f"{base}/jobs/ffffffff")[0] == 404
+    assert _get(f"{base}/healthz")[1] == {"ok": True}
+
+
+def test_service_runs_unseeded_specs_without_caching(service_url):
+    base, service = service_url
+    spec = {"protocol": "mis", "nodes": 16, "seed": None}
+    _, first = _post(f"{base}/jobs", spec)
+    _, second = _post(f"{base}/jobs", spec)
+    assert first["job"] != second["job"]  # never deduplicated
+    _wait_done(base, first["job"])
+    _wait_done(base, second["job"])
+    stats = service.stats()
+    assert stats["store"]["writes"] == 0
+    assert stats["store"]["entries"] == 0
