@@ -129,6 +129,7 @@ class JobService:
         *,
         ledger_dir: str | Path | None = None,
         workers: int | None = None,
+        max_finished_jobs: int = 256,
     ) -> None:
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
@@ -138,6 +139,11 @@ class JobService:
             ledger_dir if ledger_dir is not None else store.root / "ledger"
         )
         self.workers = workers
+        #: Finished (done/failed) jobs kept in memory; the oldest beyond
+        #: this cap are evicted so a long-running service does not retain
+        #: every result ever computed — cacheable results are re-served
+        #: from the store on demand, their ledger files remain on disk.
+        self.max_finished_jobs = max(1, int(max_finished_jobs))
         self._jobs: dict[str, dict[str, Any]] = {}
         self._order: list[str] = []
         self._unseeded = 0
@@ -200,6 +206,7 @@ class JobService:
         with self._lock:
             self._jobs[job_id] = job
             self._order.append(job_id)
+        self._evict_finished()
         return job
 
     def _summary(self, job: dict[str, Any], *, cached: bool = False) -> dict[str, Any]:
@@ -214,15 +221,55 @@ class JobService:
     def job(self, job_id: str) -> dict[str, Any] | None:
         with self._lock:
             job = self._jobs.get(job_id)
-            return None if job is None else dict(job)
+            if job is not None:
+                return dict(job)
+        return self._job_from_store(job_id)
 
     def result_json(self, job_id: str) -> str | None:
         """The canonical result payload of a finished job, or ``None``."""
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None or job["status"] != "done":
-                return None
-            return job["result_json"]
+            if job is not None:
+                return job["result_json"] if job["status"] == "done" else None
+        job = self._job_from_store(job_id)
+        return None if job is None else job["result_json"]
+
+    def _job_from_store(self, job_id: str) -> dict[str, Any] | None:
+        """Rebuild an evicted cacheable job's view from the store.
+
+        A cacheable job's id *is* its spec hash, so a finished job evicted
+        from the in-memory table is still answerable as long as its store
+        entry lives (``spec`` is no longer known — the entry holds only the
+        payload).  Non-hash ids (unseeded ``-uN`` jobs) have no store entry
+        and stay 404 once evicted.
+        """
+        if len(job_id) != 64 or any(c not in "0123456789abcdef" for c in job_id):
+            return None
+        payload = self.store.get(job_id)
+        if payload is None:
+            return None
+        return {
+            "id": job_id,
+            "spec": None,
+            "status": "done",
+            "error": None,
+            "result_json": canonical_json(payload),
+        }
+
+    def _evict_finished(self) -> None:
+        """Drop the oldest finished jobs beyond ``max_finished_jobs``."""
+        with self._lock:
+            finished = [
+                job_id
+                for job_id in self._order
+                if self._jobs[job_id]["status"] in ("done", "failed")
+            ]
+            excess = len(finished) - self.max_finished_jobs
+            if excess <= 0:
+                return
+            for job_id in finished[:excess]:
+                del self._jobs[job_id]
+            self._order = [job_id for job_id in self._order if job_id in self._jobs]
 
     def stats(self) -> dict[str, Any]:
         with self._lock:
@@ -256,7 +303,10 @@ class JobService:
                     stop = True
                     break
                 batch.append(extra)
-            self._run_batch(batch)
+            try:
+                self._run_batch(batch)
+            except Exception as exc:  # noqa: BLE001 — no job may kill the drain
+                self._fail_batch(batch, exc)
             if stop:
                 return
 
@@ -293,19 +343,45 @@ class JobService:
                 except Exception as exc:  # noqa: BLE001 — job must fail, not thread
                     results[index] = exc
         for job, result in zip(jobs, results):
-            if isinstance(result, Exception):
+            try:
+                if isinstance(result, Exception):
+                    self._fail(job, f"{type(result).__name__}: {result}")
+                    continue
+                payload = canonical_json(result_to_payload(result))
                 with self._lock:
-                    job["status"] = "failed"
-                    job["error"] = f"{type(result).__name__}: {result}"
-                self.ledger.append(job["id"], "failed", error=job["error"])
-                continue
-            payload = canonical_json(result_to_payload(result))
-            with self._lock:
-                job["status"] = "done"
-                job["result_json"] = payload
-            self.ledger.append(
-                job["id"], "finished", reached_output=bool(result.reached_output)
-            )
+                    job["status"] = "done"
+                    job["result_json"] = payload
+                self.ledger.append(
+                    job["id"], "finished", reached_output=bool(result.reached_output)
+                )
+            except Exception as exc:  # noqa: BLE001 — finalization must not
+                # escape: an unencodable payload (StorePayloadError) or a
+                # ledger OSError fails this one job, not the drain thread —
+                # which would leave every later submission queued forever.
+                self._fail(job, f"{type(exc).__name__}: {exc}")
+        self._evict_finished()
+
+    def _fail(self, job: dict[str, Any], error: str) -> None:
+        with self._lock:
+            job["status"] = "failed"
+            job["error"] = error
+        try:
+            self.ledger.append(job["id"], "failed", error=error)
+        except OSError:
+            pass  # the in-memory state already answers status queries
+
+    def _fail_batch(self, job_ids: list[str], exc: Exception) -> None:
+        """Last-resort containment: fail whatever the aborted batch left live."""
+        error = f"batch aborted: {type(exc).__name__}: {exc}"
+        with self._lock:
+            jobs = [
+                self._jobs[job_id]
+                for job_id in job_ids
+                if job_id in self._jobs
+                and self._jobs[job_id]["status"] in ("queued", "running")
+            ]
+        for job in jobs:
+            self._fail(job, error)
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop the drain thread after the current batch."""
@@ -349,6 +425,9 @@ class _JobRequestHandler(BaseHTTPRequestHandler):
     # -- verbs ---------------------------------------------------------- #
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         if self.path.rstrip("/") != "/jobs":
+            # Drain the body first: under keep-alive, unread bytes would be
+            # parsed as the start of the next request on this connection.
+            self._read_body()
             self._send_json(404, {"error": f"unknown endpoint {self.path!r}"})
             return
         try:
@@ -424,9 +503,15 @@ def serve(
     port: int = 8008,
     workers: int | None = None,
     ledger_dir: str | Path | None = None,
+    max_finished_jobs: int = 256,
 ) -> None:  # pragma: no cover — interactive entry point
     """Run a job service until interrupted (the ``repro serve`` command)."""
-    service = JobService(store, workers=workers, ledger_dir=ledger_dir)
+    service = JobService(
+        store,
+        workers=workers,
+        ledger_dir=ledger_dir,
+        max_finished_jobs=max_finished_jobs,
+    )
     server = make_server(service, host=host, port=port)
     server.verbose = True  # type: ignore[attr-defined]
     bound_host, bound_port = server.server_address[:2]

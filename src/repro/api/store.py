@@ -63,6 +63,18 @@ STORE_SCHEMA_VERSION = 1
 #: Reserved tag keys of the canonical payload encoding.
 _TAGS = frozenset({"$t", "$s", "$d", "$f", "$b", "$o"})
 
+#: Module prefixes from which ``"$o"``-tagged entries may rebuild objects.
+#: Store entries are data, not code: without this gate a tampered entry
+#: could name any importable callable (``subprocess:Popen``) and have
+#: :func:`decode_value` execute it with attacker-chosen kwargs.  Only
+#: dataclasses defined under these prefixes are encodable/decodable;
+#: anything else degrades to a bypass (encode) or a corrupt miss (decode).
+_STATE_MODULE_PREFIXES = ("repro.",)
+
+
+def _state_module_allowed(module_name: str) -> bool:
+    return module_name == "repro" or module_name.startswith(_STATE_MODULE_PREFIXES)
+
 
 # ---------------------------------------------------------------------- #
 # Canonical payload encoding                                              #
@@ -106,8 +118,17 @@ def encode_value(value: Any) -> Any:
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         # Protocol node states (e.g. the coloring protocol's frozen
         # dataclass) are stored as their import path plus field values —
-        # enough to rebuild the exact instance on decode.
+        # enough to rebuild the exact instance on decode.  Only allowlisted
+        # modules are encodable: anything decode_value would refuse to
+        # rebuild must not be written in the first place, or the entry
+        # would be a permanent corrupt-recompute loop instead of a bypass.
         cls = type(value)
+        if not _state_module_allowed(cls.__module__):
+            raise StorePayloadError(
+                f"dataclass {cls.__module__}:{cls.__qualname__} is outside "
+                f"the store's state-module allowlist and has no canonical "
+                f"encoding"
+            )
         fields = {
             f.name: encode_value(getattr(value, f.name))
             for f in dataclasses.fields(value)
@@ -142,9 +163,20 @@ def decode_value(value: Any) -> Any:
             try:
                 path, fields = body
                 module_name, _, qualname = path.partition(":")
+                if not isinstance(fields, dict) or not _state_module_allowed(
+                    module_name
+                ):
+                    raise StorePayloadError(
+                        f"stored object path {path!r} is outside the "
+                        f"state-module allowlist"
+                    )
                 obj: Any = importlib.import_module(module_name)
                 for part in qualname.split("."):
                     obj = getattr(obj, part)
+                if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):
+                    raise StorePayloadError(
+                        f"stored object path {path!r} does not name a dataclass"
+                    )
                 return obj(
                     **{key: decode_value(item) for key, item in fields.items()}
                 )
@@ -507,6 +539,10 @@ def fetch(store: ResultStore, spec: RunSpec, *, graph: Any = None) -> ExecutionR
     try:
         return payload_to_result(payload, graph)
     except Exception:  # noqa: BLE001 — malformed entries degrade to misses
+        # get() above already counted this lookup as a hit; reclassify it
+        # so hits + misses keeps matching lookups in the cache accounting.
+        store.hits -= 1
+        store.misses += 1
         store.corrupt += 1
         store._drop(store.path_for(digest))
         return None

@@ -362,6 +362,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover — interac
         port=args.port,
         workers=args.workers,
         ledger_dir=args.ledger_dir,
+        max_finished_jobs=args.max_jobs,
     )
     return 0
 
@@ -538,6 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--ledger-dir", metavar="DIR", default=None,
                            help="job-event JSONL directory "
                                 "(default: <store>/ledger)")
+    serve_cmd.add_argument("--max-jobs", type=int, default=256,
+                           help="finished jobs kept in memory; older ones "
+                                "are re-served from the store (default: 256)")
     serve_cmd.set_defaults(handler=_cmd_serve)
 
     store_cmd = subparsers.add_parser(

@@ -263,6 +263,97 @@ def test_service_rejects_malformed_specs(service_url):
     assert _get(f"{base}/healthz")[1] == {"ok": True}
 
 
+def _wait_service_done(service, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = service.job(job_id)
+        if job is not None and job["status"] in ("done", "failed"):
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish in time")
+
+
+def test_finalization_failure_fails_the_job_not_the_drain_thread(
+    tmp_path, monkeypatch
+):
+    """An unencodable result fails its own job; later jobs still drain."""
+    from repro.api import service as service_mod
+    from repro.core.errors import StorePayloadError
+
+    real = service_mod.result_to_payload
+    calls = {"n": 0}
+
+    def flaky(result):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise StorePayloadError("no canonical store encoding")
+        return real(result)
+
+    monkeypatch.setattr(service_mod, "result_to_payload", flaky)
+    service = service_mod.JobService(tmp_path / "store")
+    try:
+        first = service.submit({"protocol": "mis", "nodes": 16, "seed": 101})
+        failed = _wait_service_done(service, first["job"])
+        assert failed["status"] == "failed"
+        assert "StorePayloadError" in failed["error"]
+
+        # The drain thread survived: a subsequent submission completes.
+        second = service.submit({"protocol": "mis", "nodes": 16, "seed": 102})
+        done = _wait_service_done(service, second["job"])
+        assert done["status"] == "done"
+        assert service.result_json(second["job"]) is not None
+    finally:
+        service.close()
+
+
+def test_unknown_post_drains_body_and_keeps_connection_in_sync(service_url):
+    """A 404'd POST body must not desync a keep-alive connection."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    base, _ = service_url
+    parts = urlsplit(base)
+    conn = http.client.HTTPConnection(parts.hostname, parts.port, timeout=10)
+    try:
+        conn.request("POST", "/nope", body=json.dumps({"pad": "x" * 512}))
+        response = conn.getresponse()
+        assert response.status == 404
+        response.read()
+
+        # Same persistent connection: the next request must parse cleanly.
+        conn.request(
+            "POST", "/jobs", body=json.dumps({"protocol": "mis", "nodes": 16, "seed": 5})
+        )
+        response = conn.getresponse()
+        assert response.status in (200, 202)
+        assert json.loads(response.read())["job"]
+    finally:
+        conn.close()
+
+
+def test_finished_jobs_are_evicted_and_reserved_from_store(tmp_path):
+    """The job table stays bounded; evicted cacheable jobs answer from disk."""
+    from repro.api.service import JobService
+
+    service = JobService(tmp_path / "store", max_finished_jobs=2)
+    try:
+        ids = []
+        for seed in range(4):
+            summary = service.submit({"protocol": "mis", "nodes": 16, "seed": seed})
+            ids.append(summary["job"])
+            _wait_service_done(service, summary["job"])
+        assert len(service._jobs) <= 2
+
+        oldest = ids[0]
+        assert oldest not in service._jobs  # evicted from memory...
+        job = service.job(oldest)  # ...but still answerable from the store
+        assert job["status"] == "done"
+        payload = service.result_json(oldest)
+        assert json.loads(payload)["reached_output"] is True
+    finally:
+        service.close()
+
+
 def test_service_runs_unseeded_specs_without_caching(service_url):
     base, service = service_url
     spec = {"protocol": "mis", "nodes": 16, "seed": None}

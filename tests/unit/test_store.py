@@ -89,6 +89,29 @@ def test_decode_rejects_malformed_tags():
         decode_value({"$o": ["no.such.module:Nope", {}]})
 
 
+def test_decode_never_imports_outside_the_state_allowlist():
+    """A tampered "$o" entry must not become arbitrary code execution."""
+    with pytest.raises(StorePayloadError):
+        decode_value({"$o": ["subprocess:Popen", {"args": ["true"]}]})
+    with pytest.raises(StorePayloadError):
+        decode_value({"$o": ["os:system", {"command": "true"}]})
+    # Allowlisted module, but the path does not name a dataclass.
+    with pytest.raises(StorePayloadError):
+        decode_value({"$o": ["repro.api.store:ResultStore", {"root": "/tmp/x"}]})
+
+
+def test_encode_rejects_dataclasses_outside_the_allowlist():
+    """Foreign dataclasses degrade to a bypass, not an undecodable entry."""
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class Foreign:
+        value: int
+
+    with pytest.raises(StorePayloadError):
+        encode_value(Foreign(value=1))
+
+
 def test_canonical_json_sorts_and_compacts():
     assert canonical_json({"b": 1, "a": (2,)}) == '{"a":{"$t":[2]},"b":1}'
 
@@ -205,7 +228,11 @@ def test_structurally_valid_but_wrong_result_payload(tmp_path):
     digest = spec_hash(SPEC)
     store.put(digest, {"not": "a result"})
     assert fetch(store, SPEC) is None
-    assert store.stats()["corrupt"] == 1
+    stats = store.stats()
+    assert stats["corrupt"] == 1
+    # The lookup is reclassified as a miss: hits + misses == lookups.
+    assert stats["hits"] == 0
+    assert stats["misses"] == 1
     assert not store.path_for(digest).exists()
 
 
