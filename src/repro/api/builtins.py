@@ -136,14 +136,23 @@ PROTOCOLS.register(
 # Reductions and baselines (custom runners)                               #
 # ---------------------------------------------------------------------- #
 def _matching_runner(session, spec, graph):
+    from repro.api import executor as _executor
+
+    spec = _executor.resolve_spec_shards(spec)
     matching, inner = maximal_matching_via_line_graph(
-        graph, seed=spec.seed, max_rounds=spec.max_rounds, backend=spec.backend
+        graph,
+        seed=spec.seed,
+        max_rounds=spec.max_rounds,
+        backend=spec.backend,
+        shards=spec.shards,
     )
     valid = is_maximal_matching(graph, matching)
     fields = {
         "line-graph rounds": inner.rounds if inner is not None else 0,
         "matching size": len(matching),
     }
+    if inner is not None:
+        session._note_shards(inner)
     return fields, valid, inner
 
 

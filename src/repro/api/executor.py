@@ -61,6 +61,14 @@ from repro.core.errors import (
 #: 2-worker pool, which is how CI exercises the pooled code paths.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Environment variable consulted when a spec does not set ``shards=``:
+#: ``REPRO_SHARDS=2 pytest`` runs every shardable synchronous spec through
+#: intra-run sharded execution, which is how CI exercises the sharded code
+#: paths.  Note that opting in switches those runs onto the counter rng
+#: stream (deterministic, but different draws from the legacy serial
+#: stream), so golden-output tests must not run under it wholesale.
+SHARDS_ENV = "REPRO_SHARDS"
+
 
 def effective_workers(workers: int | None) -> int:
     """Resolve a ``workers`` argument: explicit value, else the environment.
@@ -75,6 +83,58 @@ def effective_workers(workers: int | None) -> int:
         except ValueError:
             workers = 1
     return max(int(workers), 1)
+
+
+def effective_shards(shards: int | None) -> int | None:
+    """Resolve a ``shards`` argument: explicit value, else the environment.
+
+    ``None`` falls back to :data:`SHARDS_ENV`; an unset/unusable environment
+    stays ``None`` (legacy serial rng, no sharding).  Explicit values are
+    clamped to at least 1.
+    """
+    if shards is not None:
+        return max(int(shards), 1)
+    try:
+        value = int(os.environ.get(SHARDS_ENV, "") or 0)
+    except ValueError:
+        return None
+    return value if value >= 1 else None
+
+
+def resolve_spec_shards(spec: RunSpec) -> RunSpec:
+    """Apply the :data:`SHARDS_ENV` default to *spec* where it is legal.
+
+    Resolution must happen *before* any store lookup — the store hash
+    canonicalizes over the shard count but distinguishes sharded
+    (counter-rng) from unsharded (serial-rng) executions, so a spec must
+    carry its effective ``shards`` value when hashed.  Specs that cannot
+    shard (async environment, interpreted backend) are returned unchanged
+    rather than failing the validation the explicit field would apply.
+    """
+    if spec.shards is not None:
+        return spec
+    if spec.environment != "sync" or spec.backend == "python":
+        return spec
+    resolved = effective_shards(None)
+    return spec if resolved is None else spec.replace(shards=resolved)
+
+
+def budget_workers(workers: int, shards: int | None) -> int:
+    """The core-budget guard for ``workers= × shards=`` composition.
+
+    Pooled sweeps compose across cells (``workers``) with intra-run
+    sharding inside each cell (``shards``); unguarded, the product
+    oversubscribes the machine and every barrier wait turns into scheduler
+    thrash.  The guard caps the pool at ``cores // shards`` (but never
+    below 1 — serial dispatch with sharded cells is always legal).
+    """
+    if workers <= 1 or not shards or shards <= 1:
+        return workers
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count() or 1
+    return max(1, min(workers, cores // int(shards)))
 
 
 def _pool_context():
@@ -135,7 +195,9 @@ class TaskOutcome:
 
     Exactly one of ``value`` / ``error`` / ``timeout`` is populated;
     ``cache_hits``/``cache_misses`` are the *delta* the task produced on the
-    worker session's compiled-table counters.
+    worker session's compiled-table counters, and the ``shard_*`` fields the
+    delta on its sharded-execution counters (runs that used ``shards=``,
+    their summed cut edges and per-round halo traffic).
     """
 
     value: Any = None
@@ -144,6 +206,9 @@ class TaskOutcome:
     cache_hits: int = 0
     cache_misses: int = 0
     store_writes: int = 0
+    shard_runs: int = 0
+    shard_cut_edges: int = 0
+    shard_halo_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -202,6 +267,14 @@ def _store_write_delta(session, baseline: int) -> int:
     return store.writes - baseline if store is not None else 0
 
 
+def _shard_snapshot(session) -> tuple[int, int, int]:
+    """The session's sharded-execution counters as a plain tuple."""
+    stats = getattr(session, "shard_stats", None)
+    if not stats:
+        return (0, 0, 0)
+    return (stats["runs"], stats["cut_edges"], stats["halo_bytes_per_round"])
+
+
 def run_task(task: SpecTask, session=None) -> TaskOutcome:
     """Execute *task*, catching failures into a structured outcome.
 
@@ -214,15 +287,23 @@ def run_task(task: SpecTask, session=None) -> TaskOutcome:
     hits, misses = session.cache_hits, session.cache_misses
     store = getattr(session, "store", None)
     writes = store.writes if store is not None else 0
-    try:
-        value = _execute_task(task, session)
-    except OutputNotReachedError as exc:
-        return TaskOutcome(
-            timeout=(str(exc), exc.result),
+    shard_base = _shard_snapshot(session)
+
+    def _stat_fields() -> dict[str, int]:
+        shard_now = _shard_snapshot(session)
+        return dict(
             cache_hits=session.cache_hits - hits,
             cache_misses=session.cache_misses - misses,
             store_writes=_store_write_delta(session, writes),
+            shard_runs=shard_now[0] - shard_base[0],
+            shard_cut_edges=shard_now[1] - shard_base[1],
+            shard_halo_bytes=shard_now[2] - shard_base[2],
         )
+
+    try:
+        value = _execute_task(task, session)
+    except OutputNotReachedError as exc:
+        return TaskOutcome(timeout=(str(exc), exc.result), **_stat_fields())
     except Exception as exc:  # noqa: BLE001 — every failure must cross back
         return TaskOutcome(
             error={
@@ -231,16 +312,9 @@ def run_task(task: SpecTask, session=None) -> TaskOutcome:
                 "traceback": traceback.format_exc(),
                 "spec": task.spec,
             },
-            cache_hits=session.cache_hits - hits,
-            cache_misses=session.cache_misses - misses,
-            store_writes=_store_write_delta(session, writes),
+            **_stat_fields(),
         )
-    return TaskOutcome(
-        value=value,
-        cache_hits=session.cache_hits - hits,
-        cache_misses=session.cache_misses - misses,
-        store_writes=_store_write_delta(session, writes),
-    )
+    return TaskOutcome(value=value, **_stat_fields())
 
 
 # ---------------------------------------------------------------------- #
@@ -319,6 +393,13 @@ def _merge_outcomes(outcomes: list[TaskOutcome], session) -> list[Any]:
             store.absorb_worker_writes(
                 sum(outcome.store_writes for outcome in outcomes)
             )
+        absorb_shards = getattr(session, "absorb_worker_shards", None)
+        if absorb_shards is not None:
+            absorb_shards(
+                sum(outcome.shard_runs for outcome in outcomes),
+                sum(outcome.shard_cut_edges for outcome in outcomes),
+                sum(outcome.shard_halo_bytes for outcome in outcomes),
+            )
     for outcome in outcomes:
         if outcome.error is not None:
             error = outcome.error
@@ -361,7 +442,12 @@ def run_specs(
         from repro.api.session import Simulation
 
         session = Simulation()
+    # Resolve the sharding environment default before any store lookup so
+    # parent-side hashes match what the executing side computes and stashes.
+    specs = [resolve_spec_shards(spec) for spec in specs]
     count = effective_workers(workers)
+    if specs:
+        count = budget_workers(count, max(spec.shards or 1 for spec in specs))
     store = getattr(session, "store", None)
     if store is not None and count > 1 and len(specs) > 1:
         return _run_specs_stored(

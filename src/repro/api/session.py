@@ -55,15 +55,22 @@ def _annotated_sync_run(reason: str | None, *args, **kwargs) -> ExecutionResult:
     the session did the precompiling, the reason captured at that moment
     (eager/lazy choice, or an ``"auto"`` downgrade) is the authoritative one
     and replaces the engine's label — on timeout errors' partial results too.
+    Shard-aware runs (``"shard_count"`` in the metadata) keep the engine's
+    reason: the sharded selection explains partitioning and rng stream, which
+    the precompile-time label knows nothing about.
     """
+
+    def _stamp(metadata) -> None:
+        if reason is not None and "shard_count" not in metadata:
+            metadata["backend_reason"] = reason
+
     try:
         result = _run_synchronous(*args, **kwargs)
     except OutputNotReachedError as exc:
-        if reason is not None and exc.result is not None:
-            exc.result.metadata["backend_reason"] = reason
+        if exc.result is not None:
+            _stamp(exc.result.metadata)
         raise
-    if reason is not None:
-        result.metadata["backend_reason"] = reason
+    _stamp(result.metadata)
     return result
 
 
@@ -124,7 +131,9 @@ def run_sweep_cell(task, spec: RunSpec, session: "Simulation"):
             backend=backend,
             compiled=compiled,
             table=table,
+            shards=spec.shards,
         )
+        session._note_shards(result)
     else:
         compiled, table = session._async_bundle(key, spec.build_protocol, spec.backend)
         result = _run_asynchronous(
@@ -228,6 +237,11 @@ class Simulation:
         self._tables: dict[tuple, tuple] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._shard_stats: dict[str, int] = {
+            "runs": 0,
+            "cut_edges": 0,
+            "halo_bytes_per_round": 0,
+        }
         if store is None and cache_dir is not None:
             store = cache_dir
         if store is not None and isinstance(store, (str, os.PathLike)):
@@ -249,12 +263,27 @@ class Simulation:
         """Lookups that had to compile (first sight of a workload)."""
         return self._cache_misses
 
+    @property
+    def shard_stats(self) -> dict[str, int]:
+        """Counters over runs executed with ``shards=`` on this session.
+
+        ``runs`` counts every execution that went through the shard-aware
+        path (including ``shards=1`` and fallbacks — any run on the counter
+        rng stream); ``cut_edges`` and ``halo_bytes_per_round`` accumulate
+        the partition statistics those runs reported.  Pooled dispatch folds
+        worker-side counters in through :meth:`absorb_worker_shards`.
+        """
+        return dict(self._shard_stats)
+
     def cache_info(self) -> dict[str, Any]:
         """Hit/miss counters plus the number of cached workloads.
 
         When a result store is attached, its hit/miss/bypass/write counters
         ride along under the ``"store"`` key, so one call describes both
-        caching layers — compiled tables and persisted results.
+        caching layers — compiled tables and persisted results.  Sessions
+        that executed sharded runs additionally report their cumulative
+        shard counters under ``"sharding"`` (absent otherwise, so existing
+        exact-dict consumers are unaffected).
         """
         info: dict[str, Any] = {
             "hits": self._cache_hits,
@@ -263,6 +292,8 @@ class Simulation:
         }
         if self.store is not None:
             info["store"] = self.store.stats()
+        if self._shard_stats["runs"] > 0:
+            info["sharding"] = dict(self._shard_stats)
         return info
 
     def absorb_worker_cache(self, hits: int, misses: int) -> None:
@@ -277,6 +308,29 @@ class Simulation:
         """
         self._cache_hits += hits
         self._cache_misses += misses
+
+    def absorb_worker_shards(self, runs: int, cut_edges: int, halo_bytes: int) -> None:
+        """Fold worker-pool sharded-execution counters into this session.
+
+        The pooled counterpart of :meth:`_note_shards`: workers note their
+        own sharded runs locally and the executor ships the per-task deltas
+        back, so :attr:`shard_stats` describes the whole workload regardless
+        of which process ran each cell.
+        """
+        self._shard_stats["runs"] += runs
+        self._shard_stats["cut_edges"] += cut_edges
+        self._shard_stats["halo_bytes_per_round"] += halo_bytes
+
+    def _note_shards(self, result: ExecutionResult | None) -> None:
+        """Accumulate one result's shard statistics (no-op when unsharded)."""
+        metadata = getattr(result, "metadata", None)
+        if not metadata or "shard_count" not in metadata:
+            return
+        self._shard_stats["runs"] += 1
+        self._shard_stats["cut_edges"] += int(metadata.get("cut_edges", 0))
+        self._shard_stats["halo_bytes_per_round"] += int(
+            metadata.get("halo_bytes_per_round", 0)
+        )
 
     def _cached(self, key: tuple, build: Callable[[], tuple]) -> tuple:
         bundle = self._tables.get(key)
@@ -333,6 +387,7 @@ class Simulation:
         compiled=None,
         table=None,
         cache_key: str | None = None,
+        shards: int | None = None,
     ) -> ExecutionResult:
         """Run one already-constructed protocol on one graph.
 
@@ -347,14 +402,24 @@ class Simulation:
         execute equivalent protocols — same contract as passing ``table=``
         by hand).  Explicit ``compiled``/``table`` arguments win over the
         cache.
+
+        ``shards`` opts a synchronous run into intra-run sharded execution
+        on the counter rng stream (see
+        :mod:`repro.scheduling.sharded_engine`); it is rejected for
+        ``environment="async"``.
         """
+        if shards is not None and environment != "sync":
+            raise SpecError(
+                "shards= applies to the synchronous environment only "
+                f"(got environment={environment!r})"
+            )
         if environment == "sync":
             reason = None
             if cache_key is not None and compiled is None and table is None:
                 backend, compiled, table, reason = self._sync_bundle(
                     (cache_key, backend), lambda: protocol, backend
                 )
-            return _annotated_sync_run(
+            result = _annotated_sync_run(
                 reason,
                 graph,
                 protocol,
@@ -366,7 +431,10 @@ class Simulation:
                 backend=backend,
                 compiled=compiled,
                 table=table,
+                shards=shards,
             )
+            self._note_shards(result)
+            return result
         if environment == "async":
             if cache_key is not None and table is None:
                 # The caller already holds a compiled protocol; cache only
@@ -402,19 +470,21 @@ class Simulation:
         raise_on_timeout: bool = True,
         backend: str = "python",
         precompiled: tuple | None = None,
+        shards: int | None = None,
     ) -> list[ExecutionResult]:
         """Run *repetitions* independent synchronous executions.
 
         Seeds are derived by :meth:`SeedPolicy.repetition_seed` (``base_seed
         + i``, the historical rule) and the compile step is paid once: all
         repetitions share one eager table, or one lazy table that
-        repetition 1 warms up for repetitions 2..n.
+        repetition 1 warms up for repetitions 2..n.  ``shards`` opts every
+        repetition into intra-run sharded execution.
         """
         policy = SeedPolicy(base_seed)
         if precompiled is None:
             precompiled = precompile_tables(protocol_factory(), backend)
         backend, compiled, table = precompiled
-        return [
+        results = [
             _run_synchronous(
                 graph,
                 protocol_factory(),
@@ -425,9 +495,13 @@ class Simulation:
                 backend=backend,
                 compiled=compiled,
                 table=table,
+                shards=shards,
             )
             for repetition in range(repetitions)
         ]
+        for result in results:
+            self._note_shards(result)
+        return results
 
     def sweep_protocol_objects(
         self,
@@ -496,6 +570,7 @@ class Simulation:
                 f"protocol {spec.protocol!r} is not spec-runnable (it has a "
                 f"custom runner); invoke it through the CLI or its own API"
             )
+        spec = _executor.resolve_spec_shards(spec)
         if self.store is None:
             return self._execute_spec(
                 spec, graph=graph, raise_on_timeout=raise_on_timeout
@@ -526,7 +601,7 @@ class Simulation:
             backend, compiled, table, reason = self._sync_bundle(
                 key, spec.build_protocol, spec.backend
             )
-            return _annotated_sync_run(
+            result = _annotated_sync_run(
                 reason,
                 graph,
                 spec.build_protocol(),
@@ -537,7 +612,10 @@ class Simulation:
                 backend=backend,
                 compiled=compiled,
                 table=table,
+                shards=spec.shards,
             )
+            self._note_shards(result)
+            return result
         compiled, table = self._async_bundle(key, spec.build_protocol, spec.backend)
         return _run_asynchronous(
             graph,
@@ -578,6 +656,7 @@ class Simulation:
         entry = spec.entry()
         if not entry.spec_runnable:
             raise SpecError(f"protocol {spec.protocol!r} is not spec-runnable")
+        spec = _executor.resolve_spec_shards(spec)
         if self.store is not None:
             from repro.api import store as _store
 
@@ -586,7 +665,9 @@ class Simulation:
                     spec, repetitions, raise_on_timeout=raise_on_timeout, workers=workers
                 )
             self.store.note_bypass()
-        count = _executor.effective_workers(workers)
+        count = _executor.budget_workers(
+            _executor.effective_workers(workers), spec.shards
+        )
         if count > 1 and repetitions > 1 and _executor.spec_shardable(spec):
             shards = _executor.shard_repetition_specs(spec, repetitions)
             tasks = [
@@ -617,6 +698,7 @@ class Simulation:
                 raise_on_timeout=raise_on_timeout,
                 backend=spec.backend,
                 precompiled=tuple(bundle),
+                shards=spec.shards,
             )
             if reason is not None:
                 for result in results:
@@ -672,7 +754,9 @@ class Simulation:
             if results[index] is None:
                 missing.append(index)
         if missing:
-            count = _executor.effective_workers(workers)
+            count = _executor.budget_workers(
+                _executor.effective_workers(workers), spec.shards
+            )
             miss_shards = [shards[index] for index in missing]
             if count > 1 and len(missing) > 1:
                 tasks = [
@@ -741,6 +825,7 @@ class Simulation:
         entry = spec.entry()
         if not entry.spec_runnable:
             raise SpecError(f"protocol {spec.protocol!r} is not spec-runnable")
+        spec = _executor.resolve_spec_shards(spec)
         if adversaries is not None and spec.environment != "async":
             raise SpecError("adversaries= requires an environment='async' spec")
         if families is None:
@@ -752,7 +837,9 @@ class Simulation:
         custom_inputs = inputs_for is not None
         if inputs_for is None and entry.inputs_factory is not None:
             inputs_for = _RegistryInputs(spec.protocol, dict(spec.inputs))
-        count = _executor.effective_workers(workers)
+        count = _executor.budget_workers(
+            _executor.effective_workers(workers), spec.shards
+        )
         use_store = False
         if self.store is not None:
             from repro.api import store as _store
@@ -763,9 +850,15 @@ class Simulation:
             use_store = _store.spec_cacheable(spec) and not custom_inputs
             if not use_store:
                 self.store.note_bypass()
-        if spec.environment == "sync" and count <= 1 and not use_store:
+        if (
+            spec.environment == "sync"
+            and count <= 1
+            and not use_store
+            and spec.shards is None
+        ):
             # The historical serial path: one shared warm table, records
-            # bitwise-identical to the legacy harness.
+            # bitwise-identical to the legacy harness.  Sharded sweeps take
+            # the cell-task path instead — its cells forward ``shards=``.
             bundle = self._sync_bundle(
                 spec.workload_key(), spec.build_protocol, spec.backend
             )

@@ -81,6 +81,14 @@ class RunSpec:
         without one.
     max_rounds / max_events:
         Execution budgets of the synchronous / asynchronous engines.
+    shards:
+        Intra-run sharded execution (sync only): split the graph across
+        this many shared-memory workers per run (see
+        :mod:`repro.scheduling.sharded_engine`).  ``None`` (the default)
+        keeps the legacy serial rng stream; any integer ``>= 1`` opts into
+        the shard-invariant counter rng stream — ``shards=1`` runs it
+        unsharded and is bitwise identical to every larger shard count.
+        Requires a shardable backend (``"vectorized"`` or ``"auto"``).
     """
 
     protocol: str
@@ -98,6 +106,7 @@ class RunSpec:
     inputs: dict[str, Any] = field(default_factory=dict)
     max_rounds: int = DEFAULT_MAX_ROUNDS
     max_events: int = DEFAULT_MAX_EVENTS
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if self.environment not in ENVIRONMENTS:
@@ -113,6 +122,21 @@ class RunSpec:
                 f"adversary {self.adversary!r} requires environment='async' "
                 f"(got {self.environment!r})"
             )
+        if self.shards is not None:
+            if not isinstance(self.shards, int) or self.shards < 1:
+                raise SpecError(
+                    f"shards must be a positive integer or None, got {self.shards!r}"
+                )
+            if self.environment != "sync":
+                raise SpecError(
+                    "shards= applies to the synchronous engine only "
+                    f"(got environment={self.environment!r})"
+                )
+            if self.backend == "python":
+                raise SpecError(
+                    "shards= requires a vectorized-capable backend "
+                    "('vectorized' or 'auto'), not backend='python'"
+                )
         for name in ("protocol_params", "graph_params", "adversary_params", "inputs"):
             value = getattr(self, name)
             if value is None:

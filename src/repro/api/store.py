@@ -58,7 +58,11 @@ from repro.core.results import ExecutionResult
 #: Bump it whenever the spec schema, the seed-derivation rules, or the
 #: payload encoding change meaning — old entries then read as
 #: wrong-schema (miss + repair) instead of being served with stale semantics.
-STORE_SCHEMA_VERSION = 1
+#: Version 2: ``RunSpec`` gained the ``shards`` field (intra-run sharded
+#: execution).  The shard *count* is canonicalized away — sharded results
+#: are shard-count-invariant — but sharded (counter-rng) and unsharded
+#: (legacy serial rng) runs draw different random streams and hash apart.
+STORE_SCHEMA_VERSION = 2
 
 #: Reserved tag keys of the canonical payload encoding.
 _TAGS = frozenset({"$t", "$s", "$d", "$f", "$b", "$o"})
@@ -249,6 +253,13 @@ def canonical_spec_payload(spec: RunSpec | Mapping[str, Any]) -> dict[str, Any]:
         raise StorePayloadError(
             f"cannot hash {type(spec).__name__}; expected a RunSpec or a mapping"
         )
+    # Sharded execution is shard-count-invariant by contract (the counter
+    # rng stream is a pure function of seed, round and node id), so any
+    # shards >= 1 canonicalizes to 1 and shares one cache entry; ``None``
+    # (the legacy serial rng stream) is a different random process and
+    # keeps its own address.
+    if data.get("shards") is not None:
+        data["shards"] = 1
     return {
         "schema": STORE_SCHEMA_VERSION,
         "spec": _normalize_json(data, context=f"spec {data.get('protocol')!r}"),

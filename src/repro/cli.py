@@ -95,12 +95,21 @@ def _backend_fields(result) -> dict:
     mode = result.metadata.get("backend_mode")
     if mode is None or mode == "interpreted":
         label = backend
+    elif mode == "sharded":
+        label = f"{backend} (sharded)"
     else:
         label = f"{backend} ({mode} table)"
     fields = {"backend": label}
     reason = result.metadata.get("backend_reason")
     if reason:
         fields["backend reason"] = reason
+    shard_count = result.metadata.get("shard_count")
+    if shard_count is not None:
+        fields["shards"] = (
+            f"{shard_count} ({result.metadata.get('partition_strategy')} "
+            f"partition, cut={result.metadata.get('cut_edges')}, "
+            f"halo={result.metadata.get('halo_bytes_per_round')} B/round)"
+        )
     return fields
 
 
@@ -182,6 +191,7 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
         inputs=inputs,
         max_rounds=args.max_rounds,
         max_events=getattr(args, "max_events", 5_000_000),
+        shards=getattr(args, "shards", None),
     )
 
 
@@ -447,6 +457,12 @@ def _add_run_arguments(
                         help="dispatch repeated runs to this many worker "
                              "processes; results are identical to serial "
                              "execution (default: $REPRO_WORKERS or serial)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="split each synchronous run across this many "
+                             "shared-memory shard workers (counter rng "
+                             "stream; identical results for any shard "
+                             "count >= 1; composes with --workers under a "
+                             "core budget; default: $REPRO_SHARDS or off)")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="attach a content-addressable result store: "
                              "seeded runs are served from DIR when their "

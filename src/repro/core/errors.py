@@ -49,6 +49,20 @@ class ProtocolNotVectorizableError(ExecutionError):
     """
 
 
+class ShardingUnavailableError(ExecutionError):
+    """A run cannot execute on the sharded backend as requested.
+
+    Raised during sharded-engine construction when the workload shape rules
+    multi-worker execution out — a protocol whose tabulation hint demands a
+    lazy (incrementally grown) table, or a platform without POSIX shared
+    memory.  The backend selection in :func:`repro.scheduling.sync_engine.
+    run_synchronous` catches it and falls back to the *unsharded* vectorized
+    engine with the same counter rng stream, recording the reason in result
+    metadata — results are identical either way, only the parallelism is
+    lost.
+    """
+
+
 class ExecutorError(ExecutionError):
     """The multiprocess spec executor could not dispatch or merge a workload.
 

@@ -14,6 +14,11 @@ from collections.abc import Iterable, Iterator, Sequence
 
 from repro.core.errors import GraphError
 
+try:  # NumPy is optional for the core graph type (engines require it).
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    _np = None
+
 
 class Graph:
     """A finite, simple, undirected graph on nodes ``0 .. n-1``.
@@ -29,7 +34,7 @@ class Graph:
         edges (in either orientation) are collapsed.
     """
 
-    __slots__ = ("_n", "_adjacency", "_edges")
+    __slots__ = ("_n", "_adjacency", "_edges", "_csr")
 
     def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if num_nodes < 0:
@@ -54,6 +59,7 @@ class Graph:
             tuple(sorted(neighbours)) for neighbours in neighbour_sets
         )
         self._edges: tuple[tuple[int, int], ...] = tuple(sorted(edge_set))
+        self._csr = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors                                                    #
@@ -102,20 +108,33 @@ class Graph:
         """The full adjacency structure (tuple of sorted neighbour tuples)."""
         return self._adjacency
 
-    def csr_adjacency(self) -> tuple[list[int], list[int]]:
-        """The adjacency in CSR form: ``(indptr, indices)``.
+    def csr_adjacency(self):
+        """The adjacency in CSR form: ``(indptr, indices)``, cached.
 
         ``indices[indptr[v]:indptr[v+1]]`` are the (sorted) neighbours of
-        ``v``; both directions of every edge appear.  The lists are plain
-        Python so this module stays dependency-free — the vectorized engine
-        wraps them into NumPy arrays.
+        ``v``; both directions of every edge appear.  When NumPy is
+        available the arrays are read-only ``int64`` ndarrays built once per
+        instance, so every engine construction (and every shard worker)
+        shares the same buffers instead of rebuilding O(m) Python lists.
+        Without NumPy, plain Python lists are returned (and cached) so this
+        module stays dependency-free.
         """
+        if self._csr is not None:
+            return self._csr
         indptr = [0] * (self._n + 1)
         indices: list[int] = []
         for v, neighbours in enumerate(self._adjacency):
             indices.extend(neighbours)
             indptr[v + 1] = len(indices)
-        return indptr, indices
+        if _np is not None:
+            indptr_arr = _np.asarray(indptr, dtype=_np.int64)
+            indices_arr = _np.asarray(indices, dtype=_np.int64)
+            indptr_arr.flags.writeable = False
+            indices_arr.flags.writeable = False
+            self._csr = (indptr_arr, indices_arr)
+        else:
+            self._csr = (indptr, indices)
+        return self._csr
 
     def __len__(self) -> int:
         return self._n

@@ -1,0 +1,195 @@
+"""Topology-aware node partitioning for sharded execution.
+
+Sharded execution slices the node set ``0..n-1`` into ``shards`` contiguous
+ranges, one per worker.  A worker only needs remote data for edges that
+cross a range boundary ("cut edges"), so the quality of a partition is its
+cut size — fewer cut edges means less halo traffic per round.
+
+Slicing the *original* node order is usually terrible: generators hand out
+ids in construction order, not locality order.  We therefore compute a
+permutation of the node ids first — a breadth-first ordering from a
+low-degree root, which places neighbours near each other for the
+bounded-degree topologies the paper targets (paths, trees, sparse Gnp) —
+and slice the permuted order into equal-size ranges.  The permutation is a
+pure relabelling: engines apply it on the way in and invert it on the way
+out, so results are always reported in original node ids.
+
+Everything here is plain NumPy on the CSR arrays from
+:meth:`repro.graphs.graph.Graph.csr_adjacency`; the BFS is level-vectorized
+(one :func:`numpy.unique` per frontier) so partitioning a million-node
+graph costs a few tens of milliseconds, not a Python-loop eternity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import GraphError
+
+#: Recognised locality strategies for :func:`partition_graph`.
+PARTITION_STRATEGIES = ("bfs", "none")
+
+
+@dataclass(frozen=True)
+class NodePartition:
+    """A locality permutation plus contiguous shard ranges.
+
+    Attributes
+    ----------
+    perm:
+        ``perm[old] = new`` — maps an original node id to its permuted id.
+    inv:
+        ``inv[new] = old`` — the inverse mapping (``perm[inv] == arange``).
+    bounds:
+        ``num_shards + 1`` offsets into the *permuted* id space; shard ``s``
+        owns permuted nodes ``bounds[s]:bounds[s + 1]``.
+    cut_edges:
+        Number of undirected edges whose endpoints land in different shards.
+    strategy:
+        The locality strategy that produced the permutation.
+    """
+
+    perm: np.ndarray
+    inv: np.ndarray
+    bounds: np.ndarray
+    cut_edges: int
+    strategy: str = "bfs"
+
+    num_nodes: int = field(init=False)
+    num_shards: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "num_nodes", int(self.perm.shape[0]))
+        object.__setattr__(self, "num_shards", int(self.bounds.shape[0]) - 1)
+
+    def shard_of(self, permuted_node: int) -> int:
+        """The shard owning *permuted_node* (permuted id space)."""
+        return int(np.searchsorted(self.bounds, permuted_node, side="right")) - 1
+
+
+def bfs_order(indptr, indices, num_nodes: int) -> np.ndarray:
+    """A breadth-first visitation order covering every component.
+
+    Returns ``order`` with ``order[k]`` = the ``k``-th original node id
+    visited.  Each component is explored from its lowest-id unvisited node;
+    within a frontier, nodes are visited in ascending id order (``np.unique``)
+    so the order is deterministic.  Level-vectorized: per BFS level we gather
+    all frontier neighbours with one ``repeat``/fancy-index pass.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    order = np.empty(num_nodes, dtype=np.int64)
+    visited = np.zeros(num_nodes, dtype=bool)
+    filled = 0
+    root_scan = 0  # forward-only pointer: everything before it is visited
+    while filled < num_nodes:
+        while visited[root_scan]:
+            root_scan += 1
+        frontier = np.asarray([root_scan], dtype=np.int64)
+        visited[root_scan] = True
+        while frontier.size:
+            order[filled : filled + frontier.size] = frontier
+            filled += frontier.size
+            counts = indptr[frontier + 1] - indptr[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            starts = np.repeat(indptr[frontier], counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            neighbours = indices[starts + offsets]
+            fresh = np.unique(neighbours[~visited[neighbours]])
+            visited[fresh] = True
+            frontier = fresh
+    return order
+
+
+def shard_bounds(num_nodes: int, num_shards: int) -> np.ndarray:
+    """Contiguous, balanced shard offsets: ``num_shards + 1`` values.
+
+    The first ``num_nodes % num_shards`` shards receive one extra node, so
+    range sizes differ by at most one.
+    """
+    if num_shards < 1:
+        raise GraphError(f"num_shards must be >= 1, got {num_shards}")
+    base, extra = divmod(num_nodes, num_shards)
+    sizes = np.full(num_shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(num_shards + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def permute_csr(indptr, indices, perm, inv):
+    """The CSR adjacency relabelled by *perm* (``new = perm[old]``).
+
+    Row ``v`` of the result lists ``perm[neighbours(inv[v])]``.  Neighbour
+    order within a row follows the original row of ``inv[v]`` — engines
+    never rely on intra-row order, only on row membership.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.asarray(inv, dtype=np.int64)
+    degrees = indptr[1:] - indptr[:-1]
+    new_degrees = degrees[inv]
+    new_indptr = np.zeros(indptr.shape[0], dtype=np.int64)
+    np.cumsum(new_degrees, out=new_indptr[1:])
+    total = int(new_indptr[-1])
+    starts = np.repeat(indptr[inv], new_degrees)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        new_indptr[:-1], new_degrees
+    )
+    new_indices = perm[indices[starts + offsets]]
+    return new_indptr, new_indices
+
+
+def count_cut_edges(indptr, indices, bounds) -> int:
+    """Undirected edges crossing a shard boundary (permuted id space)."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    num_nodes = indptr.shape[0] - 1
+    degrees = indptr[1:] - indptr[:-1]
+    src = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+    shard_src = np.searchsorted(bounds, src, side="right") - 1
+    shard_dst = np.searchsorted(bounds, indices, side="right") - 1
+    # Every undirected edge appears twice in the CSR, once per direction.
+    return int(np.count_nonzero(shard_src != shard_dst)) // 2
+
+
+def partition_graph(graph, num_shards: int, *, strategy: str = "bfs") -> NodePartition:
+    """Partition *graph* into ``num_shards`` contiguous permuted ranges.
+
+    ``strategy="bfs"`` (default) relabels nodes in breadth-first order
+    before slicing, which keeps most edges within a shard on the sparse
+    bounded-degree topologies this project targets.  ``strategy="none"``
+    keeps the identity labelling (useful as a baseline and for debugging).
+    """
+    if strategy not in PARTITION_STRATEGIES:
+        raise GraphError(
+            f"unknown partition strategy {strategy!r}; expected one of "
+            f"{PARTITION_STRATEGIES}"
+        )
+    n = graph.num_nodes
+    indptr, indices = graph.csr_adjacency()
+    if strategy == "none" or n == 0:
+        inv = np.arange(n, dtype=np.int64)
+        perm = inv.copy()
+    else:
+        inv = bfs_order(indptr, indices, n)
+        perm = np.empty(n, dtype=np.int64)
+        perm[inv] = np.arange(n, dtype=np.int64)
+    bounds = shard_bounds(n, num_shards)
+    if bounds.shape[0] == 2:  # single shard: nothing crosses
+        cut = 0
+    else:
+        new_indptr, new_indices = permute_csr(indptr, indices, perm, inv)
+        cut = count_cut_edges(new_indptr, new_indices, bounds)
+    for arr in (perm, inv, bounds):
+        arr.flags.writeable = False
+    return NodePartition(
+        perm=perm, inv=inv, bounds=bounds, cut_edges=cut, strategy=strategy
+    )

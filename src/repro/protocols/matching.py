@@ -36,13 +36,16 @@ def maximal_matching_via_line_graph(
     seed: int | None = None,
     max_rounds: int = 100_000,
     backend: str = "auto",
+    shards: int | None = None,
 ) -> tuple[list[tuple[int, int]], ExecutionResult | None]:
     """Compute a maximal matching by running the Stone Age MIS on ``L(G)``.
 
     Returns the matching (a list of edges of *graph*) together with the
     :class:`~repro.core.results.ExecutionResult` of the underlying MIS run on
     the line graph (``None`` when the graph has no edges), so callers can
-    account for the round complexity of the reduction.
+    account for the round complexity of the reduction.  ``shards`` opts the
+    inner MIS run into intra-run sharded execution (the line graph is where
+    the work is — it has one node per edge of *graph*).
 
     Examples
     --------
@@ -55,7 +58,12 @@ def maximal_matching_via_line_graph(
     if line.num_nodes == 0:
         return [], None
     result = _run_synchronous(
-        line, MISProtocol(), seed=seed, max_rounds=max_rounds, backend=backend
+        line,
+        MISProtocol(),
+        seed=seed,
+        max_rounds=max_rounds,
+        backend=backend,
+        shards=shards,
     )
     chosen = mis_from_result(result)
     matching = [edge_of_node[node] for node in sorted(chosen)]

@@ -224,6 +224,117 @@ class BackendSelection:
     reason: str
 
 
+def _make_sharded_engine(
+    graph: Graph,
+    protocol: ExtendedProtocol | Protocol,
+    *,
+    backend: str,
+    seed: int | None,
+    inputs: Mapping[int, Any] | None,
+    observer: RoundObserver | None,
+    compiled,
+    table,
+    shards: int,
+):
+    """Instantiate the engine for a ``shards=`` request.
+
+    ``shards >= 2`` builds a :class:`~repro.scheduling.sharded_engine.
+    ShardedVectorizedEngine`; workloads the sharded backend cannot take
+    (lazy tables, empty graphs) fall back to the *unsharded* vectorized
+    engine on the same counter rng stream — results are identical either
+    way, so the fallback only costs parallelism and is recorded in the
+    selection reason.  ``shards == 1`` runs the unsharded counter-rng
+    engine directly: the parity reference for every larger shard count.
+    """
+    from repro.core.errors import ShardingUnavailableError
+    from repro.scheduling.vectorized_engine import VectorizedEngine
+
+    shards = int(shards)
+    if shards < 1:
+        raise ExecutionError(f"shards must be >= 1, got {shards}")
+
+    fallback_note = None
+    if shards >= 2 and table is not None:
+        fallback_note = (
+            "a lazy table was supplied (sharding requires the eager closure)"
+        )
+    elif shards >= 2:
+        from repro.scheduling.sharded_engine import ShardedVectorizedEngine
+
+        try:
+            engine = ShardedVectorizedEngine(
+                graph,
+                protocol,
+                seed=seed,
+                inputs=inputs,
+                observer=observer,
+                compiled=compiled,
+                shards=shards,
+            )
+        except ShardingUnavailableError as exc:
+            fallback_note = str(exc)
+        except ProtocolNotVectorizableError as exc:
+            if backend == "vectorized":
+                raise
+            reason = (
+                f"auto fell back to the interpreter (shards={shards} "
+                f"dropped): {exc}"
+            )
+            engine = SynchronousEngine(
+                graph, protocol, seed=seed, inputs=inputs, observer=observer
+            )
+            return engine, BackendSelection(backend, "python", "interpreted", reason)
+        else:
+            info = engine.shard_info
+            reason = (
+                f"eager table sharded over {info['shard_count']} workers "
+                f"({info['partition_strategy']} partition, "
+                f"cut={info['cut_edges']}); counter rng"
+            )
+            return engine, BackendSelection(backend, "vectorized", "sharded", reason)
+
+    try:
+        engine = VectorizedEngine(
+            graph,
+            protocol,
+            seed=seed,
+            inputs=inputs,
+            observer=observer,
+            compiled=compiled,
+            table=table,
+            rng_mode="counter",
+        )
+    except ProtocolNotVectorizableError as exc:
+        if backend == "vectorized":
+            raise
+        reason = (
+            f"auto fell back to the interpreter (shards={shards} dropped): {exc}"
+        )
+        engine = SynchronousEngine(
+            graph, protocol, seed=seed, inputs=inputs, observer=observer
+        )
+        return engine, BackendSelection(backend, "python", "interpreted", reason)
+    mode = engine.tabulation_mode
+    if fallback_note is not None:
+        reason = (
+            f"shards={shards} requested but {fallback_note}; ran unsharded "
+            f"({mode} table, counter rng)"
+        )
+    else:
+        reason = (
+            f"shards=1: unsharded vectorized run on the counter rng stream "
+            f"({mode} table)"
+        )
+    engine.shard_info = {
+        "shard_count": 1,
+        "cut_edges": 0,
+        "halo_bytes_per_round": 0,
+        "partition_strategy": "none",
+        "rng": "counter",
+    }
+    return engine, BackendSelection(backend, "vectorized", mode, reason)
+
+
 def _make_engine(
     graph: Graph,
     protocol: ExtendedProtocol | Protocol,
@@ -234,6 +345,7 @@ def _make_engine(
     observer: RoundObserver | None,
     compiled=None,
     table=None,
+    shards: int | None = None,
 ):
     """Instantiate the engine selected by *backend*.
 
@@ -245,10 +357,33 @@ def _make_engine(
     the vectorized backend and falls back to the interpreter for protocols
     whose state set is not enumerable, recording the reason.  All paths
     produce bitwise-identical results for the same seed.
+
+    ``shards`` opts into intra-run sharded execution (and the counter rng
+    stream — a *different* deterministic sequence from the default serial
+    stream; see :mod:`repro.scheduling.sharded_engine`).  It composes with
+    ``backend="vectorized"``/``"auto"`` only: the interpreter is serial by
+    construction, so ``backend="python"`` with ``shards=`` is an error.
     """
     if backend not in BACKENDS:
         raise ExecutionError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if shards is not None:
+        if backend == "python":
+            raise ExecutionError(
+                "shards= requires the vectorized backend; backend='python' "
+                "interprets nodes serially and cannot shard"
+            )
+        return _make_sharded_engine(
+            graph,
+            protocol,
+            backend=backend,
+            seed=seed,
+            inputs=inputs,
+            observer=observer,
+            compiled=compiled,
+            table=table,
+            shards=shards,
         )
     if backend != "python":
         from repro.scheduling.vectorized_engine import VectorizedEngine
@@ -294,6 +429,7 @@ def select_backend(
     backend: str = "auto",
     *,
     inputs: Mapping[int, Any] | None = None,
+    shards: int | None = None,
 ) -> BackendSelection:
     """Explain — without running anything — how *backend* would resolve.
 
@@ -306,9 +442,18 @@ def select_backend(
     the CLI prints); this pre-flight form is for callers that want the
     answer *before* committing to a workload.
     """
-    _, selection = _make_engine(
-        graph, protocol, backend=backend, seed=None, inputs=inputs, observer=None
+    engine, selection = _make_engine(
+        graph,
+        protocol,
+        backend=backend,
+        seed=None,
+        inputs=inputs,
+        observer=None,
+        shards=shards,
     )
+    close = getattr(engine, "close", None)
+    if close is not None:  # sharded engines own shared-memory segments
+        close()
     return selection
 
 
@@ -380,6 +525,7 @@ def _run_synchronous(
     backend: str = "python",
     compiled=None,
     table=None,
+    shards: int | None = None,
 ) -> ExecutionResult:
     """Build the selected engine and run it (internal primitive).
 
@@ -404,6 +550,11 @@ def _run_synchronous(
     both are ignored by the ``"python"`` backend.  The caller must guarantee
     the table was built from an equivalent protocol — the engine only
     cross-checks that the initial states are present.
+
+    ``shards`` opts into intra-run sharded execution (see
+    :mod:`repro.scheduling.sharded_engine`); the partition statistics are
+    recorded under ``"shard_count"``, ``"cut_edges"``,
+    ``"halo_bytes_per_round"`` and ``"partition_strategy"``.
     """
     record_engine_run("sync")
     engine, selection = _make_engine(
@@ -415,18 +566,31 @@ def _run_synchronous(
         observer=observer,
         compiled=compiled,
         table=table,
+        shards=shards,
     )
     annotation = dict(
         backend=selection.backend,
         backend_mode=selection.mode,
         backend_reason=selection.reason,
     )
+    shard_info = getattr(engine, "shard_info", None)
+    if shard_info is not None:
+        annotation.update(
+            shard_count=shard_info["shard_count"],
+            cut_edges=shard_info["cut_edges"],
+            halo_bytes_per_round=shard_info["halo_bytes_per_round"],
+            partition_strategy=shard_info["partition_strategy"],
+        )
     try:
         result = engine.run(max_rounds=max_rounds, raise_on_timeout=raise_on_timeout)
     except OutputNotReachedError as exc:
         if exc.result is not None:
             exc.result.metadata.update(annotation)
         raise
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:  # sharded engines own workers + segments
+            close()
     result.metadata.update(annotation)
     return result
 
@@ -451,6 +615,7 @@ def run_synchronous(
     backend: str = "python",
     compiled=None,
     table=None,
+    shards: int | None = None,
 ) -> ExecutionResult:
     """Deprecated shim: delegate to :meth:`repro.api.Simulation.run_protocol`.
 
@@ -473,6 +638,7 @@ def run_synchronous(
         backend=backend,
         compiled=compiled,
         table=table,
+        shards=shards,
     )
 
 

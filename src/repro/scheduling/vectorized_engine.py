@@ -27,7 +27,11 @@ the CSR adjacency of the graph:
    interpreted engine for the same seed.  With ``rng_mode="numpy"`` the
    draws come from a seeded :class:`numpy.random.Generator` in one
    vectorized call — faster on option-heavy protocols, but a different
-   (still reproducible) random sequence;
+   (still reproducible) random sequence.  With ``rng_mode="counter"`` each
+   draw is a pure hash of ``(seed, round, node id)`` — see
+   :func:`counter_picks` — which costs no generator state and is invariant
+   under node permutations and shard counts; it is the stream of sharded
+   execution (:mod:`repro.scheduling.sharded_engine`);
 4. **Delivery** — emitting nodes overwrite their last-letter slot and the
    message counter advances; output configurations are detected with a
    boolean mask over the state vector.
@@ -74,6 +78,7 @@ from repro.core.errors import (
 from repro.core.protocol import ExtendedProtocol, Protocol, State
 from repro.core.results import ExecutionResult, build_synchronous_result
 from repro.graphs.graph import Graph
+from repro.scheduling.adversary import _MASK64, _mix64_np, mix64
 
 # The table machinery lives in the shared compiled-execution core; the
 # re-exports keep the historical import path working.
@@ -85,6 +90,44 @@ from repro.scheduling.compiled import (  # noqa: F401
 )
 
 DEFAULT_MAX_ROUNDS = 100_000
+
+#: Stream tag keeping option-pick draws independent of the adversary streams.
+_PICK_STREAM = 0x5049_434B  # "PICK"
+#: Fixed base mixed in for unseeded runs so counter mode stays a pure function.
+_UNSEEDED_PICK_BASE = 0x5EED_C0DE_0BAD_F00D
+
+
+def counter_round_key(seed: int | None, round_index: int) -> int:
+    """The per-round base key of the counter rng stream.
+
+    A pure function of ``(seed, round_index)`` — no generator state — so any
+    partition of the node set can draw its slice of the round's randomness
+    independently.  Unseeded runs use a fixed base: counter mode is *always*
+    deterministic (unlike ``rng_mode="python"`` with ``seed=None``).
+    """
+    base = _UNSEEDED_PICK_BASE if seed is None else (seed & _MASK64) ^ _PICK_STREAM
+    return mix64(mix64(base) ^ (round_index & _MASK64))
+
+
+def counter_picks(seed, round_index, node_keys, option_count):
+    """Per-node uniform option picks from the counter rng stream.
+
+    ``pick[i] = SplitMix64(round_key ^ node_keys[i]) mod option_count[i]``
+    for every node with more than one option (single-option nodes take
+    index 0 without consuming randomness).  Because each draw depends only
+    on ``(seed, round_index, node_key)``, the stream is invariant under node
+    permutations and shard counts as long as ``node_keys`` carries the
+    *original* node ids — the determinism contract of sharded execution.
+    """
+    pick = np.zeros(option_count.shape[0], dtype=np.int64)
+    multi = option_count > 1
+    if multi.any():
+        key = np.uint64(counter_round_key(seed, round_index))
+        hashed = _mix64_np(key ^ node_keys[multi])
+        pick[multi] = (hashed % option_count[multi].astype(np.uint64)).astype(
+            np.int64
+        )
+    return pick
 
 
 class VectorizedEngine:
@@ -112,14 +155,17 @@ class VectorizedEngine:
         compiled: CompiledProtocol | None = None,
         table: LazyExtendedTable | None = None,
         rng_mode: str = "python",
+        rng_node_keys=None,
     ) -> None:
         _require_numpy()
         if not isinstance(protocol, (ExtendedProtocol, Protocol)):
             raise ExecutionError(
                 f"cannot execute object of type {type(protocol).__name__}"
             )
-        if rng_mode not in ("python", "numpy"):
+        if rng_mode not in ("python", "numpy", "counter"):
             raise ExecutionError(f"unknown rng_mode {rng_mode!r}")
+        if rng_node_keys is not None and rng_mode != "counter":
+            raise ExecutionError("rng_node_keys= requires rng_mode='counter'")
         if compiled is not None and table is not None:
             raise ExecutionError(
                 "pass either compiled= (eager table) or table= (lazy table), "
@@ -132,6 +178,25 @@ class VectorizedEngine:
         self._rng_mode = rng_mode
         self._rng = rng if rng is not None else random.Random(seed)
         self._np_rng = np.random.default_rng(seed) if rng_mode == "numpy" else None
+        if rng_mode == "counter":
+            # The per-node keys of the counter stream: original node ids by
+            # default; a permuted run passes the inverse permutation so each
+            # node keeps drawing under its original identity.
+            if rng_node_keys is None:
+                self._node_keys = np.arange(graph.num_nodes, dtype=np.uint64)
+            else:
+                self._node_keys = np.ascontiguousarray(
+                    rng_node_keys, dtype=np.uint64
+                )
+                if self._node_keys.shape != (graph.num_nodes,):
+                    raise ExecutionError(
+                        "rng_node_keys must hold one key per node "
+                        f"(expected {graph.num_nodes}, got {self._node_keys.shape})"
+                    )
+        else:
+            self._node_keys = None
+        #: Populated by the sharded front end; surfaces in result metadata.
+        self.shard_info: dict[str, Any] | None = None
 
         inputs = dict(inputs or {})
         initial_states = [
@@ -228,6 +293,10 @@ class VectorizedEngine:
     # ------------------------------------------------------------------ #
     def _draw_picks(self, option_count) -> "np.ndarray":
         """Per-node option indices; multi-option nodes draw uniform randoms."""
+        if self._rng_mode == "counter":
+            return counter_picks(
+                self._seed, self._round, self._node_keys, option_count
+            )
         pick = np.zeros(len(option_count), dtype=np.int64)
         multi = option_count > 1
         if multi.any():
@@ -362,6 +431,7 @@ def run_vectorized(
     compiled: CompiledProtocol | None = None,
     table: LazyExtendedTable | None = None,
     rng_mode: str = "python",
+    rng_node_keys=None,
 ) -> ExecutionResult:
     """Convenience wrapper: compile, build a :class:`VectorizedEngine`, run it.
 
@@ -379,5 +449,6 @@ def run_vectorized(
         compiled=compiled,
         table=table,
         rng_mode=rng_mode,
+        rng_node_keys=rng_node_keys,
     )
     return engine.run(max_rounds=max_rounds, raise_on_timeout=raise_on_timeout)

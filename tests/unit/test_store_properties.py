@@ -56,9 +56,11 @@ def specs_strategy(draw):
     if environment == "async":
         adversary = draw(st.none() | st.sampled_from(["uniform", "bursty"]))
         adversary_seed = draw(st.none() | st.integers(min_value=0, max_value=2**31))
+        shards = None
     else:
         adversary = None
         adversary_seed = None
+        shards = draw(st.none() | st.integers(min_value=1, max_value=8))
     params = st.dictionaries(st.text(min_size=1, max_size=6), json_values, max_size=3)
     return RunSpec(
         protocol=draw(st.sampled_from(["mis", "coloring", "broadcast"])),
@@ -74,6 +76,7 @@ def specs_strategy(draw):
         inputs=draw(params),
         max_rounds=draw(st.integers(min_value=1, max_value=10**6)),
         max_events=draw(st.integers(min_value=1, max_value=10**7)),
+        shards=shards,
     )
 
 
@@ -137,6 +140,25 @@ def test_nested_param_change_changes_hash(spec, value):
 
 
 @COMMON
+@given(spec=specs, shards_a=st.integers(1, 16), shards_b=st.integers(1, 16))
+def test_hash_is_shard_count_invariant(spec, shards_a, shards_b):
+    """Sharded results are shard-count-invariant, so the hash must be too.
+
+    Any ``shards >= 1`` selects the same counter rng stream and therefore
+    the same result — one cache entry serves them all.  ``shards=None``
+    (the legacy serial rng) is a different random process and must keep a
+    distinct address.
+    """
+    if spec.environment != "sync":
+        spec = spec.replace(environment="sync", adversary=None, adversary_seed=None)
+    sharded_a = spec.replace(shards=shards_a)
+    sharded_b = spec.replace(shards=shards_b)
+    unsharded = spec.replace(shards=None)
+    assert spec_hash(sharded_a) == spec_hash(sharded_b)
+    assert spec_hash(sharded_a) != spec_hash(unsharded)
+
+
+@COMMON
 @given(spec=specs)
 def test_canonical_json_is_deterministic(spec):
     """Two renderings of the same spec are byte-identical."""
@@ -188,20 +210,25 @@ def test_frozenset_round_trip_is_order_independent(value):
 #: canonicalization rules change — and any such change must come with a
 #: STORE_SCHEMA_VERSION bump (which changes every hash by construction).
 GOLDEN_HASHES = {
-    "e139c9e0e58378b2a96e8578e1a6b695fd5a9c66e053117d9b4cec325db02432": RunSpec(
+    "516dc7b454796edb3c3f87391e0f0eaf2c37600180e7313ce73ae92ce687237d": RunSpec(
         protocol="mis", nodes=32, seed=5
     ),
-    "31c2ea93a0c0c0a5e6b3eb35c862c37cd10dd4b33829984b66dcf00744669e70": RunSpec(
+    "3e8849ea5674a58b56e0a9eed3d7a7fff8a0b4f2e37f1478927f69fe616d4666": RunSpec(
         protocol="coloring", nodes=16, seed=3, graph="random_tree"
     ),
-    "03283e355d39f2c371dcd8e531e74e82f787bf0c6a967a40641f427b28b9ca0f": RunSpec(
+    "c0901fe24a329493f891789bcf35d8f471cf2bf56f8164028620ee598c31bd97": RunSpec(
         protocol="mis", environment="async", nodes=12, seed=7, adversary="uniform"
+    ),
+    # Sharded spec: shards=4 canonicalizes to shards=1 inside the digest.
+    "aa1a5da3468304f22809d09fa73c1d46dfddee342fc1ca1dcb1cbbbe63481b85": RunSpec(
+        protocol="mis", nodes=32, seed=5, shards=4
     ),
 }
 
 
 def test_schema_version_is_pinned():
-    assert STORE_SCHEMA_VERSION == 1
+    # Version 2: RunSpec gained the shards field (hashed as shards<=1).
+    assert STORE_SCHEMA_VERSION == 2
 
 
 @pytest.mark.parametrize("digest", sorted(GOLDEN_HASHES))
@@ -212,9 +239,9 @@ def test_golden_hashes(digest):
 def test_golden_canonical_json():
     """The full canonical rendering of one spec, byte for byte."""
     assert canonical_spec_json(RunSpec(protocol="mis", nodes=32, seed=5)) == (
-        '{"schema":1,"spec":{"adversary":null,"adversary_params":{},'
+        '{"schema":2,"spec":{"adversary":null,"adversary_params":{},'
         '"adversary_seed":null,"backend":"auto","environment":"sync",'
         '"graph":null,"graph_params":{},"graph_seed":null,"inputs":{},'
         '"max_events":5000000,"max_rounds":100000,"nodes":32,'
-        '"protocol":"mis","protocol_params":{},"seed":5}}'
+        '"protocol":"mis","protocol_params":{},"seed":5,"shards":null}}'
     )

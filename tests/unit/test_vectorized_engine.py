@@ -2,6 +2,7 @@
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.core.errors import (
@@ -235,6 +236,17 @@ class TestVectorizedEngine:
     def test_csr_adjacency_shape(self):
         graph = Graph(4, [(0, 1), (1, 2), (0, 3)])
         indptr, indices = graph.csr_adjacency()
-        assert indptr == [0, 2, 4, 5, 6]
-        assert indices == [1, 3, 0, 2, 1, 0]
+        assert list(indptr) == [0, 2, 4, 5, 6]
+        assert list(indices) == [1, 3, 0, 2, 1, 0]
         assert len(indices) == 2 * graph.num_edges
+
+    def test_csr_adjacency_is_cached_and_read_only(self):
+        graph = Graph(4, [(0, 1), (1, 2), (0, 3)])
+        first = graph.csr_adjacency()
+        second = graph.csr_adjacency()
+        assert first[0] is second[0] and first[1] is second[1]
+        indptr, indices = first
+        assert indptr.dtype == np.int64 and indices.dtype == np.int64
+        assert not indptr.flags.writeable and not indices.flags.writeable
+        with pytest.raises(ValueError):
+            indices[0] = 99
