@@ -89,3 +89,33 @@ def test_bench_pooled_sweep_speedup(experiment_recorder):
             f"pooled {POOL_WORKERS}-worker E1-style sweep",
             target=POOL_SPEEDUP_TARGET,
         )
+
+
+def test_bench_pooled_tables_are_published_not_rebuilt():
+    """Shared-table publication: workers never pay the table-build cost.
+
+    Before publication every pool worker re-compiled each distinct
+    workload's tables on first use — a k x build cost for k workers.  Now
+    the parent compiles each workload once, publishes the bundles through
+    a shared-memory segment, and the pool initializer seeds every worker's
+    session cache — so *all* worker-side lookups are cache hits, which the
+    merged cache counters make directly observable.
+    """
+    session = Simulation()
+    sweep = session.sweep(
+        RunSpec(protocol="mis", seed=1),
+        families=FAMILIES,
+        sizes=[32, 64],
+        repetitions=REPETITIONS,
+        workers=2,
+    )
+    assert sweep.all_valid()
+    info = session.cache_info()
+    cells = len(sweep.records)
+    # One lookup per cell, all hits: the k x rebuild cost is gone.
+    assert info["hits"] == cells
+    assert info["misses"] == 0
+    # Compiled tables depend on the protocol alone (not graph family or
+    # size), so the whole sweep is one published workload — one entry,
+    # built exactly once, parent-side.
+    assert info["entries"] == 1

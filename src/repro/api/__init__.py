@@ -29,6 +29,14 @@ available as deprecated shims) with three concepts:
   decorators — see docs/API.md for the extension guide.
 """
 
+from repro.api.backends import (
+    BACKEND_TOKENS,
+    BackendNegotiation,
+    BackendSpec,
+    Workload,
+    backend_census,
+    negotiate_backend,
+)
 from repro.api.executor import (
     WORKERS_ENV,
     effective_workers,
@@ -59,11 +67,14 @@ from repro.api import builtins as _builtins  # noqa: F401  (populates the regist
 
 __all__ = [
     "ADVERSARIES",
+    "BACKEND_TOKENS",
     "ENVIRONMENTS",
     "GRAPH_FAMILIES",
     "PROTOCOLS",
     "STORE_SCHEMA_VERSION",
     "WORKERS_ENV",
+    "BackendNegotiation",
+    "BackendSpec",
     "CellSeeds",
     "ProtocolEntry",
     "Registry",
@@ -71,8 +82,11 @@ __all__ = [
     "RunSpec",
     "SeedPolicy",
     "Simulation",
+    "Workload",
+    "backend_census",
     "canonical_spec_json",
     "effective_workers",
+    "negotiate_backend",
     "register_adversary",
     "register_graph_family",
     "register_protocol",

@@ -55,6 +55,7 @@ from repro.core.errors import (
     OutputNotReachedError,
     WorkerCrashError,
 )
+from repro.scheduling.sync_engine import _precompile_tables_with_reason
 
 #: Environment variable consulted when a call does not pass ``workers=``:
 #: ``REPRO_WORKERS=2 pytest`` runs every pool-safe repeat/sweep through a
@@ -251,6 +252,101 @@ def _worker_session():
     return _WORKER_SESSION
 
 
+# ---------------------------------------------------------------------- #
+# Shared-memory compiled-table publication                                 #
+# ---------------------------------------------------------------------- #
+def _published_sync_bundles(tasks: Sequence[SpecTask], session) -> dict:
+    """Compile each distinct sync workload of *tasks* once, parent-side.
+
+    Returns the ``{cache_key: bundle}`` mapping to publish to the pool.
+    Before publication, every worker re-ran the same compile for the same
+    workload — the k× table-build cost the session cache counters expose;
+    compiling here warms the dispatching session's own cache too, so the
+    parent pays each tabulation exactly once for the whole pool.
+    """
+    if session is None:
+        return {}
+    bundles: dict = {}
+    for task in tasks:
+        try:
+            spec = RunSpec.from_dict(task.spec)
+        except Exception:  # malformed specs fail later, in the worker
+            continue
+        if spec.environment != "sync":
+            continue
+        key = ("sync",) + spec.workload_key()
+        if key in bundles:
+            continue
+        cached = session._tables.get(key)
+        if cached is not None:
+            bundles[key] = cached
+            continue
+        try:
+            # Bypass ``_sync_bundle`` deliberately: the hit/miss counters
+            # track per-task lookups, and this pre-pass is not a task.  The
+            # built bundle still lands in the parent cache so later parent
+            # lookups of the same workload are hits.
+            bundle = _precompile_tables_with_reason(
+                spec.build_protocol(), spec.backend
+            )
+        except Exception:
+            # Compile-time failures (including strict-backend rejections)
+            # must surface from the executing side with the task attached,
+            # not from this opportunistic pre-pass.
+            continue
+        session._tables[key] = bundle
+        bundles[key] = bundle
+    return bundles
+
+
+def _publish_tables(bundles: dict):
+    """Pickle *bundles* into a read-only shared-memory segment.
+
+    Returns the live segment (the parent closes and unlinks it after the
+    pool shuts down) or ``None`` when there is nothing to publish or the
+    platform/payload cannot carry it — publication is a pure optimization,
+    so every failure degrades to the legacy per-worker compile.
+    """
+    if not bundles:
+        return None
+    try:
+        from multiprocessing import shared_memory
+
+        payload = pickle.dumps(bundles, protocol=pickle.HIGHEST_PROTOCOL)
+        shm = shared_memory.SharedMemory(
+            name=f"repro_tables_{os.getpid()}_{id(bundles) & 0xFFFF:x}",
+            create=True,
+            size=len(payload) + 8,
+        )
+        shm.buf[:8] = len(payload).to_bytes(8, "little")
+        shm.buf[8 : 8 + len(payload)] = payload
+        return shm
+    except Exception:  # noqa: BLE001 — optimization only, never fatal
+        return None
+
+
+def _worker_adopt_tables(segment_name: str) -> None:
+    """Pool initializer: map the published tables into this worker's session.
+
+    Workers attach the parent's segment read-only, unpickle their own copy
+    of the bundles and seed the long-lived worker session's table cache, so
+    the first task of every workload is a cache *hit* instead of a rebuild.
+    Any failure leaves the worker on the legacy compile-on-first-use path.
+    """
+    try:
+        from repro.scheduling.sharded_engine import _attach_segment
+
+        shm = _attach_segment(segment_name)
+        try:
+            size = int.from_bytes(bytes(shm.buf[:8]), "little")
+            bundles = pickle.loads(bytes(shm.buf[8 : 8 + size]))
+        finally:
+            shm.close()
+        _worker_session().adopt_published_tables(bundles)
+    except Exception:  # noqa: BLE001 — optimization only, never fatal
+        pass
+
+
 def _execute_task(task: SpecTask, session) -> Any:
     """Run one task on *session* and return its value (result or record)."""
     spec = RunSpec.from_dict(task.spec)
@@ -367,9 +463,17 @@ def _execute_pooled(tasks: Sequence[SpecTask], workers: int, session) -> list[An
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
+    shm = _publish_tables(_published_sync_bundles(tasks, session))
+    pool_kwargs: dict[str, Any] = {}
+    if shm is not None:
+        pool_kwargs = dict(
+            initializer=_worker_adopt_tables, initargs=(shm.name,)
+        )
     try:
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks)), mp_context=_pool_context()
+            max_workers=min(workers, len(tasks)),
+            mp_context=_pool_context(),
+            **pool_kwargs,
         ) as pool:
             outcomes = list(pool.map(run_task, tasks))
     except BrokenProcessPool as exc:
@@ -378,6 +482,13 @@ def _execute_pooled(tasks: Sequence[SpecTask], workers: int, session) -> list[An
             "(killed, out of memory, or crashed in native code); "
             "the pool was shut down cleanly"
         ) from exc
+    finally:
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # noqa: BLE001 — cleanup must never mask results
+                pass
     return _merge_outcomes(outcomes, session=session)
 
 

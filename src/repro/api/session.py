@@ -4,9 +4,10 @@ A session owns the three concerns that used to be re-threaded by hand
 through a scatter of free functions (``run_synchronous``,
 ``run_asynchronous``, ``repeat_synchronous``, ``sweep_protocol``):
 
-* **backend selection** — specs say ``"python" | "vectorized" | "auto"``
-  once; the engines record what actually ran (and why) in
-  ``result.metadata``;
+* **backend selection** — specs say
+  ``"python" | "vectorized" | "kernel" | "auto"`` once; the engines
+  negotiate the tier through :func:`repro.api.backends.negotiate_backend`
+  and record what actually ran (and why) in ``result.metadata``;
 * **compiled-table caching** — the synchronizer/multiquery compile step and
   the dense/lazy transition tables are built once per workload and stay
   warm across :meth:`Simulation.simulate`, :meth:`Simulation.repeat` and
@@ -237,6 +238,7 @@ class Simulation:
         self._tables: dict[tuple, tuple] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._adopted_tables = 0
         self._shard_stats: dict[str, int] = {
             "runs": 0,
             "cut_edges": 0,
@@ -294,7 +296,31 @@ class Simulation:
             info["store"] = self.store.stats()
         if self._shard_stats["runs"] > 0:
             info["sharding"] = dict(self._shard_stats)
+        if self._adopted_tables > 0:
+            info["adopted_tables"] = self._adopted_tables
         return info
+
+    def adopt_published_tables(self, tables: Mapping[tuple, tuple]) -> int:
+        """Seed the table cache with bundles published by a pool parent.
+
+        The shared-memory publication path of :mod:`repro.api.executor`
+        hands every worker the parent's precompiled bundles so the first
+        task of each workload is a cache hit instead of a rebuild —
+        eliminating the k× table-build cost pooled sweeps used to pay.
+        Adopted entries do not touch the hit/miss counters (nothing was
+        looked up); the count is reported by :meth:`cache_info` under
+        ``"adopted_tables"`` when nonzero.  Existing keys are kept — a
+        warm local table is never replaced.  Returns how many entries
+        were adopted.
+        """
+        adopted = 0
+        for key, bundle in tables.items():
+            if key in self._tables:
+                continue
+            self._tables[key] = bundle
+            adopted += 1
+        self._adopted_tables += adopted
+        return adopted
 
     def absorb_worker_cache(self, hits: int, misses: int) -> None:
         """Fold worker-pool cache counters into this session's stats.

@@ -22,8 +22,9 @@ from repro.api import registry as _registry
 #: Recognised execution environments.
 ENVIRONMENTS = ("sync", "async")
 
-#: Recognised backend tokens (mirrors the engines' ``BACKENDS``).
-SPEC_BACKENDS = ("python", "vectorized", "auto")
+#: Recognised backend tokens (mirrors the engines' ``BACKENDS`` and the
+#: registry of :mod:`repro.api.backends`).
+SPEC_BACKENDS = ("python", "vectorized", "kernel", "auto")
 
 DEFAULT_MAX_ROUNDS = 100_000
 DEFAULT_MAX_EVENTS = 5_000_000
@@ -57,9 +58,10 @@ class RunSpec:
         (:func:`repro.compilers.compile_to_asynchronous`) and executes it
         under an adversarial schedule.
     backend:
-        ``"python"``, ``"vectorized"`` or ``"auto"`` — forwarded to the
-        engines, which record the selection and its reason in
-        ``result.metadata``.
+        ``"python"``, ``"vectorized"``, ``"kernel"`` or ``"auto"`` —
+        forwarded to the engines, which negotiate the tier (see
+        :mod:`repro.api.backends`) and record the selection and its reason
+        in ``result.metadata``.
     seed:
         Protocol seed of a single :meth:`~repro.api.Simulation.simulate`
         run, and the *base* seed :class:`~repro.api.SeedPolicy` derives
@@ -88,7 +90,8 @@ class RunSpec:
         keeps the legacy serial rng stream; any integer ``>= 1`` opts into
         the shard-invariant counter rng stream — ``shards=1`` runs it
         unsharded and is bitwise identical to every larger shard count.
-        Requires a shardable backend (``"vectorized"`` or ``"auto"``).
+        Requires a shardable backend (``"vectorized"``, ``"kernel"`` or
+        ``"auto"``).
     """
 
     protocol: str
@@ -135,7 +138,7 @@ class RunSpec:
             if self.backend == "python":
                 raise SpecError(
                     "shards= requires a vectorized-capable backend "
-                    "('vectorized' or 'auto'), not backend='python'"
+                    "('vectorized', 'kernel' or 'auto'), not backend='python'"
                 )
         for name in ("protocol_params", "graph_params", "adversary_params", "inputs"):
             value = getattr(self, name)

@@ -62,7 +62,10 @@ from repro.core.results import ExecutionResult
 #: execution).  The shard *count* is canonicalized away — sharded results
 #: are shard-count-invariant — but sharded (counter-rng) and unsharded
 #: (legacy serial rng) runs draw different random streams and hash apart.
-STORE_SCHEMA_VERSION = 2
+#: Version 3: the ``backend`` field is canonicalized away entirely — every
+#: tier (python, vectorized, kernel, auto) is bitwise-identical for the
+#: same seeds by the parity contract, so warm stores replay across tiers.
+STORE_SCHEMA_VERSION = 3
 
 #: Reserved tag keys of the canonical payload encoding.
 _TAGS = frozenset({"$t", "$s", "$d", "$f", "$b", "$o"})
@@ -260,6 +263,10 @@ def canonical_spec_payload(spec: RunSpec | Mapping[str, Any]) -> dict[str, Any]:
     # keeps its own address.
     if data.get("shards") is not None:
         data["shards"] = 1
+    # Backend tiers are bitwise-identical for the same seeds (the kernel
+    # parity contract), so the requested tier canonicalizes away entirely
+    # and a result computed on any tier warms every other tier's lookups.
+    data["backend"] = "auto"
     return {
         "schema": STORE_SCHEMA_VERSION,
         "spec": _normalize_json(data, context=f"spec {data.get('protocol')!r}"),

@@ -12,6 +12,8 @@ flags and executes it through a :class:`repro.api.Simulation` session::
     python -m repro run luby --nodes 64           # LOCAL-model baseline
     python -m repro run mis --repetitions 8 --workers 4   # pooled repeats
     python -m repro run --list                    # registry census
+    python -m repro run --list-backends           # backend tier ladder
+    python -m repro run mis --backend kernel      # compiled-kernel tier
     python -m repro run --spec workload.json      # serialized RunSpec
     python -m repro run mis -r 6 --store cache/   # content-addressed results
     python -m repro experiment E1 --quick --workers 4
@@ -161,6 +163,28 @@ def _print_registry_list(as_json: bool) -> int:
     return 0
 
 
+def _print_backend_list(as_json: bool) -> int:
+    """``run --list-backends``: the capability census of the tier ladder."""
+    from repro.api.backends import backend_census
+
+    census = backend_census()
+    if as_json:
+        print(json.dumps(census, indent=2))
+        return 0
+    print("backends (rank = auto-selection preference, highest available wins):")
+    for row in census:
+        status = "available" if row["available"] else "UNAVAILABLE"
+        print(f"  [{row['rank']}] {row['name']:<11} {status:<12} {row['detail']}")
+        print(f"      {row['description']}")
+        print(
+            f"      environments={','.join(row['environments'])} "
+            f"tables={','.join(row['tabulation_modes'])} "
+            f"sharding={'yes' if row['supports_sharding'] else 'no'} "
+            f"counter-rng={'yes' if row['supports_counter_rng'] else 'no'}"
+        )
+    return 0
+
+
 def _spec_from_args(args: argparse.Namespace) -> RunSpec:
     """Build the :class:`RunSpec` described by the CLI flags."""
     if args.spec is not None:
@@ -198,6 +222,8 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
 def _cmd_run(args: argparse.Namespace) -> int:
     if getattr(args, "list", False):
         return _print_registry_list(args.json)
+    if getattr(args, "list_backends", False):
+        return _print_backend_list(args.json)
     if args.protocol is None and args.spec is None:
         print("error: name a protocol, pass --spec, or use --list", file=sys.stderr)
         return 2
@@ -233,23 +259,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     }
     if spec.environment == "async" and spec.adversary is not None:
         payload["adversary"] = spec.adversary
-    if entry.runner is not None:
-        fields, valid, result = entry.runner(session, spec, graph)
-        payload.update(fields)
-        if result is not None:
+    try:
+        if entry.runner is not None:
+            fields, valid, result = entry.runner(session, spec, graph)
+            payload.update(fields)
+            if result is not None:
+                payload.update(_backend_fields(result))
+        else:
+            result = session.simulate(spec, graph=graph, raise_on_timeout=False)
+            payload["cost"] = (
+                f"{result.cost:.1f} "
+                + ("time units" if spec.environment == "async" else "rounds")
+            )
+            if entry.summary is not None:
+                payload.update(entry.summary(graph, result))
             payload.update(_backend_fields(result))
-    else:
-        result = session.simulate(spec, graph=graph, raise_on_timeout=False)
-        payload["cost"] = (
-            f"{result.cost:.1f} "
-            + ("time units" if spec.environment == "async" else "rounds")
-        )
-        if entry.summary is not None:
-            payload.update(entry.summary(graph, result))
-        payload.update(_backend_fields(result))
-        valid = result.reached_output and (
-            entry.validator is None or entry.validator(graph, result)
-        )
+            valid = result.reached_output and (
+                entry.validator is None or entry.validator(graph, result)
+            )
+    except StoneAgeError as error:
+        # Strict backend requests the host cannot honour (e.g. --backend
+        # kernel without numba) fail loudly but cleanly.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     payload["valid"] = valid
     _emit(payload, args.json)
     return 0 if valid else 1
@@ -439,13 +471,16 @@ def _add_run_arguments(
     parser.add_argument("--nodes", "-n", type=int, default=64, help="number of nodes")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--max-rounds", type=int, default=100_000)
-    parser.add_argument("--backend", choices=("python", "vectorized", "auto"),
+    parser.add_argument("--backend",
+                        choices=("python", "vectorized", "kernel", "auto"),
                         default="auto",
                         help="execution backend (synchronous and asynchronous "
                              "runs alike): the interpreted reference engine, "
-                             "the vectorized NumPy engine, or automatic "
+                             "the vectorized NumPy engine, the compiled "
+                             "kernel tier (requires numba), or automatic "
                              "selection (default: %(default)s); all backends "
-                             "give identical results for a seed")
+                             "give identical results for a seed "
+                             "(see `run --list-backends`)")
     parser.add_argument("--param", action="append", metavar="KEY=VALUE",
                         help="protocol constructor parameter (repeatable)")
     parser.add_argument("--input", action="append", metavar="KEY=VALUE",
@@ -496,6 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="registered protocol name (see --list)")
     run.add_argument("--list", action="store_true",
                      help="list registered protocols, graph families and adversaries")
+    run.add_argument("--list-backends", action="store_true",
+                     help="list the backend tier ladder with availability "
+                          "and capabilities, then exit")
     _add_run_arguments(run)
     run.set_defaults(handler=_cmd_run)
 

@@ -11,8 +11,14 @@ adversarial timing      :class:`AsynchronousEngine` :class:`VectorizedAsynchrono
 ======================  ==========================  ============================
 
 Both :func:`run_synchronous` and :func:`run_asynchronous` take
-``backend="python" | "vectorized" | "auto"``; for any given seed the two
-backends of an environment produce identical results (terminating runs).
+``backend="python" | "vectorized" | "kernel" | "auto"``; for any given
+seed every backend of an environment produces identical results
+(terminating runs).  The ``kernel`` tier
+(:class:`KernelVectorizedEngine`, :mod:`repro.scheduling.kernels`) runs
+numba-compiled round/bucket loops when numba is installed; ``auto``
+resolves the ladder through
+:func:`repro.api.backends.negotiate_backend` and degrades loudly (the
+skipped tier and reason land in ``metadata["backend_reason"]``).
 
 The free-function entry points (``run_synchronous``, ``run_asynchronous``,
 ``repeat_synchronous``) are deprecated shims since the introduction of the
@@ -46,6 +52,10 @@ from repro.scheduling.compiled import (
     LazyStrictTable,
     compile_protocol,
 )
+from repro.scheduling.kernels import (
+    KernelVectorizedEngine,
+    kernel_availability,
+)
 from repro.scheduling.sync_engine import (
     BACKENDS,
     BackendSelection,
@@ -75,6 +85,7 @@ __all__ = [
     "CompiledProtocol",
     "CounterBasedSchedule",
     "ExponentialAdversary",
+    "KernelVectorizedEngine",
     "LazyExtendedTable",
     "LazyStrictTable",
     "SkewedRatesAdversary",
@@ -87,6 +98,7 @@ __all__ = [
     "compile_protocol",
     "default_adversary_suite",
     "derive_adversary_seed",
+    "kernel_availability",
     "precompile_tables",
     "repeat_synchronous",
     "run_asynchronous",

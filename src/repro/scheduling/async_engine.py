@@ -63,8 +63,9 @@ TransitionObserver = Callable[[TransitionRecord], None]
 
 DEFAULT_MAX_EVENTS = 5_000_000
 
-#: Recognised values of the asynchronous ``backend`` execution parameter.
-ASYNC_BACKENDS = ("python", "vectorized", "auto")
+#: Recognised values of the asynchronous ``backend`` execution parameter (the
+#: attempt order and capability rules live in :mod:`repro.api.backends`).
+ASYNC_BACKENDS = ("python", "vectorized", "kernel", "auto")
 
 #: Below this network size ``backend="auto"`` stays on the interpreter: the
 #: per-bucket array overhead only amortises once buckets hold enough steps.
@@ -293,26 +294,38 @@ def _run_asynchronous(
     ``backend`` selects the execution strategy — ``"python"`` (the
     interpreted reference engine), ``"vectorized"`` (time-bucketed event
     batches over lazily compiled tables, see :mod:`repro.scheduling.
-    vectorized_async_engine`) or ``"auto"`` (vectorized when the protocol
-    and the adversary support it *and* the network has at least
+    vectorized_async_engine`), ``"kernel"`` (the same event batching with
+    the bucket census/apply loops compiled, see :mod:`repro.scheduling.
+    kernels`) or ``"auto"`` (the best available batched tier when the
+    protocol and the adversary support it *and* the network has at least
     :data:`AUTO_VECTORIZE_MIN_NODES` nodes — below that the interpreter is
-    faster; interpreted otherwise).  Terminating runs produce identical
-    results for the same seeds on either backend.
+    faster; interpreted otherwise).  The attempt order comes from one
+    :func:`repro.api.backends.negotiate_backend` call.  Terminating runs
+    produce identical results for the same seeds on every backend.
 
     ``table`` optionally supplies a pre-warmed
     :class:`~repro.scheduling.compiled.LazyStrictTable` so repeated runs of
     the same protocol share one incremental tabulation; it is ignored by the
     ``"python"`` backend.  Observers are only supported by the interpreted
     engine — supplying one forces ``backend="python"`` semantics under
-    ``"auto"`` (and is rejected by ``"vectorized"``).
+    ``"auto"`` (and is rejected by the batched tiers).
     """
     record_engine_run("async")
     if backend not in ASYNC_BACKENDS:
         raise ExecutionError(
             f"unknown backend {backend!r}; expected one of {ASYNC_BACKENDS}"
         )
-    vectorize = backend == "vectorized" or (
-        backend == "auto" and graph.num_nodes >= AUTO_VECTORIZE_MIN_NODES
+    from repro.api.backends import Workload, negotiate_backend
+
+    negotiation = negotiate_backend(
+        Workload(environment="async", observer=observer is not None), backend
+    )
+    use_kernel = negotiation.chosen == "kernel"
+    note = negotiation.rejection_note()
+    vectorize = backend in ("vectorized", "kernel") or (
+        backend == "auto"
+        and graph.num_nodes >= AUTO_VECTORIZE_MIN_NODES
+        and negotiation.chosen != "python"
     )
     reason = None
     if vectorize and observer is None:
@@ -327,21 +340,20 @@ def _run_asynchronous(
                 adversary_seed=adversary_seed,
                 inputs=inputs,
                 table=table,
+                use_kernel=use_kernel,
             )
             result = engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
-            result.metadata.setdefault(
-                "backend_reason", "protocol and adversary support event batching"
-            )
+            batched_reason = "protocol and adversary support event batching"
+            if use_kernel:
+                batched_reason += "; compiled kernels"
+            if note:
+                batched_reason += f" ({note})"
+            result.metadata.setdefault("backend_reason", batched_reason)
             return result
         except ProtocolNotVectorizableError as exc:
-            if backend == "vectorized":
+            if backend != "auto":
                 raise
             reason = f"auto fell back to the interpreter: {exc}"
-    elif backend == "vectorized" and observer is not None:
-        raise ExecutionError(
-            "the vectorized asynchronous backend does not support per-transition "
-            "observers; use backend='python'"
-        )
     if reason is None:
         if backend == "python":
             reason = "backend='python' requested"

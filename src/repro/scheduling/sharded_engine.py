@@ -93,6 +93,7 @@ from repro.scheduling.vectorized_engine import (
     DEFAULT_MAX_ROUNDS,
     _require_numpy,
     counter_picks,
+    counter_round_key,
 )
 
 #: Control words written by the parent before releasing the start barrier.
@@ -202,6 +203,7 @@ def _worker_loop(
     seed,
     bounding,
     num_letters,
+    use_kernel,
     start_barrier,
     done_barrier,
 ) -> None:
@@ -209,6 +211,11 @@ def _worker_loop(
 
     Kept in its own frame so that every NumPy view over the shared segments
     dies when it returns — the caller can then detach cleanly.
+
+    With ``use_kernel`` the round body runs as the compiled
+    :func:`repro.scheduling.kernels.shard_round` kernel instead of the NumPy
+    expression below; both are bitwise-identical on the counter rng stream,
+    so the choice never changes a result.
     """
     tables = _attach_views(static, static_layout)
     dyn = _attach_views(dynamic, dynamic_layout)
@@ -232,31 +239,57 @@ def _worker_loop(
     degrees = indptr[lo + 1 : hi + 1] - indptr[lo:hi]
     edge_src = np.repeat(np.arange(span, dtype=np.int64), degrees)
 
+    if use_kernel:
+        from repro.scheduling.kernels import _call
+
     round_index = 0
     while True:
         start_barrier.wait()
         if control[0] == _STOP:
             return
 
-        # Identical op sequence to VectorizedEngine._step_round_eager,
-        # restricted to rows lo:hi — the determinism contract.
         read = letters[round_index % 2]
         write = letters[(round_index + 1) % 2]
-        keys = edge_src * num_letters + read[edge_dst]
-        counts = np.bincount(keys, minlength=span * num_letters)
-        saturated = np.minimum(counts.reshape(span, num_letters), bounding)
-        local_state = state[lo:hi]
-        obs_id = (saturated * strides[local_state]).sum(axis=1)
-        cell = state_base[local_state] + obs_id
-        option_count = cell_count[cell]
-        pick = counter_picks(seed, round_index, node_keys, option_count)
-        selected = cell_offset[cell] + pick
-        new_state = option_next[selected]
-        emitted = option_emit[selected]
-        transmitting = emitted >= 0
-        write[lo:hi] = np.where(transmitting, emitted, read[lo:hi])
-        state[lo:hi] = new_state
-        messages[worker_id] += int(transmitting.sum())
+        if use_kernel:
+            sent = _call(
+                "shard_round",
+                state,
+                read,
+                write,
+                lo,
+                hi,
+                edge_src,
+                edge_dst,
+                strides,
+                state_base,
+                cell_offset,
+                cell_count,
+                option_next,
+                option_emit,
+                node_keys,
+                np.uint64(counter_round_key(seed, round_index)),
+                bounding,
+                num_letters,
+            )
+            messages[worker_id] += int(sent)
+        else:
+            # Identical op sequence to VectorizedEngine._step_round_eager,
+            # restricted to rows lo:hi — the determinism contract.
+            keys = edge_src * num_letters + read[edge_dst]
+            counts = np.bincount(keys, minlength=span * num_letters)
+            saturated = np.minimum(counts.reshape(span, num_letters), bounding)
+            local_state = state[lo:hi]
+            obs_id = (saturated * strides[local_state]).sum(axis=1)
+            cell = state_base[local_state] + obs_id
+            option_count = cell_count[cell]
+            pick = counter_picks(seed, round_index, node_keys, option_count)
+            selected = cell_offset[cell] + pick
+            new_state = option_next[selected]
+            emitted = option_emit[selected]
+            transmitting = emitted >= 0
+            write[lo:hi] = np.where(transmitting, emitted, read[lo:hi])
+            state[lo:hi] = new_state
+            messages[worker_id] += int(transmitting.sum())
         round_index += 1
 
         done_barrier.wait()
@@ -273,6 +306,7 @@ def _shard_worker_main(
     seed,
     bounding: int,
     num_letters: int,
+    use_kernel: bool,
     start_barrier,
     done_barrier,
 ) -> None:
@@ -291,6 +325,7 @@ def _shard_worker_main(
             seed,
             bounding,
             num_letters,
+            use_kernel,
             start_barrier,
             done_barrier,
         )
@@ -344,10 +379,15 @@ class ShardedVectorizedEngine:
         compiled: CompiledProtocol | None = None,
         shards: int = 2,
         partition_strategy: str = "bfs",
+        use_kernel: bool = False,
         mp_context=None,
         barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
     ) -> None:
         _require_numpy()
+        if use_kernel:
+            from repro.scheduling.kernels import require_kernels
+
+            require_kernels()
         if shared_memory is None:  # pragma: no cover - POSIX-less platforms
             raise ShardingUnavailableError(
                 "sharded execution requires multiprocessing.shared_memory"
@@ -459,6 +499,7 @@ class ShardedVectorizedEngine:
                 seed,
                 int(compiled.tabulation.bounding),
                 int(compiled.num_letters),
+                bool(use_kernel),
                 self._start_barrier,
                 self._done_barrier,
             )

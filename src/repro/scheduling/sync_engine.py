@@ -39,8 +39,9 @@ RoundObserver = Callable[[int, tuple[State, ...]], None]
 
 DEFAULT_MAX_ROUNDS = 100_000
 
-#: Recognised values of the ``backend`` execution parameter.
-BACKENDS = ("python", "vectorized", "auto")
+#: Recognised values of the ``backend`` execution parameter (the attempt
+#: order and capability rules live in :mod:`repro.api.backends`).
+BACKENDS = ("python", "vectorized", "kernel", "auto")
 
 
 class SynchronousEngine:
@@ -208,7 +209,8 @@ class BackendSelection:
     requested:
         The ``backend`` argument the caller passed.
     backend:
-        The engine that actually ran: ``"python"`` or ``"vectorized"``.
+        The engine that actually ran: ``"python"``, ``"vectorized"`` or
+        ``"kernel"``.
     mode:
         How the transition relation is evaluated: ``"interpreted"`` (the
         object-level protocol API), ``"eager"`` (full reachable closure
@@ -216,12 +218,17 @@ class BackendSelection:
         how synchronizer- and multiquery-compiled protocols vectorize).
     reason:
         One human-readable sentence explaining the choice.
+    rejected:
+        ``(tier, reason)`` pairs for every higher tier that was ruled out
+        or failed its attempt — how an ``"auto"`` climb that stopped short
+        of the kernel tier stays loud instead of silent.
     """
 
     requested: str
     backend: str
     mode: str
     reason: str
+    rejected: tuple[tuple[str, str], ...] = ()
 
 
 def _make_sharded_engine(
@@ -235,6 +242,7 @@ def _make_sharded_engine(
     compiled,
     table,
     shards: int,
+    negotiation,
 ):
     """Instantiate the engine for a ``shards=`` request.
 
@@ -245,6 +253,11 @@ def _make_sharded_engine(
     way, so the fallback only costs parallelism and is recorded in the
     selection reason.  ``shards == 1`` runs the unsharded counter-rng
     engine directly: the parity reference for every larger shard count.
+
+    When the negotiated tier is ``"kernel"`` the shard workers (and the
+    unsharded fallback engine) execute the compiled round kernels — the
+    counter rng stream is a pure hash, so results are bitwise-identical
+    to the plain vectorized workers either way.
     """
     from repro.core.errors import ShardingUnavailableError
     from repro.scheduling.vectorized_engine import VectorizedEngine
@@ -252,6 +265,13 @@ def _make_sharded_engine(
     shards = int(shards)
     if shards < 1:
         raise ExecutionError(f"shards must be >= 1, got {shards}")
+
+    use_kernel = negotiation.chosen == "kernel"
+    rejected = tuple(negotiation.rejected)
+    tier = "kernel" if use_kernel else "vectorized"
+    kernel_suffix = "; compiled kernels" if use_kernel else ""
+    note = negotiation.rejection_note()
+    note_suffix = f" ({note})" if note else ""
 
     fallback_note = None
     if shards >= 2 and table is not None:
@@ -270,11 +290,12 @@ def _make_sharded_engine(
                 observer=observer,
                 compiled=compiled,
                 shards=shards,
+                use_kernel=use_kernel,
             )
         except ShardingUnavailableError as exc:
             fallback_note = str(exc)
         except ProtocolNotVectorizableError as exc:
-            if backend == "vectorized":
+            if backend != "auto":
                 raise
             reason = (
                 f"auto fell back to the interpreter (shards={shards} "
@@ -283,18 +304,32 @@ def _make_sharded_engine(
             engine = SynchronousEngine(
                 graph, protocol, seed=seed, inputs=inputs, observer=observer
             )
-            return engine, BackendSelection(backend, "python", "interpreted", reason)
+            return engine, BackendSelection(
+                backend,
+                "python",
+                "interpreted",
+                reason,
+                rejected + ((tier, str(exc)),),
+            )
         else:
             info = engine.shard_info
             reason = (
                 f"eager table sharded over {info['shard_count']} workers "
                 f"({info['partition_strategy']} partition, "
                 f"cut={info['cut_edges']}); counter rng"
+                f"{kernel_suffix}{note_suffix}"
             )
-            return engine, BackendSelection(backend, "vectorized", "sharded", reason)
+            return engine, BackendSelection(
+                backend, tier, "sharded", reason, rejected
+            )
 
+    engine_cls = VectorizedEngine
+    if use_kernel:
+        from repro.scheduling.kernels import KernelVectorizedEngine
+
+        engine_cls = KernelVectorizedEngine
     try:
-        engine = VectorizedEngine(
+        engine = engine_cls(
             graph,
             protocol,
             seed=seed,
@@ -305,7 +340,7 @@ def _make_sharded_engine(
             rng_mode="counter",
         )
     except ProtocolNotVectorizableError as exc:
-        if backend == "vectorized":
+        if backend != "auto":
             raise
         reason = (
             f"auto fell back to the interpreter (shards={shards} dropped): {exc}"
@@ -313,17 +348,23 @@ def _make_sharded_engine(
         engine = SynchronousEngine(
             graph, protocol, seed=seed, inputs=inputs, observer=observer
         )
-        return engine, BackendSelection(backend, "python", "interpreted", reason)
+        return engine, BackendSelection(
+            backend,
+            "python",
+            "interpreted",
+            reason,
+            rejected + ((tier, str(exc)),),
+        )
     mode = engine.tabulation_mode
     if fallback_note is not None:
         reason = (
             f"shards={shards} requested but {fallback_note}; ran unsharded "
-            f"({mode} table, counter rng)"
+            f"({mode} table, counter rng{kernel_suffix}){note_suffix}"
         )
     else:
         reason = (
-            f"shards=1: unsharded vectorized run on the counter rng stream "
-            f"({mode} table)"
+            f"shards=1: unsharded {tier} run on the counter rng stream "
+            f"({mode} table){note_suffix}"
         )
     engine.shard_info = {
         "shard_count": 1,
@@ -332,7 +373,7 @@ def _make_sharded_engine(
         "partition_strategy": "none",
         "rng": "counter",
     }
-    return engine, BackendSelection(backend, "vectorized", mode, reason)
+    return engine, BackendSelection(backend, tier, mode, reason, rejected)
 
 
 def _make_engine(
@@ -350,30 +391,45 @@ def _make_engine(
     """Instantiate the engine selected by *backend*.
 
     Returns ``(engine, selection)`` where *selection* is the
-    :class:`BackendSelection` explaining the choice.  ``"python"`` always
-    interprets; ``"vectorized"`` compiles the protocol to dense tables
-    (eager or lazy, per the protocol's ``tabulation_hint``) and raises
-    :class:`ProtocolNotVectorizableError` when it cannot; ``"auto"`` tries
-    the vectorized backend and falls back to the interpreter for protocols
-    whose state set is not enumerable, recording the reason.  All paths
-    produce bitwise-identical results for the same seed.
+    :class:`BackendSelection` explaining the choice.  The attempt order
+    comes from one :func:`repro.api.backends.negotiate_backend` call:
+    ``"python"`` always interprets; ``"vectorized"`` compiles the protocol
+    to dense tables (eager or lazy, per the protocol's
+    ``tabulation_hint``) and raises :class:`ProtocolNotVectorizableError`
+    when it cannot; ``"kernel"`` additionally runs the round loop as
+    compiled kernels (and requires numba plus the eager closure);
+    ``"auto"`` climbs python → vectorized → kernel, settling on the best
+    available tier and recording why each skipped tier was ruled out.  All
+    paths produce bitwise-identical results for the same seed.
 
     ``shards`` opts into intra-run sharded execution (and the counter rng
     stream — a *different* deterministic sequence from the default serial
     stream; see :mod:`repro.scheduling.sharded_engine`).  It composes with
-    ``backend="vectorized"``/``"auto"`` only: the interpreter is serial by
+    the table-driven tiers only: the interpreter is serial by
     construction, so ``backend="python"`` with ``shards=`` is an error.
     """
     if backend not in BACKENDS:
         raise ExecutionError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    from repro.api.backends import Workload, negotiate_backend
+
+    if table is not None:
+        tabulation = "lazy"
+    elif compiled is not None:
+        tabulation = "eager"
+    else:
+        tabulation = getattr(protocol, "tabulation_hint", lambda: "eager")()
+    negotiation = negotiate_backend(
+        Workload(
+            environment="sync",
+            tabulation=tabulation,
+            shards=shards,
+            observer=observer is not None,
+        ),
+        backend,
+    )
     if shards is not None:
-        if backend == "python":
-            raise ExecutionError(
-                "shards= requires the vectorized backend; backend='python' "
-                "interprets nodes serially and cannot shard"
-            )
         return _make_sharded_engine(
             graph,
             protocol,
@@ -384,26 +440,53 @@ def _make_engine(
             compiled=compiled,
             table=table,
             shards=shards,
+            negotiation=negotiation,
         )
-    if backend != "python":
-        from repro.scheduling.vectorized_engine import VectorizedEngine
+    rejected = list(negotiation.rejected)
+    for tier in negotiation.tiers:
+        if tier == "kernel":
+            from repro.scheduling.kernels import KernelVectorizedEngine
 
-        try:
-            engine = VectorizedEngine(
-                graph,
-                protocol,
-                seed=seed,
-                inputs=inputs,
-                observer=observer,
-                compiled=compiled,
-                table=table,
+            try:
+                engine = KernelVectorizedEngine(
+                    graph,
+                    protocol,
+                    seed=seed,
+                    inputs=inputs,
+                    observer=observer,
+                    compiled=compiled,
+                )
+            except ProtocolNotVectorizableError as exc:
+                if backend != "auto":
+                    raise
+                rejected.append(("kernel", str(exc)))
+                continue
+            origin = (
+                "caller-supplied" if compiled is not None
+                else "reachable closure enumerated"
             )
-        except ProtocolNotVectorizableError as exc:
-            if backend == "vectorized":
-                raise
-            reason = f"auto fell back to the interpreter: {exc}"
-            selection = BackendSelection(backend, "python", "interpreted", reason)
-        else:
+            reason = f"{origin}; eager table; compiled kernels"
+            return engine, BackendSelection(
+                backend, "kernel", "eager", reason, tuple(rejected)
+            )
+        if tier == "vectorized":
+            from repro.scheduling.vectorized_engine import VectorizedEngine
+
+            try:
+                engine = VectorizedEngine(
+                    graph,
+                    protocol,
+                    seed=seed,
+                    inputs=inputs,
+                    observer=observer,
+                    compiled=compiled,
+                    table=table,
+                )
+            except ProtocolNotVectorizableError as exc:
+                if backend != "auto":
+                    raise
+                rejected.append(("vectorized", str(exc)))
+                continue
             mode = engine.tabulation_mode
             if table is not None or compiled is not None:
                 origin = "caller-supplied"
@@ -412,15 +495,24 @@ def _make_engine(
             else:
                 origin = "reachable closure enumerated"
             reason = f"{origin}; {mode} table"
-            return engine, BackendSelection(backend, "vectorized", mode, reason)
-    else:
-        selection = BackendSelection(
-            backend, "python", "interpreted", "backend='python' requested"
+            note = "; ".join(f"{name} tier skipped: {why}" for name, why in rejected)
+            if note:
+                reason = f"{reason} ({note})"
+            return engine, BackendSelection(
+                backend, "vectorized", mode, reason, tuple(rejected)
+            )
+        # tier == "python": the unconditional last resort.
+        if backend == "python":
+            reason = "backend='python' requested"
+        else:
+            reason = f"auto fell back to the interpreter: {rejected[-1][1]}"
+        engine = SynchronousEngine(
+            graph, protocol, seed=seed, inputs=inputs, observer=observer
         )
-    engine = SynchronousEngine(
-        graph, protocol, seed=seed, inputs=inputs, observer=observer
-    )
-    return engine, selection
+        return engine, BackendSelection(
+            backend, "python", "interpreted", reason, tuple(rejected)
+        )
+    raise AssertionError("unreachable: negotiation always yields a tier")
 
 
 def select_backend(
@@ -494,21 +586,34 @@ def _precompile_tables_with_reason(
     """
     if backend == "python":
         return backend, None, None, None
+    from repro.api.backends import Workload, negotiate_backend
     from repro.scheduling.vectorized_engine import (
         LazyExtendedTable,
         compile_protocol,
     )
 
+    hint = getattr(protocol, "tabulation_hint", lambda: "eager")()
+    # Strict impossibilities (kernel without numba, kernel over a lazy
+    # tabulation) raise here, before any table is built.
+    negotiation = negotiate_backend(
+        Workload(environment="sync", tabulation=hint), backend
+    )
+    note = negotiation.rejection_note()
+    suffix = f" ({note})" if note else ""
     try:
-        if getattr(protocol, "tabulation_hint", lambda: "eager")() == "lazy":
+        if hint == "lazy":
             return backend, None, LazyExtendedTable(protocol), (
                 "protocol hints a lazy tabulation; lazy table (session-precompiled)"
+                + suffix
             )
+        kernels = "; compiled kernels" if negotiation.chosen == "kernel" else ""
         return backend, compile_protocol(protocol), None, (
             "reachable closure enumerated; eager table (session-precompiled)"
+            + kernels
+            + suffix
         )
     except ProtocolNotVectorizableError as exc:
-        if backend == "vectorized":
+        if backend != "auto":
             raise
         return "python", None, None, f"auto fell back to the interpreter: {exc}"
 

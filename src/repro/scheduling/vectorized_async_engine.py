@@ -108,8 +108,15 @@ class VectorizedAsynchronousEngine:
         inputs: Mapping[int, Any] | None = None,
         table: LazyStrictTable | None = None,
         max_states: int = DEFAULT_MAX_LAZY_STATES,
+        use_kernel: bool = False,
     ) -> None:
         _require_numpy()
+        if use_kernel:
+            from repro.scheduling.kernels import _call, require_kernels
+
+            require_kernels()
+            self._kernel_call = _call
+        self._use_kernel = bool(use_kernel)
         if not isinstance(protocol, Protocol):
             raise ExecutionError(
                 "the asynchronous engine executes strict protocols only; "
@@ -478,11 +485,25 @@ class VectorizedAsynchronousEngine:
                 seg, edges = self._ragged_edges(batch, lens)
                 events_processed += self._apply_deliveries(seg, edges, batch_times)
                 query, _, *_ = self._table.arrays()
-                matches = self._port[edges] == query[self._state[batch]][seg]
-                counts = np.bincount(
-                    seg, weights=matches, minlength=len(batch)
-                ).astype(np.int64)
-            counts = np.minimum(counts, self._b)
+                if self._use_kernel:
+                    # Counts + bounding clamp in one compiled pass; bitwise
+                    # the bincount/minimum pair below.
+                    self._kernel_call(
+                        "async_bucket_census",
+                        self._port,
+                        edges,
+                        seg,
+                        query[self._state[batch]],
+                        self._b,
+                        counts,
+                    )
+                else:
+                    matches = self._port[edges] == query[self._state[batch]][seg]
+                    counts = np.bincount(
+                        seg, weights=matches, minlength=len(batch)
+                    ).astype(np.int64)
+            if not self._use_kernel:
+                counts = np.minimum(counts, self._b)
 
             state_batch = self._state[batch]
             self._table.ensure_cells(state_batch, counts)
@@ -506,21 +527,27 @@ class VectorizedAsynchronousEngine:
             rng_snapshot = rng.getstate() if may_terminate and multi else None
             for i in multi:
                 picks[i] = rng.randrange(int(n_options[i]))
-            selected = offsets + picks
-            new_states = option_next[selected]
-            emits = option_emit[selected]
-            old_output = output_mask[state_batch]
-            new_output = output_mask[new_states]
-            processed = len(batch)
-            terminated = False
-            if may_terminate:
-                running = self._non_output + np.cumsum(
-                    old_output.astype(np.int64) - new_output.astype(np.int64)
+            if self._use_kernel:
+                # Transitions + running-counter termination scan in one
+                # compiled pass; bitwise the gather/cumsum block below.
+                new_states = np.empty(len(batch), dtype=np.int64)
+                emits = np.empty(len(batch), dtype=np.int64)
+                processed, running_end, terminated = self._kernel_call(
+                    "async_bucket_apply",
+                    offsets,
+                    picks,
+                    option_next,
+                    option_emit,
+                    output_mask,
+                    state_batch,
+                    self._non_output,
+                    may_terminate,
+                    new_states,
+                    emits,
                 )
-                completing = np.flatnonzero(running == 0)
-                if completing.size:
-                    processed = int(completing[0]) + 1
-                    terminated = True
+                processed = int(processed)
+                terminated = bool(terminated)
+                if terminated:
                     self._non_output = 0
                     if rng_snapshot is not None:
                         rng.setstate(rng_snapshot)
@@ -533,9 +560,38 @@ class VectorizedAsynchronousEngine:
                     new_states = new_states[:processed]
                     emits = emits[:processed]
                 else:
-                    self._non_output = int(running[-1])
+                    self._non_output = int(running_end)
             else:
-                self._non_output += int(old_output.sum()) - int(new_output.sum())
+                selected = offsets + picks
+                new_states = option_next[selected]
+                emits = option_emit[selected]
+                old_output = output_mask[state_batch]
+                new_output = output_mask[new_states]
+                processed = len(batch)
+                terminated = False
+                if may_terminate:
+                    running = self._non_output + np.cumsum(
+                        old_output.astype(np.int64) - new_output.astype(np.int64)
+                    )
+                    completing = np.flatnonzero(running == 0)
+                    if completing.size:
+                        processed = int(completing[0]) + 1
+                        terminated = True
+                        self._non_output = 0
+                        if rng_snapshot is not None:
+                            rng.setstate(rng_snapshot)
+                            for i in multi:
+                                if i >= processed:
+                                    break
+                                rng.randrange(int(n_options[i]))
+                        batch = batch[:processed]
+                        batch_times = batch_times[:processed]
+                        new_states = new_states[:processed]
+                        emits = emits[:processed]
+                    else:
+                        self._non_output = int(running[-1])
+                else:
+                    self._non_output += int(old_output.sum()) - int(new_output.sum())
             self._state[batch] = new_states
 
             self._steps_taken[batch] += 1
@@ -580,7 +636,7 @@ class VectorizedAsynchronousEngine:
             total_messages=self._messages,
             seed=self._seed,
             adversary_name=self._adversary_name,
-            backend="vectorized",
+            backend="kernel" if self._use_kernel else "vectorized",
         )
 
 

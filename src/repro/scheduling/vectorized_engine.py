@@ -97,6 +97,16 @@ _PICK_STREAM = 0x5049_434B  # "PICK"
 _UNSEEDED_PICK_BASE = 0x5EED_C0DE_0BAD_F00D
 
 
+def counter_base_key(seed: int | None) -> int:
+    """The seed-level base key of the counter rng stream.
+
+    Factored out of :func:`counter_round_key` so the compiled kernels
+    (:mod:`repro.scheduling.kernels`) can mix the per-round component
+    natively while staying on the exact same stream.
+    """
+    return _UNSEEDED_PICK_BASE if seed is None else (seed & _MASK64) ^ _PICK_STREAM
+
+
 def counter_round_key(seed: int | None, round_index: int) -> int:
     """The per-round base key of the counter rng stream.
 
@@ -105,8 +115,7 @@ def counter_round_key(seed: int | None, round_index: int) -> int:
     independently.  Unseeded runs use a fixed base: counter mode is *always*
     deterministic (unlike ``rng_mode="python"`` with ``seed=None``).
     """
-    base = _UNSEEDED_PICK_BASE if seed is None else (seed & _MASK64) ^ _PICK_STREAM
-    return mix64(mix64(base) ^ (round_index & _MASK64))
+    return mix64(mix64(counter_base_key(seed)) ^ (round_index & _MASK64))
 
 
 def counter_picks(seed, round_index, node_keys, option_count):

@@ -179,3 +179,135 @@ def test_auto_backend_matches_python_on_the_full_matrix():
             graph, MISProtocol(), seed=5, backend="python", raise_on_timeout=False
         )
         assert auto.summary_fields() == python.summary_fields()
+
+
+# ---------------------------------------------------------------------- #
+# Kernel tier parity                                                      #
+# ---------------------------------------------------------------------- #
+# The compiled-kernel tier must be *bitwise* identical to the vectorized
+# tier (and therefore to the interpreter) for every workload it accepts.
+# When numba is absent the fixture runs the uncompiled kernel bodies —
+# the exact functions numba would compile, executed as pure python — so
+# the parity lock is skip-free: it exercises the same arithmetic on every
+# host, and the compiled path on hosts with numba.  Graphs are small
+# because the pure bodies interpret every loop iteration.
+
+from repro.scheduling.async_engine import run_asynchronous  # noqa: E402
+from repro.scheduling.kernels import kernel_availability  # noqa: E402
+
+KERNEL_SEEDS = (0, 1, 17)
+
+KERNEL_GRAPHS = {
+    "path": lambda seed: generators.path_graph(26),
+    "random_tree": lambda seed: generators.random_tree(28, seed=seed),
+    "gnp_sparse": lambda seed: generators.gnp_random_graph(30, 0.12, seed=seed),
+}
+
+KERNEL_PROTOCOLS = ("mis", "coloring", "broadcast")
+
+
+@pytest.fixture
+def kernel_tier(monkeypatch):
+    """Make the kernel tier available on every host (see module comment)."""
+    from repro.scheduling import kernels
+
+    if not kernel_availability()[0]:
+        monkeypatch.setattr(kernels, "_FORCE_MODE", "pure")
+
+
+def _kernel_run_pair(graph, factory, seed, *, inputs=None, max_rounds=100_000,
+                     shards=None):
+    kernel = run_synchronous(
+        graph, factory(), seed=seed, inputs=inputs, max_rounds=max_rounds,
+        raise_on_timeout=False, backend="kernel", shards=shards,
+    )
+    vectorized = run_synchronous(
+        graph, factory(), seed=seed, inputs=inputs, max_rounds=max_rounds,
+        raise_on_timeout=False, backend="vectorized", shards=shards,
+    )
+    return kernel, vectorized
+
+
+@pytest.mark.parametrize("family", sorted(KERNEL_GRAPHS))
+@pytest.mark.parametrize("seed", KERNEL_SEEDS)
+@pytest.mark.parametrize("proto", KERNEL_PROTOCOLS)
+def test_sync_kernel_parity(kernel_tier, proto, family, seed):
+    graph = KERNEL_GRAPHS[family](seed)
+    factory = {
+        "mis": MISProtocol,
+        "coloring": TreeColoringProtocol,
+        "broadcast": BroadcastProtocol,
+    }[proto]
+    inputs = broadcast_inputs(0) if proto == "broadcast" else None
+    # Tree-coloring never terminates on a non-tree; parity must still hold
+    # on the capped partial execution.
+    max_rounds = 400 if (proto, family) == ("coloring", "gnp_sparse") else 100_000
+    if proto == "broadcast":
+        from repro.graphs.properties import is_connected
+
+        if not is_connected(graph):
+            max_rounds = graph.num_nodes + 1
+    kernel, vectorized = _kernel_run_pair(
+        graph, factory, seed, inputs=inputs, max_rounds=max_rounds
+    )
+    assert kernel.summary_fields() == vectorized.summary_fields()
+    assert kernel.metadata["backend"] == "kernel"
+
+
+@pytest.mark.parametrize("family", sorted(KERNEL_GRAPHS))
+@pytest.mark.parametrize("seed", KERNEL_SEEDS)
+def test_sync_kernel_sharded_parity(kernel_tier, family, seed):
+    """kernel × shards: the fused shard-round kernel against the NumPy
+    shard loop (both on the counter rng stream), plus shard-count
+    invariance of the kernel path itself."""
+    graph = KERNEL_GRAPHS[family](seed)
+    kernel, vectorized = _kernel_run_pair(graph, MISProtocol, seed, shards=2)
+    assert kernel.summary_fields() == vectorized.summary_fields()
+    one_shard = run_synchronous(
+        graph, MISProtocol(), seed=seed, raise_on_timeout=False,
+        backend="kernel", shards=1,
+    )
+    assert kernel.summary_fields() == one_shard.summary_fields()
+
+
+@pytest.mark.parametrize("family", sorted(KERNEL_GRAPHS))
+@pytest.mark.parametrize("seed", KERNEL_SEEDS)
+def test_async_kernel_parity(kernel_tier, family, seed):
+    """The time-bucketed async kernels against the NumPy bucket path."""
+    graph = KERNEL_GRAPHS[family](seed)
+    results = []
+    for backend in ("vectorized", "kernel"):
+        results.append(
+            run_asynchronous(
+                graph, BroadcastProtocol(), seed=seed, adversary_seed=seed + 17,
+                inputs=broadcast_inputs(0), max_events=500_000,
+                raise_on_timeout=False, backend=backend,
+            )
+        )
+    vectorized, kernel = results
+    assert kernel.summary_fields() == vectorized.summary_fields()
+    assert kernel.metadata["backend"] == "kernel"
+    assert vectorized.metadata["backend"] == "vectorized"
+
+
+@pytest.mark.parametrize("seed", (0, 17))
+def test_async_kernel_parity_compiled_mis(kernel_tier, seed):
+    """Kernel buckets also agree on a synchronizer-compiled protocol
+    running off the shared lazy strict table."""
+    from repro.scheduling.compiled import LazyStrictTable
+
+    protocol = compile_to_asynchronous(MISProtocol())
+    table = LazyStrictTable(protocol)
+    graph = generators.gnp_random_graph(7, 0.45, seed=3)
+    results = []
+    for backend in ("vectorized", "kernel"):
+        results.append(
+            run_asynchronous(
+                graph, protocol, seed=seed, adversary_seed=seed + 17,
+                max_events=2_000_000, raise_on_timeout=False,
+                backend=backend, table=table,
+            )
+        )
+    vectorized, kernel = results
+    assert kernel.summary_fields() == vectorized.summary_fields()
+    assert kernel.reached_output

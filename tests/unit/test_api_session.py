@@ -146,8 +146,11 @@ class TestCacheAccounting:
         session.repeat(spec, 4, workers=2)
         info = session.cache_info()
         assert info["hits"] + info["misses"] == 4
-        assert 1 <= info["misses"] <= 2  # one compile per worker, at most
-        assert info["entries"] == 0  # worker tables are not parent-resident
+        # The executor publishes the parent-compiled table to the pool via
+        # shared memory, so the workers adopt it instead of re-compiling:
+        # every per-task lookup is a hit, and the bundle is parent-resident.
+        assert info["misses"] == 0
+        assert info["entries"] == 1
 
     def test_pooled_sweep_aggregates_worker_counters(self):
         session = Simulation()
@@ -159,7 +162,9 @@ class TestCacheAccounting:
         )
         info = session.cache_info()
         assert info["hits"] + info["misses"] == len(sweep.records) == 4
-        assert info["misses"] <= 2
+        # Published tables again: the sweep's one distinct workload is
+        # compiled once in the parent and adopted by every worker.
+        assert info["misses"] == 0
 
     def test_serial_async_sweep_counts_one_lookup_per_cell(self):
         session = Simulation()

@@ -159,6 +159,26 @@ def test_hash_is_shard_count_invariant(spec, shards_a, shards_b):
 
 
 @COMMON
+@given(
+    spec=specs,
+    backend_a=st.sampled_from(["python", "vectorized", "kernel", "auto"]),
+    backend_b=st.sampled_from(["python", "vectorized", "kernel", "auto"]),
+)
+def test_hash_is_backend_invariant(spec, backend_a, backend_b):
+    """Every backend tier is bitwise-identical, so the hash ignores it.
+
+    The store addresses *results*, and the whole point of the parity-locked
+    tier ladder is that ``python``, ``vectorized`` and ``kernel`` produce
+    the same result for the same spec — one cache entry serves them all.
+    """
+    if "python" in (backend_a, backend_b) and spec.shards is not None:
+        spec = spec.replace(shards=None)  # sharding rejects the python tier
+    assert spec_hash(spec.replace(backend=backend_a)) == spec_hash(
+        spec.replace(backend=backend_b)
+    )
+
+
+@COMMON
 @given(spec=specs)
 def test_canonical_json_is_deterministic(spec):
     """Two renderings of the same spec are byte-identical."""
@@ -210,25 +230,26 @@ def test_frozenset_round_trip_is_order_independent(value):
 #: canonicalization rules change — and any such change must come with a
 #: STORE_SCHEMA_VERSION bump (which changes every hash by construction).
 GOLDEN_HASHES = {
-    "516dc7b454796edb3c3f87391e0f0eaf2c37600180e7313ce73ae92ce687237d": RunSpec(
+    "f9d5861d8a7e79373f1c125420ea9f6e3fe9e396208dbcdea9c9b2bbc9ddce4c": RunSpec(
         protocol="mis", nodes=32, seed=5
     ),
-    "3e8849ea5674a58b56e0a9eed3d7a7fff8a0b4f2e37f1478927f69fe616d4666": RunSpec(
+    "02e734a5d473649aece80c8df528cbbb207a3e4247c92156482d0977683d3ff9": RunSpec(
         protocol="coloring", nodes=16, seed=3, graph="random_tree"
     ),
-    "c0901fe24a329493f891789bcf35d8f471cf2bf56f8164028620ee598c31bd97": RunSpec(
+    "86484e0140def8ebdd2fd0d2bcb2fc5a125460e3897351183ad8136ba911a939": RunSpec(
         protocol="mis", environment="async", nodes=12, seed=7, adversary="uniform"
     ),
     # Sharded spec: shards=4 canonicalizes to shards=1 inside the digest.
-    "aa1a5da3468304f22809d09fa73c1d46dfddee342fc1ca1dcb1cbbbe63481b85": RunSpec(
+    "2eeff5e66b4f5e8c0446252a837fb889a88797b651ff979fe6278b8cd9e2d426": RunSpec(
         protocol="mis", nodes=32, seed=5, shards=4
     ),
 }
 
 
 def test_schema_version_is_pinned():
-    # Version 2: RunSpec gained the shards field (hashed as shards<=1).
-    assert STORE_SCHEMA_VERSION == 2
+    # Version 3: the backend field is canonicalized to "auto" (every tier
+    # is bitwise-identical, so one cache entry serves them all).
+    assert STORE_SCHEMA_VERSION == 3
 
 
 @pytest.mark.parametrize("digest", sorted(GOLDEN_HASHES))
@@ -239,7 +260,7 @@ def test_golden_hashes(digest):
 def test_golden_canonical_json():
     """The full canonical rendering of one spec, byte for byte."""
     assert canonical_spec_json(RunSpec(protocol="mis", nodes=32, seed=5)) == (
-        '{"schema":2,"spec":{"adversary":null,"adversary_params":{},'
+        '{"schema":3,"spec":{"adversary":null,"adversary_params":{},'
         '"adversary_seed":null,"backend":"auto","environment":"sync",'
         '"graph":null,"graph_params":{},"graph_seed":null,"inputs":{},'
         '"max_events":5000000,"max_rounds":100000,"nodes":32,'

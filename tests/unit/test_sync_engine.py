@@ -186,7 +186,9 @@ class TestBackendSelection:
             inputs=broadcast_inputs(0),
             backend="auto",
         )
-        assert result.metadata["backend"] == "vectorized"
+        # auto lands on the kernel tier when numba is present, the
+        # vectorized tier otherwise — both are eager-table backends.
+        assert result.metadata["backend"] in ("vectorized", "kernel")
         assert result.metadata["backend_mode"] == "eager"
         assert result.metadata["backend_reason"]
 
@@ -216,7 +218,7 @@ class TestBackendSelection:
         selection = select_backend(
             path_graph(4), BroadcastProtocol(), "auto", inputs=broadcast_inputs(0)
         )
-        assert selection.backend == "vectorized"
+        assert selection.backend in ("vectorized", "kernel")
 
     def test_precompile_tables_shapes(self):
         from repro.compilers import compile_to_asynchronous
