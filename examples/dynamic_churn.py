@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Dynamic networks: topology churn and re-convergence measurement.
+
+The paper motivates stone-age computing with networks whose topology is not
+fixed — sensors die, links drop, organisms move.  The dynamic environment
+plays that story out: a seeded churn policy disturbs the graph between
+stabilisations, the protocol's restart rule wakes exactly the region that
+must recompute, and the engine measures how many rounds the network needs
+to *re*-converge after each disturbance.
+
+This demo runs the MIS protocol under ``burst`` edge-flip churn, prints the
+per-disturbance measurement, shows that re-convergence verifies on the
+post-churn snapshot, and sweeps two churn policies over the same base
+graphs (the graph seed ignores the policy, so the comparison is per-graph).
+Everything is a pure function of the spec: rerun with the same seed and
+every number reproduces bitwise, on any backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api import RunSpec, Simulation
+from repro.protocols.mis import mis_from_result
+from repro.verification.checkers import is_maximal_independent_set
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="dynamic churn demo")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workload for CI smoke runs")
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    nodes = args.nodes or (32 if args.quick else 256)
+
+    session = Simulation()
+    spec = RunSpec(
+        protocol="mis",
+        graph="gnp_sparse",
+        nodes=nodes,
+        seed=args.seed,
+        environment="dynamic",
+        churn="burst",
+        churn_params={"flips": 4, "disturbances": 4},
+    )
+
+    result = session.simulate(spec)
+    print(f"MIS under burst churn on gnp_sparse n={nodes} (seed {args.seed}):")
+    print(f"  initial stabilisation : {result.metadata['initial_rounds']} rounds")
+    for k, (rounds, restarts) in enumerate(
+        zip(
+            result.metadata["reconvergence_rounds"],
+            result.metadata["restart_counts"],
+        ),
+        start=1,
+    ):
+        print(f"  disturbance {k}         : re-converged in {rounds} rounds "
+              f"({restarts} nodes restarted)")
+    print(f"  total                 : {result.rounds} rounds, "
+          f"backend={result.metadata['backend']}")
+
+    selected = mis_from_result(result)
+    valid = is_maximal_independent_set(result.graph, selected)
+    print(f"  final snapshot        : {result.graph.num_edges} edges, "
+          f"MIS size {len(selected)}, valid={valid}")
+    assert valid, "post-churn MIS failed verification"
+
+    sizes = [24] if args.quick else [64, 128]
+    sweep = session.sweep(
+        spec,
+        sizes=sizes,
+        repetitions=2,
+        churns=["burst", "rewire"],
+    )
+    print(f"\nchurn-policy sweep over sizes {sizes} (same base graph per cell):")
+    for churn in sweep.churns():
+        for size in sizes:
+            costs = sweep.costs(size=size, churn=churn)
+            mean_cost = sum(costs) / len(costs)
+            print(f"  {churn:<7} n={size:<4} mean total rounds {mean_cost:.1f}")
+    assert sweep.all_valid(), "a sweep cell failed post-churn verification"
+    print("all sweep cells verified on their post-churn snapshots")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,7 +35,10 @@ class SweepRecord:
     ``cost`` is the run's natural cost: synchronous rounds, or normalised
     time units for asynchronous cells.  ``adversary`` names the adversary of
     an asynchronous cell and stays ``""`` for synchronous records, keeping
-    historical records and serialized sweeps unchanged.
+    historical records and serialized sweeps unchanged.  ``churn`` likewise
+    names the churn policy of a dynamic cell (``""`` otherwise); dynamic
+    records measure total rounds across all stabilisation segments, with the
+    per-disturbance breakdown in the run metadata.
     """
 
     family: str
@@ -48,6 +51,7 @@ class SweepRecord:
     reached_output: bool
     valid: bool
     adversary: str = ""
+    churn: str = ""
     extra: dict[str, Any] = field(default_factory=dict)
 
 
@@ -63,14 +67,16 @@ class SweepResult:
         family: str | None = None,
         size: int | None = None,
         adversary: str | None = None,
+        churn: str | None = None,
     ) -> list[float]:
-        """Measured costs filtered by family, size and/or adversary."""
+        """Measured costs filtered by family, size, adversary and/or churn."""
         return [
             record.cost
             for record in self.records
             if (family is None or record.family == family)
             and (size is None or record.size == size)
             and (adversary is None or record.adversary == adversary)
+            and (churn is None or record.churn == churn)
         ]
 
     def sizes(self) -> list[int]:
@@ -82,6 +88,10 @@ class SweepResult:
     def adversaries(self) -> list[str]:
         """Adversary labels of asynchronous records (empty for sync sweeps)."""
         return sorted({record.adversary for record in self.records if record.adversary})
+
+    def churns(self) -> list[str]:
+        """Churn-policy labels of dynamic records (empty for static sweeps)."""
+        return sorted({record.churn for record in self.records if record.churn})
 
     def all_valid(self) -> bool:
         return all(record.valid and record.reached_output for record in self.records)

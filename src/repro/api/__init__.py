@@ -24,8 +24,9 @@ available as deprecated shims) with three concepts:
   (:class:`SeedPolicy`) and a compiled-table cache that stays warm across
   ``simulate()`` / ``repeat()`` / ``sweep()`` calls;
 * the registries (:data:`PROTOCOLS`, :data:`GRAPH_FAMILIES`,
-  :data:`ADVERSARIES`) with their :func:`register_protocol`,
-  :func:`register_graph_family` and :func:`register_adversary` extension
+  :data:`ADVERSARIES`, :data:`CHURN_POLICIES`) with their
+  :func:`register_protocol`, :func:`register_graph_family`,
+  :func:`register_adversary` and :func:`register_churn` extension
   decorators — see docs/API.md for the extension guide.
 """
 
@@ -45,11 +46,13 @@ from repro.api.executor import (
 )
 from repro.api.registry import (
     ADVERSARIES,
+    CHURN_POLICIES,
     GRAPH_FAMILIES,
     PROTOCOLS,
     ProtocolEntry,
     Registry,
     register_adversary,
+    register_churn,
     register_graph_family,
     register_protocol,
 )
@@ -68,6 +71,7 @@ from repro.api import builtins as _builtins  # noqa: F401  (populates the regist
 __all__ = [
     "ADVERSARIES",
     "BACKEND_TOKENS",
+    "CHURN_POLICIES",
     "ENVIRONMENTS",
     "GRAPH_FAMILIES",
     "PROTOCOLS",
@@ -88,6 +92,7 @@ __all__ = [
     "effective_workers",
     "negotiate_backend",
     "register_adversary",
+    "register_churn",
     "register_graph_family",
     "register_protocol",
     "run_specs",

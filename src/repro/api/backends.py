@@ -62,7 +62,9 @@ class BackendSpec:
     description:
         One-line summary for the CLI census and the docs.
     environments:
-        Environments the tier serves (``"sync"``, ``"async"``).
+        Environments the tier serves (``"sync"``, ``"async"``,
+        ``"dynamic"`` — the last is executed as a sequence of warm-started
+        synchronous segments, so every synchronous tier serves it).
     tabulation_modes:
         Table flavours the tier can execute.  ``"interpreted"`` means the
         tier needs no table at all and accepts every workload.
@@ -114,9 +116,9 @@ BACKENDS: dict[str, BackendSpec] = {
         name="python",
         rank=0,
         description="object-level interpreter; the bitwise reference engine",
-        environments=("sync", "async"),
+        environments=("sync", "async", "dynamic"),
         tabulation_modes=("interpreted",),
-        observer_environments=("sync", "async"),
+        observer_environments=("sync", "async", "dynamic"),
         supports_sharding=False,
         supports_counter_rng=False,
     ),
@@ -124,9 +126,9 @@ BACKENDS: dict[str, BackendSpec] = {
         name="vectorized",
         rank=1,
         description="NumPy dense-table array rounds / time-bucketed events",
-        environments=("sync", "async"),
+        environments=("sync", "async", "dynamic"),
         tabulation_modes=("eager", "lazy"),
-        observer_environments=("sync",),
+        observer_environments=("sync", "dynamic"),
         supports_sharding=True,
         supports_counter_rng=True,
     ),
@@ -134,9 +136,9 @@ BACKENDS: dict[str, BackendSpec] = {
         name="kernel",
         rank=2,
         description="numba @njit(cache=True) compiled round/bucket loops",
-        environments=("sync", "async"),
+        environments=("sync", "async", "dynamic"),
         tabulation_modes=("eager",),
-        observer_environments=("sync",),
+        observer_environments=("sync", "dynamic"),
         supports_sharding=True,
         supports_counter_rng=True,
         requires_compiled_kernels=True,

@@ -19,6 +19,7 @@ from repro.api.registry import (
     PROTOCOLS,
     ProtocolEntry,
     register_adversary,
+    register_churn,
 )
 from repro.baselines.beeping import sop_selection_mis
 from repro.baselines.centralized import (
@@ -28,6 +29,12 @@ from repro.baselines.centralized import (
 )
 from repro.baselines.cole_vishkin import cole_vishkin_3_coloring
 from repro.baselines.luby import luby_mis
+from repro.graphs.dynamic import (
+    BurstChurn,
+    EventListChurn,
+    GeometricDriftChurn,
+    PeriodicRewireChurn,
+)
 from repro.graphs.generators import GRAPH_FAMILIES as _BUILTIN_FAMILIES
 from repro.protocols.broadcast import BroadcastProtocol, broadcast_inputs
 from repro.protocols.coloring import TreeColoringProtocol, coloring_from_result
@@ -52,6 +59,15 @@ from repro.verification.checkers import (
 # ---------------------------------------------------------------------- #
 for _name, _factory in _BUILTIN_FAMILIES.items():
     GRAPH_FAMILIES.register(_name, _factory)
+
+
+# ---------------------------------------------------------------------- #
+# Churn policies (repro.graphs.dynamic)                                   #
+# ---------------------------------------------------------------------- #
+register_churn("burst")(BurstChurn)
+register_churn("rewire")(PeriodicRewireChurn)
+register_churn("drift")(GeometricDriftChurn)
+register_churn("events")(EventListChurn)
 
 
 # ---------------------------------------------------------------------- #
@@ -195,6 +211,64 @@ PROTOCOLS.register(
         title="beeping SOP selection (Afek et al. baseline)",
         default_family="gnp_sparse",
         runner=_beeping_runner,
+    ),
+)
+
+
+def _lba_word_runner(session, spec, graph):
+    """Decide a word with a named sample LBA on a path network (Lemma 6.2).
+
+    The reduction dictates its own topology — a path of ``len(word) + 2``
+    nodes carrying the end markers and the tape symbols — so the
+    session-built *graph* is ignored; ``protocol_params`` select the
+    machine (``language``, a :data:`repro.automata.languages.
+    SAMPLE_LANGUAGES` key) and the input (``word``, a string over that
+    language's alphabet).
+    """
+    from repro.automata.languages import SAMPLE_LANGUAGES
+    from repro.automata.lba_to_nfsm import decide_word_on_path
+
+    language = spec.protocol_params.get("language", "parity")
+    word = str(spec.protocol_params.get("word", "0110"))
+    if language not in SAMPLE_LANGUAGES:
+        from repro.core.errors import SpecError
+
+        raise SpecError(
+            f"unknown sample language {language!r}; "
+            f"choose from {sorted(SAMPLE_LANGUAGES)}"
+        )
+    machine_factory, reference, alphabet = SAMPLE_LANGUAGES[language]
+    symbols = list(word)
+    unknown = sorted(set(symbols) - set(alphabet))
+    if unknown:
+        from repro.core.errors import SpecError
+
+        raise SpecError(
+            f"word {word!r} uses symbols {unknown} outside the "
+            f"{language!r} alphabet {alphabet}"
+        )
+    verdict, result = decide_word_on_path(
+        machine_factory(), symbols, seed=spec.seed, max_rounds=spec.max_rounds
+    )
+    expected = reference(symbols)
+    fields = {
+        "language": language,
+        "word": word,
+        "path nodes": result.graph.num_nodes,
+        "rounds": result.rounds,
+        "verdict": verdict,
+        "expected": expected,
+    }
+    return fields, verdict == expected, result
+
+
+PROTOCOLS.register(
+    "lba-word",
+    ProtocolEntry(
+        name="lba-word",
+        title="LBA word decision on a path (Lemma 6.2)",
+        default_family="path",
+        runner=_lba_word_runner,
     ),
 )
 

@@ -1,4 +1,4 @@
-"""String-keyed registries for protocols, graph families and adversaries.
+"""String-keyed registries for protocols, graph families, adversaries and churn.
 
 The registries make every workload component *nameable*: a
 :class:`~repro.api.RunSpec` refers to its protocol, graph family and
@@ -131,10 +131,11 @@ class ProtocolEntry:
         return self.runner is None and self.factory is not None
 
 
-#: The three global registries backing :class:`repro.api.RunSpec`.
+#: The four global registries backing :class:`repro.api.RunSpec`.
 PROTOCOLS = Registry("protocol")
 GRAPH_FAMILIES = Registry("graph family")
 ADVERSARIES = Registry("adversary")
+CHURN_POLICIES = Registry("churn policy")
 
 
 def register_protocol(
@@ -191,6 +192,18 @@ def register_adversary(name: str, *, overwrite: bool = False):
 
     def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
         ADVERSARIES.register(name, factory, overwrite=overwrite)
+        return factory
+
+    return decorator
+
+
+def register_churn(name: str, *, overwrite: bool = False):
+    """Decorator adding a :class:`~repro.graphs.dynamic.ChurnPolicy`
+    factory to :data:`CHURN_POLICIES`; the factory receives
+    ``RunSpec.churn_params`` as keyword arguments."""
+
+    def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        CHURN_POLICIES.register(name, factory, overwrite=overwrite)
         return factory
 
     return decorator

@@ -78,6 +78,33 @@ class SeedPolicy:
         )
         return mixer.randrange(_CELL_SEED_BOUND)
 
+    def dynamic_cell_seed(
+        self, family: str, size: int, repetition: int, churn: str | None
+    ) -> int:
+        """Run seed of one dynamic sweep cell (churn-dependent)."""
+        mixer = random.Random(
+            f"{self.base_seed}|{family}|{size}|{repetition}|churn:{churn or ''}"
+        )
+        return mixer.randrange(_CELL_SEED_BOUND)
+
+    def dynamic_sweep_cell(
+        self, family: str, size: int, repetition: int, churn: str | None
+    ) -> CellSeeds:
+        """Seeds of one dynamic ``(family, size, churn, repetition)`` cell.
+
+        Mirrors :meth:`async_sweep_cell`: the *graph* seed ignores the churn
+        policy — every churn policy of a cell, and the static sweep of the
+        same base seed, start from the *identical* base graph, which is what
+        lets the re-convergence experiment compare policies per graph.  Only
+        the run seed (and through it the derived churn-schedule seed) mixes
+        the policy name in.  The ``churn:`` prefix keeps the stream distinct
+        from :meth:`async_cell_seed` for equal policy/adversary names.
+        """
+        return CellSeeds(
+            graph_seed=self.cell_seed(family, size, repetition),
+            run_seed=self.dynamic_cell_seed(family, size, repetition, churn),
+        )
+
     def async_sweep_cell(
         self, family: str, size: int, repetition: int, adversary: str | None
     ) -> CellSeeds:

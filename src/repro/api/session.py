@@ -41,6 +41,7 @@ from repro.core.errors import (
 from repro.core.results import ExecutionResult
 from repro.graphs.graph import Graph
 from repro.scheduling.async_engine import DEFAULT_MAX_EVENTS, _run_asynchronous
+from repro.scheduling.dynamic_engine import _run_dynamic
 from repro.scheduling.sync_engine import (
     DEFAULT_MAX_ROUNDS,
     _precompile_tables_with_reason,
@@ -49,7 +50,9 @@ from repro.scheduling.sync_engine import (
 )
 
 
-def _annotated_sync_run(reason: str | None, *args, **kwargs) -> ExecutionResult:
+def _annotated_sync_run(
+    reason: str | None, *args, runner=None, **kwargs
+) -> ExecutionResult:
     """Run the sync primitive and stamp the precompile-time selection reason.
 
     The engine labels tables it did not build as ``caller-supplied``; when
@@ -58,15 +61,19 @@ def _annotated_sync_run(reason: str | None, *args, **kwargs) -> ExecutionResult:
     and replaces the engine's label — on timeout errors' partial results too.
     Shard-aware runs (``"shard_count"`` in the metadata) keep the engine's
     reason: the sharded selection explains partitioning and rng stream, which
-    the precompile-time label knows nothing about.
+    the precompile-time label knows nothing about.  ``runner`` swaps the
+    execution primitive (the dynamic environment passes
+    :func:`~repro.scheduling.dynamic_engine._run_dynamic`).
     """
+    if runner is None:
+        runner = _run_synchronous
 
     def _stamp(metadata) -> None:
         if reason is not None and "shard_count" not in metadata:
             metadata["backend_reason"] = reason
 
     try:
-        result = _run_synchronous(*args, **kwargs)
+        result = runner(*args, **kwargs)
     except OutputNotReachedError as exc:
         if exc.result is not None:
             _stamp(exc.result.metadata)
@@ -135,6 +142,25 @@ def run_sweep_cell(task, spec: RunSpec, session: "Simulation"):
             shards=spec.shards,
         )
         session._note_shards(result)
+    elif spec.environment == "dynamic":
+        backend, compiled, table, reason = session._sync_bundle(
+            key, spec.build_protocol, spec.backend
+        )
+        result = _annotated_sync_run(
+            reason,
+            graph,
+            spec.build_protocol(),
+            runner=_run_dynamic,
+            churn=spec.build_churn(),
+            seed=spec.seed,
+            churn_seed=spec.churn_seed,
+            inputs=inputs,
+            max_rounds=spec.max_rounds,
+            raise_on_timeout=False,
+            backend=backend,
+            compiled=compiled,
+            table=table,
+        )
     else:
         compiled, table = session._async_bundle(key, spec.build_protocol, spec.backend)
         result = _run_asynchronous(
@@ -168,10 +194,13 @@ def build_sweep_record(task, spec: RunSpec, graph, result):
     """
     from repro.analysis.sweep import SweepRecord
 
+    # A dynamic cell's solution lives on the *final* churn snapshot, not the
+    # generated base graph — validate (and measure metrics) against it.
+    check_graph = result.graph if spec.environment == "dynamic" else graph
     valid = result.reached_output and (
-        task.validator is None or task.validator(graph, result)
+        task.validator is None or task.validator(check_graph, result)
     )
-    extra = task.extra_metrics(graph, result) if task.extra_metrics else {}
+    extra = task.extra_metrics(check_graph, result) if task.extra_metrics else {}
     meta = task.record
     return SweepRecord(
         family=meta["family"],
@@ -184,6 +213,7 @@ def build_sweep_record(task, spec: RunSpec, graph, result):
         reached_output=result.reached_output,
         valid=valid,
         adversary=meta.get("adversary", ""),
+        churn=meta.get("churn", ""),
         extra=extra,
     )
 
@@ -642,6 +672,25 @@ class Simulation:
             )
             self._note_shards(result)
             return result
+        if spec.environment == "dynamic":
+            backend, compiled, table, reason = self._sync_bundle(
+                key, spec.build_protocol, spec.backend
+            )
+            return _annotated_sync_run(
+                reason,
+                graph,
+                spec.build_protocol(),
+                runner=_run_dynamic,
+                churn=spec.build_churn(),
+                seed=spec.seed,
+                churn_seed=spec.churn_seed,
+                inputs=inputs,
+                max_rounds=spec.max_rounds,
+                raise_on_timeout=raise_on_timeout,
+                backend=backend,
+                compiled=compiled,
+                table=table,
+            )
         compiled, table = self._async_bundle(key, spec.build_protocol, spec.backend)
         return _run_asynchronous(
             graph,
@@ -730,6 +779,16 @@ class Simulation:
                 for result in results:
                     result.metadata["backend_reason"] = reason
             return results
+        if spec.environment == "dynamic":
+            policy = SeedPolicy(base_seed)
+            return [
+                self._execute_spec(
+                    spec.replace(seed=policy.repetition_seed(repetition)),
+                    graph=graph,
+                    raise_on_timeout=raise_on_timeout,
+                )
+                for repetition in range(repetitions)
+            ]
         policy = SeedPolicy(base_seed)
         compiled, table = self._async_bundle(key, spec.build_protocol, spec.backend)
         return [
@@ -817,6 +876,7 @@ class Simulation:
         families: Sequence[str] | Mapping[str, Callable] | None = None,
         repetitions: int = 3,
         adversaries: Sequence[str | None] | None = None,
+        churns: Sequence[str] | None = None,
         validator: Callable | None = None,
         inputs_for: Callable | None = None,
         extra_metrics: Callable | None = None,
@@ -839,6 +899,17 @@ class Simulation:
         (and a synchronous sweep of the same base seed) runs on the
         identical graph, and ``record.cost`` is the normalised time units.
 
+        Dynamic specs sweep the ``churns`` axis the same way (churn-policy
+        registry names; default: the spec's own churn).  Per-cell seeds come
+        from :meth:`SeedPolicy.dynamic_sweep_cell` — the graph seed ignores
+        the churn policy, so every policy of a cell (and a static sweep of
+        the same base seed) starts from the identical base graph.  The
+        spec's ``churn_params`` apply only to cells running the spec's own
+        policy (parameters are policy-specific constructor kwargs; other
+        axis entries run with their defaults); validation runs against the
+        final churn snapshot and the per-disturbance re-convergence rounds
+        ride in the record's run metadata.
+
         ``workers`` > 1 dispatches the cells to a process pool in
         deterministic cell order — records are bitwise-identical to serial
         execution (see :mod:`repro.api.executor`); ``None`` consults
@@ -854,6 +925,14 @@ class Simulation:
         spec = _executor.resolve_spec_shards(spec)
         if adversaries is not None and spec.environment != "async":
             raise SpecError("adversaries= requires an environment='async' spec")
+        if churns is not None:
+            if spec.environment != "dynamic":
+                raise SpecError("churns= requires an environment='dynamic' spec")
+            if any(name is None for name in churns):
+                raise SpecError(
+                    "churns= entries must be churn-policy names (None is not "
+                    "a policy; a dynamic spec always churns)"
+                )
         if families is None:
             families = [spec.family]
         if not isinstance(families, Mapping):
@@ -907,6 +986,7 @@ class Simulation:
             sizes=sizes,
             repetitions=repetitions,
             adversaries=adversaries,
+            churns=churns,
             validator=validator,
             inputs_for=inputs_for,
             extra_metrics=extra_metrics,
@@ -983,13 +1063,15 @@ class Simulation:
         sizes: Sequence[int],
         repetitions: int,
         adversaries: Sequence[str | None] | None,
+        churns: Sequence[str] | None,
         validator: Callable | None,
         inputs_for: Callable | None,
         extra_metrics: Callable | None,
     ) -> list:
         """The deterministic cell-task list of one sweep.
 
-        Cells are ordered ``families × sizes [× adversaries] × repetitions``
+        Cells are ordered ``families × sizes [× axis] × repetitions`` —
+        where the axis is adversaries (async) or churn policies (dynamic) —
         and every task carries its fully derived seeds, so the task list —
         not execution order — defines the sweep.  Registry-named families
         travel as names (workers resolve their own registry); custom
@@ -1000,11 +1082,11 @@ class Simulation:
 
         policy = SeedPolicy(spec.seed if spec.seed is not None else 0)
         if spec.environment == "async":
-            adversary_axis = (
-                list(adversaries) if adversaries is not None else [spec.adversary]
-            )
+            axis = list(adversaries) if adversaries is not None else [spec.adversary]
+        elif spec.environment == "dynamic":
+            axis = list(churns) if churns is not None else [spec.churn]
         else:
-            adversary_axis = [None]
+            axis = [None]
         tasks = []
         for family_name, factory in families.items():
             registered = (
@@ -1012,11 +1094,15 @@ class Simulation:
                 and factory is GRAPH_FAMILIES.get(family_name)
             )
             for size in sizes:
-                for adversary in adversary_axis:
+                for label in axis:
                     for repetition in range(repetitions):
                         if spec.environment == "async":
                             seeds = policy.async_sweep_cell(
-                                family_name, size, repetition, adversary
+                                family_name, size, repetition, label
+                            )
+                        elif spec.environment == "dynamic":
+                            seeds = policy.dynamic_sweep_cell(
+                                family_name, size, repetition, label
                             )
                         else:
                             seeds = policy.sweep_cell(family_name, size, repetition)
@@ -1026,7 +1112,18 @@ class Simulation:
                             seed=seeds.run_seed,
                             graph_seed=seeds.graph_seed,
                             adversary=(
-                                adversary if spec.environment == "async" else None
+                                label if spec.environment == "async" else None
+                            ),
+                            churn=(
+                                label if spec.environment == "dynamic" else None
+                            ),
+                            # Policy parameters are constructor kwargs of one
+                            # specific policy; axis entries other than the
+                            # spec's own policy run with their defaults.
+                            churn_params=(
+                                dict(spec.churn_params)
+                                if label == spec.churn
+                                else {}
                             ),
                         )
                         record = {
@@ -1035,7 +1132,9 @@ class Simulation:
                             "repetition": repetition,
                         }
                         if spec.environment == "async":
-                            record["adversary"] = adversary or "(default)"
+                            record["adversary"] = label or "(default)"
+                        elif spec.environment == "dynamic":
+                            record["churn"] = label
                         tasks.append(
                             _executor.SpecTask(
                                 spec=cell_spec.to_dict(),

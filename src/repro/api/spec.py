@@ -20,7 +20,7 @@ from repro.core.errors import SpecError
 from repro.api import registry as _registry
 
 #: Recognised execution environments.
-ENVIRONMENTS = ("sync", "async")
+ENVIRONMENTS = ("sync", "async", "dynamic")
 
 #: Recognised backend tokens (mirrors the engines' ``BACKENDS`` and the
 #: registry of :mod:`repro.api.backends`).
@@ -56,7 +56,9 @@ class RunSpec:
         ``"sync"`` runs the protocol as written under lockstep rounds;
         ``"async"`` compiles it with the synchronizer
         (:func:`repro.compilers.compile_to_asynchronous`) and executes it
-        under an adversarial schedule.
+        under an adversarial schedule; ``"dynamic"`` runs lockstep rounds
+        over a churning topology (requires ``churn``) and measures
+        re-convergence after every disturbance.
     backend:
         ``"python"``, ``"vectorized"``, ``"kernel"`` or ``"auto"`` —
         forwarded to the engines, which negotiate the tier (see
@@ -92,6 +94,16 @@ class RunSpec:
         unsharded and is bitwise identical to every larger shard count.
         Requires a shardable backend (``"vectorized"``, ``"kernel"`` or
         ``"auto"``).
+    churn:
+        Name of a registered churn policy (see :data:`repro.api.registry.
+        CHURN_POLICIES`); required by — and only legal in — the
+        ``"dynamic"`` environment.
+    churn_seed:
+        Explicit churn-schedule seed; ``None`` derives one from ``seed``
+        via :func:`repro.graphs.dynamic.derive_churn_seed`.
+    churn_params:
+        Keyword arguments for the registered churn-policy factory (e.g.
+        ``{"flips": 8, "disturbances": 4}`` for ``burst``).
     """
 
     protocol: str
@@ -110,6 +122,9 @@ class RunSpec:
     max_rounds: int = DEFAULT_MAX_ROUNDS
     max_events: int = DEFAULT_MAX_EVENTS
     shards: int | None = None
+    churn: str | None = None
+    churn_seed: int | None = None
+    churn_params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.environment not in ENVIRONMENTS:
@@ -125,6 +140,15 @@ class RunSpec:
                 f"adversary {self.adversary!r} requires environment='async' "
                 f"(got {self.environment!r})"
             )
+        if self.churn is not None and self.environment != "dynamic":
+            raise SpecError(
+                f"churn {self.churn!r} requires environment='dynamic' "
+                f"(got {self.environment!r})"
+            )
+        if self.environment == "dynamic" and self.churn is None:
+            raise SpecError("environment='dynamic' requires a churn policy")
+        if self.churn is None and (self.churn_seed is not None or self.churn_params):
+            raise SpecError("churn_seed/churn_params require a churn policy")
         if self.shards is not None:
             if not isinstance(self.shards, int) or self.shards < 1:
                 raise SpecError(
@@ -140,7 +164,13 @@ class RunSpec:
                     "shards= requires a vectorized-capable backend "
                     "('vectorized', 'kernel' or 'auto'), not backend='python'"
                 )
-        for name in ("protocol_params", "graph_params", "adversary_params", "inputs"):
+        for name in (
+            "protocol_params",
+            "graph_params",
+            "adversary_params",
+            "inputs",
+            "churn_params",
+        ):
             value = getattr(self, name)
             if value is None:
                 object.__setattr__(self, name, {})
@@ -228,6 +258,13 @@ class RunSpec:
             return None
         factory = _registry.ADVERSARIES.get(self.adversary)
         return factory(**self.adversary_params)
+
+    def build_churn(self) -> Any:
+        """The churn policy instance, or ``None`` outside the dynamic environment."""
+        if self.churn is None:
+            return None
+        factory = _registry.CHURN_POLICIES.get(self.churn)
+        return factory(**self.churn_params)
 
     def workload_key(self) -> tuple:
         """Hashable identity of the compiled-table workload.

@@ -65,7 +65,11 @@ from repro.core.results import ExecutionResult
 #: Version 3: the ``backend`` field is canonicalized away entirely — every
 #: tier (python, vectorized, kernel, auto) is bitwise-identical for the
 #: same seeds by the parity contract, so warm stores replay across tiers.
-STORE_SCHEMA_VERSION = 3
+#: Version 4: the dynamic environment joins the spec (``churn``,
+#: ``churn_seed``, ``churn_params`` fields) and result payloads may carry
+#: re-convergence metadata; entries written under earlier schemas miss
+#: loudly and are recomputed.
+STORE_SCHEMA_VERSION = 4
 
 #: Reserved tag keys of the canonical payload encoding.
 _TAGS = frozenset({"$t", "$s", "$d", "$f", "$b", "$o"})
@@ -309,9 +313,11 @@ def timeout_message(spec: RunSpec) -> str:
     (locked by the engine sources), so a cached non-terminating result can
     re-raise indistinguishably from a live run.
     """
-    if spec.environment == "sync":
-        return f"no output configuration within {spec.max_rounds} rounds"
-    return f"no output configuration within {spec.max_events} events"
+    if spec.environment == "async":
+        return f"no output configuration within {spec.max_events} events"
+    # sync and dynamic are both round-budgeted (a dynamic run's budget is
+    # the total across its stabilisation segments).
+    return f"no output configuration within {spec.max_rounds} rounds"
 
 
 # ---------------------------------------------------------------------- #
@@ -555,7 +561,31 @@ def fetch(store: ResultStore, spec: RunSpec, *, graph: Any = None) -> ExecutionR
     if graph is None:
         graph = spec.build_graph()
     try:
-        return payload_to_result(payload, graph)
+        result = payload_to_result(payload, graph)
+        if spec.environment == "dynamic":
+            # A dynamic run ends on the *final* churn snapshot, not the base
+            # graph the spec builds.  The snapshot is a pure function of the
+            # spec (the schedule samples against topology state only), so
+            # replay it rather than persist it; the recorded disturbance
+            # count (clamped — store entries are data, not trusted input)
+            # handles runs that timed out mid-schedule.
+            from repro.graphs.dynamic import DynamicGraph, derive_churn_seed
+
+            policy = spec.build_churn()
+            key = (
+                spec.churn_seed
+                if spec.churn_seed is not None
+                else derive_churn_seed(spec.seed)
+            )
+            dynamic = DynamicGraph(graph, policy.start(graph.num_nodes, key))
+            applied = min(
+                max(int(result.metadata.get("disturbances", 0)), 0),
+                dynamic.num_disturbances,
+            )
+            for _ in range(applied):
+                dynamic.advance()
+            result.graph = dynamic.snapshot
+        return result
     except Exception:  # noqa: BLE001 — malformed entries degrade to misses
         # get() above already counted this lookup as a hit; reclassify it
         # so hits + misses keeps matching lookups in the cache accounting.

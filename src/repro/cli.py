@@ -51,7 +51,14 @@ from collections.abc import Sequence
 from typing import Any
 
 from repro.analysis.experiments import ALL_EXPERIMENTS
-from repro.api import ADVERSARIES, GRAPH_FAMILIES, PROTOCOLS, RunSpec, Simulation
+from repro.api import (
+    ADVERSARIES,
+    CHURN_POLICIES,
+    GRAPH_FAMILIES,
+    PROTOCOLS,
+    RunSpec,
+    Simulation,
+)
 from repro.automata.languages import SAMPLE_LANGUAGES
 from repro.automata.lba_to_nfsm import decide_word_on_path
 from repro.core.errors import SpecError, StoneAgeError
@@ -70,6 +77,8 @@ _QUICK_EXPERIMENT_ARGS = {
     "E10": {"sizes": (64,)},
     "E11": {"sizes": (64, 256)},
     "E12": {},
+    "E13": {"sizes": (24, 48), "repetitions": 2},
+    "E14": {"sizes": (24, 48), "repetitions": 2},
     "A1": {"sizes": (48,), "repetitions": 2},
     "A2": {"slow_factors": (1.0, 8.0), "size": 7},
 }
@@ -143,6 +152,7 @@ def _registry_census() -> dict[str, Any]:
         },
         "graph_families": GRAPH_FAMILIES.names(),
         "adversaries": ADVERSARIES.names(),
+        "churn_policies": CHURN_POLICIES.names(),
     }
 
 
@@ -159,6 +169,9 @@ def _print_registry_list(as_json: bool) -> int:
         print(f"  {name}")
     print("adversaries:")
     for name in census["adversaries"]:
+        print(f"  {name}")
+    print("churn policies:")
+    for name in census["churn_policies"]:
         print(f"  {name}")
     return 0
 
@@ -199,6 +212,16 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
     protocol = args.protocol
     entry = PROTOCOLS.get(protocol)
     asynchronous = bool(getattr(args, "asynchronous", False))
+    churn = getattr(args, "churn", None)
+    if asynchronous and churn is not None:
+        raise SpecError("--churn selects the dynamic environment and cannot "
+                        "be combined with --asynchronous")
+    if churn is not None:
+        environment = "dynamic"
+    elif asynchronous:
+        environment = "async"
+    else:
+        environment = "sync"
     inputs = _parse_params(getattr(args, "input", None), "--input")
     if getattr(args, "source", None) is not None:
         inputs.setdefault("source", args.source)
@@ -206,11 +229,14 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
         protocol=protocol,
         nodes=args.nodes,
         graph=args.family if args.family is not None else entry.default_family,
-        environment="async" if asynchronous else "sync",
+        environment=environment,
         backend=args.backend,
         seed=args.seed,
         adversary=getattr(args, "adversary", None) if asynchronous else None,
         adversary_seed=(args.seed + 1) if asynchronous else None,
+        churn=churn,
+        churn_seed=getattr(args, "churn_seed", None),
+        churn_params=_parse_params(getattr(args, "churn_param", None), "--churn-param"),
         protocol_params=_parse_params(getattr(args, "param", None), "--param"),
         inputs=inputs,
         max_rounds=args.max_rounds,
@@ -235,7 +261,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if entry.runner is not None and spec.environment != "sync":
             raise SpecError(
                 f"protocol {spec.protocol!r} runs through a custom runner and "
-                f"does not support the asynchronous environment"
+                f"only supports the synchronous environment"
             )
         if repetitions > 1 and entry.runner is not None:
             raise SpecError(
@@ -252,13 +278,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except StoneAgeError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    _MODES = {"async": "asynchronous", "dynamic": "dynamic"}
     payload: dict[str, Any] = {
         "problem": entry.title,
         "graph": f"{spec.family} n={graph.num_nodes} m={graph.num_edges}",
-        "mode": "asynchronous" if spec.environment == "async" else "synchronous",
+        "mode": _MODES.get(spec.environment, "synchronous"),
     }
     if spec.environment == "async" and spec.adversary is not None:
         payload["adversary"] = spec.adversary
+    if spec.environment == "dynamic":
+        payload["churn"] = spec.churn
     try:
         if entry.runner is not None:
             fields, valid, result = entry.runner(session, spec, graph)
@@ -271,11 +300,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{result.cost:.1f} "
                 + ("time units" if spec.environment == "async" else "rounds")
             )
+            # Dynamic runs end on the final churn snapshot: summarise,
+            # validate and report against it, not the generated base graph.
+            check_graph = result.graph if spec.environment == "dynamic" else graph
+            if spec.environment == "dynamic":
+                payload["disturbances"] = result.metadata.get("disturbances")
+                payload["reconvergence rounds"] = result.metadata.get(
+                    "reconvergence_rounds"
+                )
             if entry.summary is not None:
-                payload.update(entry.summary(graph, result))
+                payload.update(entry.summary(check_graph, result))
             payload.update(_backend_fields(result))
             valid = result.reached_output and (
-                entry.validator is None or entry.validator(graph, result)
+                entry.validator is None or entry.validator(check_graph, result)
             )
     except StoneAgeError as error:
         # Strict backend requests the host cannot honour (e.g. --backend
@@ -515,6 +552,17 @@ def _add_run_arguments(
         parser.add_argument("--adversary", choices=sorted(ADVERSARIES.names()),
                             default="uniform")
         parser.add_argument("--max-events", type=int, default=5_000_000)
+        parser.add_argument("--churn", choices=sorted(CHURN_POLICIES.names()),
+                            default=None,
+                            help="run in the dynamic environment under this "
+                                 "churn policy: re-stabilise after each "
+                                 "topology disturbance (see `run --list`)")
+        parser.add_argument("--churn-seed", type=int, default=None,
+                            help="explicit churn-schedule seed (default: "
+                                 "derived deterministically from --seed)")
+        parser.add_argument("--churn-param", action="append", metavar="KEY=VALUE",
+                            help="churn-policy constructor parameter, e.g. "
+                                 "flips=8 (repeatable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -530,7 +578,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("protocol", nargs="?", default=None,
                      help="registered protocol name (see --list)")
     run.add_argument("--list", action="store_true",
-                     help="list registered protocols, graph families and adversaries")
+                     help="list registered protocols, graph families, "
+                          "adversaries and churn policies")
     run.add_argument("--list-backends", action="store_true",
                      help="list the backend tier ladder with availability "
                           "and capabilities, then exit")

@@ -173,6 +173,53 @@ class _ProtocolBase(ABC):
         """Whether *state* belongs to Q_O (node has committed to an output)."""
         return state in self._output_states
 
+    # ------------------------------------------------------------------ #
+    # Dynamic-environment hooks                                           #
+    # ------------------------------------------------------------------ #
+    def restart_state(self, input_value: Any = None) -> State:
+        """The state a node restarts in after a topology disturbance.
+
+        The dynamic engine resets every node the disturbance affects (and,
+        by default, every node not yet in an output state — see
+        :meth:`churn_restart_set`) to this state.  Defaults to the initial
+        state; protocols whose correctness from a mixed frozen/active
+        configuration needs a different entry point override it (the MIS
+        protocol restarts in ``DOWN2`` so the restarted region re-checks
+        its frozen ``WIN`` neighbours before competing).
+        """
+        return self.initial_state(input_value)
+
+    def restart_letter(self) -> Letter:
+        """The letter a restarting node announces to all its neighbours.
+
+        Ports latch the last received letter, so a restart must overwrite
+        what the node transmitted before the disturbance; the dynamic
+        engine broadcasts this letter from every restarted node before the
+        next segment begins.  Defaults to the initial letter; overrides
+        pair with :meth:`restart_state`.
+        """
+        return self.initial_letter
+
+    def churn_restart_set(self, graph, states, affected) -> set:
+        """Which nodes must restart after a disturbance.
+
+        *graph* is the post-disturbance snapshot, *states* the per-node
+        protocol states carried over from the previous segment, *affected*
+        the nodes whose incident topology the disturbance changed.  The
+        default restarts every affected node **and every node not yet in
+        an output state**: non-output nodes of phase-structured protocols
+        (e.g. the tree coloring's 4-round phases) are only correct in
+        lockstep, so the surviving active region re-enters the protocol
+        together while committed output nodes stay frozen.  Protocols
+        whose outputs *depend on neighbours* extend this — MIS adds frozen
+        ``LOSE`` nodes whose every ``WIN`` witness is itself restarting.
+        """
+        restart = set(affected)
+        for node in graph.nodes:
+            if not self.is_output_state(states[node]):
+                restart.add(node)
+        return restart
+
     def output_value(self, state: State) -> Any:
         """Decode the output carried by an output state (default: the state)."""
         return state

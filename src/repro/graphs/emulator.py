@@ -1,0 +1,104 @@
+"""Greedy sparsification: near-additive emulators of arbitrary base graphs.
+
+Following the Ultra-Sparse Near-Additive Emulators direction (Elkin &
+Matar, PAPERS.md), this module sparsifies a base graph ``G`` into a
+subgraph ``H`` exposing the familiar ``(1 + ε, β)`` parameters: an edge
+``(u, v)`` of ``G`` is added to ``H`` only when the distance between its
+endpoints inside the current ``H`` already exceeds
+
+    t  =  ⌊(1 + ε) · 1 + β⌋
+
+so every *edge* of ``G`` satisfies ``dist_H(u, v) ≤ (1 + ε) + β`` exactly.
+Summed along shortest paths this yields the (weaker, but honest) global
+guarantee ``dist_H(x, y) ≤ ((1 + ε) + β) · dist_G(x, y)`` — the classic
+greedy-spanner bound with the emulator's parameterisation.  The greedy
+construction also bounds the girth of ``H`` below by ``t + 2``, which is
+what caps its size at ``O(n^{1 + 2/t})`` edges; for the protocol
+experiments the interesting regime is ``t ≥ 3`` where dense bases collapse
+to near-linear edge counts.
+
+Edges are processed in sorted order and distances computed with truncated
+breadth-first search, so the construction is deterministic for a
+deterministic base graph — a seeded base family therefore yields a seeded
+emulator, and spec-driven runs stay reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def _within_distance(adjacency, source: int, target: int, limit: int) -> bool:
+    """Whether ``dist(source, target) <= limit`` in the adjacency lists."""
+    if source == target:
+        return True
+    if limit <= 0:
+        return False
+    seen = {source}
+    frontier = deque([(source, 0)])
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth == limit:
+            continue
+        for neighbour in adjacency[node]:
+            if neighbour == target:
+                return True
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append((neighbour, depth + 1))
+    return False
+
+
+def emulator_threshold(epsilon: float, beta: float) -> int:
+    """The integer distance threshold ``t = ⌊(1 + ε) + β⌋`` (at least 1)."""
+    if epsilon < 0 or beta < 0:
+        raise GraphError("emulator parameters must be non-negative")
+    return max(int((1.0 + float(epsilon)) + float(beta)), 1)
+
+
+def emulate_graph(base: Graph, epsilon: float = 0.5, beta: float = 2.0) -> Graph:
+    """The greedy ``(1 + ε, β)`` emulator of *base* (a spanning subgraph).
+
+    With ``t = ⌊(1 + ε) + β⌋ ≤ 1`` every edge survives and the base graph
+    is returned unchanged (the emulator degenerates to the identity).
+    """
+    t = emulator_threshold(epsilon, beta)
+    if t <= 1:
+        return base
+    adjacency: list[list[int]] = [[] for _ in range(base.num_nodes)]
+    kept: list[tuple[int, int]] = []
+    for u, v in base.edges:  # Graph.edges is sorted: a fixed greedy order
+        if not _within_distance(adjacency, u, v, t):
+            kept.append((u, v))
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    return Graph(base.num_nodes, kept)
+
+
+def emulator_family(
+    num_nodes: int,
+    seed=None,
+    *,
+    base: str = "gnp_sparse",
+    epsilon: float = 0.5,
+    beta: float = 2.0,
+) -> Graph:
+    """Registry factory: sparsify any named base family into its emulator.
+
+    ``base`` names a family in :data:`repro.graphs.generators.
+    GRAPH_FAMILIES`; the seed is passed through to the base generator, so
+    the emulator of a seeded base is itself seed-deterministic.
+    """
+    from repro.graphs.generators import GRAPH_FAMILIES
+
+    if base == "emulator":
+        raise GraphError("the emulator family cannot use itself as a base")
+    if base not in GRAPH_FAMILIES:
+        raise GraphError(
+            f"unknown emulator base family {base!r}; "
+            f"choose from {sorted(GRAPH_FAMILIES)}"
+        )
+    return emulate_graph(GRAPH_FAMILIES[base](num_nodes, seed), epsilon, beta)

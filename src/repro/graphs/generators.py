@@ -200,6 +200,83 @@ def random_regular_graph(num_nodes: int, degree: int, seed: int | random.Random 
     )
 
 
+def preferential_attachment_graph(
+    num_nodes: int, edges_per_node: int = 2, seed: int | random.Random | None = None
+) -> Graph:
+    """A Barabási–Albert power-law graph: each new node attaches to
+    *edges_per_node* existing nodes with probability proportional to degree.
+
+    The attachment pool is the classic repeated-endpoints list, so sampling
+    a pool entry uniformly is degree-proportional sampling.  The first
+    ``edges_per_node + 1`` nodes form a seed star so every later node has a
+    non-empty pool to attach to.
+    """
+    if edges_per_node < 1:
+        raise GraphError("preferential attachment needs edges_per_node >= 1")
+    rng = _rng(seed)
+    m = min(edges_per_node, max(num_nodes - 1, 1))
+    core = min(m + 1, num_nodes)
+    edges = [(0, v) for v in range(1, core)]
+    pool: list[int] = [u for edge in edges for u in edge]
+    if not pool and num_nodes > 0:
+        pool = [0]
+    for node in range(core, num_nodes):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(pool[rng.randrange(len(pool))])
+        for target in sorted(targets):
+            edges.append((target, node))
+            pool.extend((target, node))
+    return Graph(num_nodes, edges)
+
+
+def random_geometric_graph(
+    num_nodes: int, radius: float | None = None, seed: int | random.Random | None = None
+) -> Graph:
+    """A random geometric graph: *num_nodes* points in the unit square,
+    connected whenever their Euclidean distance is at most *radius*.
+
+    The sensor-field topology the paper's motivation gestures at.  The
+    default radius ``sqrt(2 ln n / (π n))`` sits at the connectivity
+    threshold, giving sparse but mostly connected fields.
+    """
+    import math
+
+    rng = _rng(seed)
+    if radius is None:
+        n = max(num_nodes, 2)
+        radius = math.sqrt(2.0 * math.log(n) / (math.pi * n))
+    if radius < 0:
+        raise GraphError(f"radius must be non-negative, got {radius}")
+    points = [(rng.random(), rng.random()) for _ in range(num_nodes)]
+    limit = radius * radius
+    edges = [
+        (u, v)
+        for u in range(num_nodes)
+        for v in range(u + 1, num_nodes)
+        if (points[u][0] - points[v][0]) ** 2 + (points[u][1] - points[v][1]) ** 2
+        <= limit
+    ]
+    return Graph(num_nodes, edges)
+
+
+def circulant_graph(num_nodes: int, offsets: Iterable[int] = ()) -> Graph:
+    """The circulant graph ``C_n(offsets)``: node ``i`` joins ``i ± o``.
+
+    With the default offsets ``(1, 2, ⌊√n⌋)`` this is a constant-degree
+    vertex-transitive graph with both local and long-range links — a cheap
+    deterministic expander-style family for the dynamic experiments.
+    """
+    if num_nodes < 3:
+        raise GraphError("a circulant graph needs at least 3 nodes")
+    offsets = tuple(offsets) or (1, 2, max(int(num_nodes**0.5), 1))
+    edges = []
+    for offset in sorted({int(o) % num_nodes for o in offsets} - {0}):
+        for i in range(num_nodes):
+            edges.append((i, (i + offset) % num_nodes))
+    return Graph(num_nodes, edges)
+
+
 def random_connected_gnp(
     num_nodes: int, probability: float, seed: int | random.Random | None = None
 ) -> Graph:
@@ -215,6 +292,14 @@ def random_connected_gnp(
     return base.with_edges(extra.edges)
 
 
+def _emulator_family(n, seed=None, **kw):
+    # Local import: the emulator module reads GRAPH_FAMILIES to resolve its
+    # base family, so the dependency must stay one-way at import time.
+    from repro.graphs.emulator import emulator_family
+
+    return emulator_family(n, seed, **kw)
+
+
 GRAPH_FAMILIES = {
     "path": lambda n, seed=None: path_graph(n),
     "cycle": lambda n, seed=None: cycle_graph(max(n, 3)),
@@ -225,5 +310,9 @@ GRAPH_FAMILIES = {
     "gnp_sparse": lambda n, seed=None: gnp_random_graph(n, min(4.0 / max(n, 2), 1.0), seed),
     "gnp_dense": lambda n, seed=None: gnp_random_graph(n, 0.5, seed),
     "complete": lambda n, seed=None: complete_graph(n),
+    "preferential_attachment": lambda n, seed=None, **kw: preferential_attachment_graph(n, seed=seed, **kw),
+    "random_geometric": lambda n, seed=None, **kw: random_geometric_graph(n, seed=seed, **kw),
+    "circulant": lambda n, seed=None, offsets=(): circulant_graph(max(n, 3), offsets),
+    "emulator": _emulator_family,
 }
 """Named graph families used by the sweep harness; each maps (n, seed) -> Graph."""

@@ -136,6 +136,19 @@ class Graph:
             self._csr = (indptr, indices)
         return self._csr
 
+    def invalidate_csr(self) -> None:
+        """Drop the cached CSR arrays; the next :meth:`csr_adjacency` rebuilds.
+
+        Graphs are immutable, so the cache can never silently go stale — but
+        holders of *superseded* snapshots (a :class:`~repro.graphs.dynamic.
+        DynamicGraph` replacing one versioned snapshot with the next) call
+        this to release the O(m) buffers instead of relying on the graph
+        being garbage-collected while engines still reference the arrays.
+        Safe to call at any time: the adjacency itself is untouched and a
+        later :meth:`csr_adjacency` call returns fresh, equal arrays.
+        """
+        self._csr = None
+
     def __len__(self) -> int:
         return self._n
 

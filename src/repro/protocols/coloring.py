@@ -141,6 +141,21 @@ class TreeColoringProtocol(ExtendedProtocol):
     def output_value(self, state: ColoringState) -> int | None:
         return state.color
 
+    def churn_restart_set(self, graph, states, affected) -> set:
+        """Any disturbance restarts the whole forest.
+
+        The 4-round phase structure only makes progress when every
+        still-active node steps through the phases in lockstep: a node
+        restarted alone among frozen ``COLORED`` neighbours waits forever
+        for phase announcements that never come.  The protocol therefore
+        has no local repair — re-convergence after churn is a from-scratch
+        run on the surviving forest (still O(log n) expected rounds).
+        """
+        restart = super().churn_restart_set(graph, states, affected)
+        if restart:
+            return set(graph.nodes)
+        return restart
+
     # ------------------------------------------------------------------ #
     # Transition relation                                                 #
     # ------------------------------------------------------------------ #

@@ -47,6 +47,8 @@ execution traces.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.alphabet import EPSILON, Observation
 from repro.core.protocol import ExtendedProtocol, TransitionChoice
 
@@ -151,6 +153,48 @@ class MISProtocol(ExtendedProtocol):
             j = UP_STATES.index(state)
             letters.extend([state, UP_STATES[(j + 1) % 3]])
         return tuple(dict.fromkeys(letters))
+
+    # ------------------------------------------------------------------ #
+    # Dynamic-environment hooks                                           #
+    # ------------------------------------------------------------------ #
+    def restart_state(self, input_value: Any = None) -> str:
+        """Restarted nodes re-enter at ``DOWN2``, not ``DOWN1``.
+
+        ``DOWN2`` is the only state that checks for ``WIN`` neighbours, so
+        a node restarted next to a frozen winner immediately resolves to
+        ``LOSE`` — restarting at ``DOWN1`` could climb into the UP states
+        and win *adjacent to* a frozen ``WIN``, breaking independence.
+        Because every restarted node also announces ``DOWN2``
+        (:meth:`restart_letter`) and no UP letters survive the reset, the
+        whole restarted region steps ``DOWN2 → DOWN1 → UP0`` in lockstep,
+        after which the residual active subgraph runs the paper's protocol
+        from its ordinary all-``UP0`` configuration.
+        """
+        return DOWN2
+
+    def restart_letter(self) -> str:
+        return DOWN2
+
+    def churn_restart_set(self, graph, states, affected) -> set:
+        """Default restart set plus uncovered frozen ``LOSE`` nodes.
+
+        A frozen ``LOSE`` output is justified by a ``WIN`` witness among
+        its neighbours.  When a disturbance restarts every witness (or
+        removed the witnessing edges), the ``LOSE`` node's coverage may
+        evaporate — it must re-run too, or maximality can silently break.
+        One pass suffices: this rule only ever adds ``LOSE`` nodes, so no
+        new ``WIN`` witnesses are invalidated by it.
+        """
+        restart = super().churn_restart_set(graph, states, affected)
+        for node in graph.nodes:
+            if states[node] == LOSE and node not in restart:
+                covered = any(
+                    states[neighbour] == WIN and neighbour not in restart
+                    for neighbour in graph.neighbors(node)
+                )
+                if not covered:
+                    restart.add(node)
+        return restart
 
     # ------------------------------------------------------------------ #
     # Output decoding                                                     #

@@ -139,6 +139,22 @@ class CompiledProtocol:
     def state_id(self, state: State) -> int:
         return self.tabulation.state_ids[state]
 
+    def letter_id(self, letter) -> int:
+        """The interned id of *letter* (``KeyError`` when unknown).
+
+        The eager tabulation closes over every reachable letter, so a letter
+        carried from an earlier run of the same protocol is always present;
+        a miss means the caller is warm-starting across protocols.
+        """
+        try:
+            return self.tabulation.letters.index(letter)
+        except ValueError:
+            raise KeyError(letter) from None
+
+    def letter_value(self, letter_id: int):
+        """The protocol-level letter behind an interned id."""
+        return self.tabulation.letters[letter_id]
+
 
 def compile_protocol(
     protocol: ExtendedProtocol | Protocol,
@@ -337,6 +353,15 @@ class LazyExtendedTable:
 
     def letter_value(self, letter_id: int):
         return self._letters.value_of(letter_id)
+
+    def letter_id(self, letter) -> int:
+        """The interned id of *letter*, interning it when unseen.
+
+        Interning (rather than looking up) keeps warm starts total: a letter
+        carried over from an interpreted segment may not have been emitted
+        through this table yet.
+        """
+        return self._letters.intern(letter)
 
     def queried_letter_ids(self, state_id: int) -> tuple[int, ...]:
         """Interned ids of the letters *state* queries, in declaration order."""

@@ -448,6 +448,8 @@ class KernelVectorizedEngine(VectorizedEngine):
         table=None,
         rng_mode="python",
         rng_node_keys=None,
+        initial_states=None,
+        initial_letters=None,
     ) -> None:
         require_kernels()
         if table is not None:
@@ -471,6 +473,8 @@ class KernelVectorizedEngine(VectorizedEngine):
             compiled=compiled,
             rng_mode=rng_mode,
             rng_node_keys=rng_node_keys,
+            initial_states=initial_states,
+            initial_letters=initial_letters,
         )
 
     def _step_round_eager(self) -> None:

@@ -63,6 +63,14 @@ class SynchronousEngine:
     observer:
         Optional callback invoked after every round with the round index and
         the tuple of node states; used by the tournament / decay analyses.
+    initial_states, initial_letters:
+        Optional warm-start configuration used by the dynamic environment:
+        per-node states to start from (instead of ``protocol.
+        initial_state``) and per-node *last transmitted letters* to preload
+        the ports with.  Synchronous execution only ever broadcasts, so one
+        letter per sender fully describes every port content — preloading
+        the ports by re-broadcasting those letters reproduces the exact
+        configuration a previous segment ended in, new edges included.
     """
 
     def __init__(
@@ -74,6 +82,8 @@ class SynchronousEngine:
         rng: random.Random | None = None,
         inputs: Mapping[int, Any] | None = None,
         observer: RoundObserver | None = None,
+        initial_states: Sequence[State] | None = None,
+        initial_letters: Sequence[Any] | None = None,
     ) -> None:
         self._graph = graph
         self._protocol = protocol
@@ -86,10 +96,19 @@ class SynchronousEngine:
         self._seed = seed
         self._observer = observer
         inputs = dict(inputs or {})
-        initial_states = [
-            protocol.initial_state(inputs.get(node)) for node in graph.nodes
-        ]
+        if initial_states is None:
+            initial_states = [
+                protocol.initial_state(inputs.get(node)) for node in graph.nodes
+            ]
+        else:
+            initial_states = list(initial_states)
         self._state = NetworkState(graph, initial_states, protocol.initial_letter)
+        self._last = [protocol.initial_letter] * graph.num_nodes
+        if initial_letters is not None:
+            self._last = list(initial_letters)
+            for node, letter in enumerate(self._last):
+                if letter != protocol.initial_letter:
+                    self._state.ports.broadcast(node, letter)
         self._round = 0
         self._messages = 0
 
@@ -113,6 +132,16 @@ class SynchronousEngine:
     def states(self) -> tuple[State, ...]:
         """Current per-node states."""
         return tuple(self._state.states)
+
+    @property
+    def last_letters(self) -> tuple[Any, ...]:
+        """Per-node last transmitted letter (the full port configuration).
+
+        A node that never transmitted reports the initial letter, which is
+        exactly what its neighbours' ports show.  The dynamic engine carries
+        this vector (with :attr:`states`) across topology disturbances.
+        """
+        return tuple(self._last)
 
     def in_output_configuration(self) -> bool:
         """Whether every node currently resides in an output state."""
@@ -155,6 +184,7 @@ class SynchronousEngine:
         # round t+1, as required by synchronisation property (S2).
         for node, letter in emitters:
             self._state.ports.broadcast(node, letter)
+            self._last[node] = letter
             self._messages += 1
         self._round += 1
         if self._observer is not None:
@@ -387,6 +417,8 @@ def _make_engine(
     compiled=None,
     table=None,
     shards: int | None = None,
+    initial_states: Sequence[State] | None = None,
+    initial_letters: Sequence[Any] | None = None,
 ):
     """Instantiate the engine selected by *backend*.
 
@@ -430,6 +462,11 @@ def _make_engine(
         backend,
     )
     if shards is not None:
+        if initial_states is not None or initial_letters is not None:
+            raise ExecutionError(
+                "warm-start configurations (dynamic environment) do not "
+                "compose with intra-run sharding"
+            )
         return _make_sharded_engine(
             graph,
             protocol,
@@ -455,6 +492,8 @@ def _make_engine(
                     inputs=inputs,
                     observer=observer,
                     compiled=compiled,
+                    initial_states=initial_states,
+                    initial_letters=initial_letters,
                 )
             except ProtocolNotVectorizableError as exc:
                 if backend != "auto":
@@ -481,6 +520,8 @@ def _make_engine(
                     observer=observer,
                     compiled=compiled,
                     table=table,
+                    initial_states=initial_states,
+                    initial_letters=initial_letters,
                 )
             except ProtocolNotVectorizableError as exc:
                 if backend != "auto":
@@ -507,7 +548,13 @@ def _make_engine(
         else:
             reason = f"auto fell back to the interpreter: {rejected[-1][1]}"
         engine = SynchronousEngine(
-            graph, protocol, seed=seed, inputs=inputs, observer=observer
+            graph,
+            protocol,
+            seed=seed,
+            inputs=inputs,
+            observer=observer,
+            initial_states=initial_states,
+            initial_letters=initial_letters,
         )
         return engine, BackendSelection(
             backend, "python", "interpreted", reason, tuple(rejected)

@@ -165,6 +165,8 @@ class VectorizedEngine:
         table: LazyExtendedTable | None = None,
         rng_mode: str = "python",
         rng_node_keys=None,
+        initial_states=None,
+        initial_letters=None,
     ) -> None:
         _require_numpy()
         if not isinstance(protocol, (ExtendedProtocol, Protocol)):
@@ -208,9 +210,22 @@ class VectorizedEngine:
         self.shard_info: dict[str, Any] | None = None
 
         inputs = dict(inputs or {})
-        initial_states = [
-            protocol.initial_state(inputs.get(node)) for node in graph.nodes
-        ]
+        if initial_states is None:
+            initial_states = [
+                protocol.initial_state(inputs.get(node)) for node in graph.nodes
+            ]
+        else:
+            initial_states = list(initial_states)
+            if len(initial_states) != graph.num_nodes:
+                raise ExecutionError(
+                    "initial_states must hold one state per node "
+                    f"(expected {graph.num_nodes}, got {len(initial_states)})"
+                )
+        if initial_letters is not None and len(initial_letters) != graph.num_nodes:
+            raise ExecutionError(
+                "initial_letters must hold one letter per node "
+                f"(expected {graph.num_nodes}, got {len(initial_letters)})"
+            )
         if compiled is None and table is None:
             if getattr(protocol, "tabulation_hint", lambda: "eager")() == "lazy":
                 table = LazyExtendedTable(protocol)
@@ -237,8 +252,22 @@ class VectorizedEngine:
         self._state = np.asarray(state_vector, dtype=np.int64)
         # One slot per *sender*: the synchronous engine only broadcasts, so
         # every port of a node's neighbours holds the same letter — the last
-        # one the node transmitted (initially σ0).
-        self._last_letter = np.full(graph.num_nodes, initial_letter_id, dtype=np.int64)
+        # one the node transmitted (initially σ0, or the carried letter of a
+        # warm start).
+        if initial_letters is None:
+            self._last_letter = np.full(
+                graph.num_nodes, initial_letter_id, dtype=np.int64
+            )
+        else:
+            encode = table.letter_id if table is not None else compiled.letter_id
+            try:
+                letter_vector = [encode(letter) for letter in initial_letters]
+            except KeyError as exc:
+                raise ProtocolNotVectorizableError(
+                    f"carried letter {exc.args[0]!r} is missing from the "
+                    "compiled table"
+                ) from None
+            self._last_letter = np.asarray(letter_vector, dtype=np.int64)
         indptr, indices = graph.csr_adjacency()
         self._edge_dst = np.asarray(indices, dtype=np.int64)
         degrees = np.diff(np.asarray(indptr, dtype=np.int64))
@@ -282,6 +311,20 @@ class VectorizedEngine:
     def states(self) -> tuple[State, ...]:
         """Current per-node states, decoded back to protocol state objects."""
         return self._decode_states()
+
+    @property
+    def last_letters(self) -> tuple:
+        """Per-node last-transmitted letters, decoded to protocol letters.
+
+        Together with :attr:`states` this is the complete warm-start
+        configuration of a synchronous execution (the engine only
+        broadcasts, so one letter per sender describes every port).
+        """
+        if self._table is not None:
+            decode = self._table.letter_value
+        else:
+            decode = self._compiled.letter_value
+        return tuple(decode(int(i)) for i in self._last_letter)
 
     def in_output_configuration(self) -> bool:
         """Whether every node currently resides in an output state."""

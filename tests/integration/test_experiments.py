@@ -1,4 +1,4 @@
-"""Integration tests of the experiment harness (E1–E12).
+"""Integration tests of the experiment harness (E1–E14).
 
 Each experiment is run with a deliberately small workload so the whole module
 stays fast; the assertions check both that the harness produces a complete
@@ -12,7 +12,9 @@ from repro.analysis.experiments import (
     experiment_baseline_comparison,
     experiment_coloring_decay,
     experiment_coloring_scaling,
+    experiment_dynamic_reconvergence,
     experiment_edge_decay,
+    experiment_emulator_comparison,
     experiment_lba_on_path,
     experiment_linear_space,
     experiment_message_budget,
@@ -26,7 +28,7 @@ from repro.analysis.experiments import (
 
 class TestExperimentRegistry:
     def test_all_experiments_are_registered(self):
-        expected = {f"E{i}" for i in range(1, 13)} | {"A1", "A2"}
+        expected = {f"E{i}" for i in range(1, 15)} | {"A1", "A2"}
         assert set(ALL_EXPERIMENTS) == expected
 
 
@@ -90,6 +92,18 @@ class TestComparisonExperiments:
         report = experiment_model_requirements()
         assert report.passed is True
         assert len(report.rows) >= 6
+
+
+class TestDynamicExperiments:
+    def test_e13_dynamic_reconvergence(self):
+        report = experiment_dynamic_reconvergence(sizes=[24, 48], repetitions=2)
+        assert report.rows
+        assert report.passed is True
+
+    def test_e14_emulator_comparison(self):
+        report = experiment_emulator_comparison(sizes=[24, 48], repetitions=2)
+        assert report.rows
+        assert report.passed is True
 
 
 class TestReportRendering:

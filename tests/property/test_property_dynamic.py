@@ -1,0 +1,125 @@
+"""Property-based tests for the dynamic environment (hypothesis).
+
+Pins the two contracts everything dynamic rests on: the churn schedule's
+counter-based draws are pure functions of ``(key, disturbance, index)`` with
+scalar == batch bitwise, and a ``RunSpec`` with churn fields survives the
+dict/JSON round trip unchanged.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import RunSpec
+from repro.graphs.dynamic import (
+    BurstChurn,
+    DynamicGraph,
+    derive_churn_seed,
+    derive_segment_seed,
+)
+from repro.graphs.generators import gnp_random_graph
+
+keys = st.integers(min_value=0, max_value=2**64 - 1)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestCounterDraws:
+    @given(key=keys, disturbance=st.integers(0, 50), count=st.integers(1, 64))
+    @settings(max_examples=60)
+    def test_batch_equals_scalar_bitwise(self, key, disturbance, count):
+        schedule = BurstChurn().start(16, key)
+        scalar = [schedule.uniform(disturbance, i) for i in range(count)]
+        assert schedule.uniform_batch(disturbance, range(count)) == scalar
+
+    @given(key=keys, disturbance=st.integers(0, 50), index=st.integers(0, 1000))
+    @settings(max_examples=60)
+    def test_draws_are_pure_and_in_unit_interval(self, key, disturbance, index):
+        a = BurstChurn().start(16, key)
+        b = BurstChurn().start(16, key)
+        value = a.uniform(disturbance, index)
+        assert value == b.uniform(disturbance, index)
+        assert 0.0 <= value < 1.0
+
+
+class TestScheduleDeterminism:
+    @given(key=keys, graph_seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_same_key_replays_the_same_disturbance_trail(self, key, graph_seed):
+        base = gnp_random_graph(18, 0.25, seed=graph_seed)
+        policy = BurstChurn(flips=3, disturbances=3)
+
+        def trail():
+            dyn = DynamicGraph(base, policy.start(base.num_nodes, key))
+            events = []
+            for _ in range(dyn.num_disturbances):
+                events.append(tuple(e.to_tuple() for e in dyn.advance()))
+            return events, tuple(dyn.snapshot.edges)
+
+        assert trail() == trail()
+
+
+class TestSeedDerivation:
+    @given(seed=seeds)
+    def test_churn_seed_is_a_pure_function_of_the_spec_seed(self, seed):
+        assert derive_churn_seed(seed) == derive_churn_seed(seed)
+
+    @given(seed=seeds, segments=st.integers(1, 8))
+    def test_segment_seeds_are_distinct_and_start_at_the_spec_seed(
+        self, seed, segments
+    ):
+        derived = [derive_segment_seed(seed, k) for k in range(segments + 1)]
+        assert derived[0] == seed
+        assert len(set(derived)) == len(derived)
+
+
+churn_params = st.fixed_dictionaries(
+    {},
+    optional={
+        "flips": st.integers(1, 8),
+        "disturbances": st.integers(0, 6),
+        "mode": st.sampled_from(["flip", "remove", "add"]),
+    },
+)
+
+
+class TestSpecRoundTrip:
+    @given(
+        seed=seeds,
+        churn_seed=st.one_of(st.none(), seeds),
+        params=churn_params,
+    )
+    @settings(max_examples=60)
+    def test_dynamic_spec_survives_dict_and_json_round_trips(
+        self, seed, churn_seed, params
+    ):
+        spec = RunSpec(
+            protocol="mis",
+            nodes=24,
+            seed=seed,
+            environment="dynamic",
+            churn="burst",
+            churn_seed=churn_seed,
+            churn_params=params,
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert RunSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    @given(seed=seeds, params=churn_params)
+    @settings(max_examples=30)
+    def test_round_trip_preserves_the_built_schedule(self, seed, params):
+        spec = RunSpec(
+            protocol="mis",
+            nodes=24,
+            seed=seed,
+            environment="dynamic",
+            churn="burst",
+            churn_params=params,
+        )
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        a = spec.build_churn().start(24, derive_churn_seed(seed))
+        b = rebuilt.build_churn().start(24, derive_churn_seed(seed))
+        assert a.num_disturbances == b.num_disturbances
+        assert [a.uniform(0, i) for i in range(8)] == [
+            b.uniform(0, i) for i in range(8)
+        ]

@@ -51,7 +51,7 @@ class TestRegistry:
     def test_python_tier_is_the_universal_fallback(self):
         spec = BACKENDS["python"]
         assert spec.availability()[0] is True
-        assert set(spec.environments) == {"sync", "async"}
+        assert set(spec.environments) == {"sync", "async", "dynamic"}
         assert "interpreted" in spec.tabulation_modes
 
     def test_census_rows_are_rank_sorted_and_complete(self):

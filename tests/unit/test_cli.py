@@ -104,11 +104,17 @@ class TestGenericRunCommand:
         exit_code = main(["run", "--list", "--json"])
         census = json.loads(capsys.readouterr().out)
         assert exit_code == 0
-        assert set(census) == {"protocols", "graph_families", "adversaries"}
+        assert set(census) == {
+            "protocols",
+            "graph_families",
+            "adversaries",
+            "churn_policies",
+        }
         assert census["protocols"]["mis"] == "maximal independent set"
         assert {"mis", "coloring", "broadcast", "matching"} <= set(census["protocols"])
         assert "random_tree" in census["graph_families"]
         assert "skewed-rates" in census["adversaries"]
+        assert "burst" in census["churn_policies"]
 
     def test_list_registries_human_readable(self, capsys):
         exit_code = main(["run", "--list"])
@@ -178,7 +184,7 @@ class TestGenericRunCommand:
         exit_code = main(["run", "luby", "--nodes", "8", "--asynchronous"])
         captured = capsys.readouterr()
         assert exit_code == 2
-        assert "does not support the asynchronous environment" in captured.err
+        assert "only supports the synchronous environment" in captured.err
 
     def test_non_object_spec_file_is_a_clean_error(self, capsys, tmp_path):
         bad = tmp_path / "num.json"

@@ -7,7 +7,14 @@ registration (e.g. an import refactor dropping a baseline) fails loudly, and
 check the structural invariants every entry must satisfy.
 """
 
-from repro.api import ADVERSARIES, GRAPH_FAMILIES, PROTOCOLS, RunSpec, Simulation
+from repro.api import (
+    ADVERSARIES,
+    CHURN_POLICIES,
+    GRAPH_FAMILIES,
+    PROTOCOLS,
+    RunSpec,
+    Simulation,
+)
 
 EXPECTED_PROTOCOLS = {
     # The paper's nFSM protocols (spec-runnable).
@@ -19,6 +26,8 @@ EXPECTED_PROTOCOLS = {
     "luby",
     "beeping-sop",
     "cole-vishkin",
+    # Automata workloads (Section 6 reductions, custom runners).
+    "lba-word",
     # Centralized references.
     "greedy-mis",
     "greedy-coloring",
@@ -35,6 +44,10 @@ EXPECTED_FAMILIES = {
     "gnp_sparse",
     "gnp_dense",
     "complete",
+    "preferential_attachment",
+    "random_geometric",
+    "circulant",
+    "emulator",
 }
 
 EXPECTED_ADVERSARIES = {
@@ -44,6 +57,13 @@ EXPECTED_ADVERSARIES = {
     "skewed-rates",
     "bursty",
     "targeted-laggard",
+}
+
+EXPECTED_CHURN_POLICIES = {
+    "burst",
+    "rewire",
+    "drift",
+    "events",
 }
 
 
@@ -56,6 +76,9 @@ class TestCensus:
 
     def test_adversary_census(self):
         assert set(ADVERSARIES.names()) == EXPECTED_ADVERSARIES
+
+    def test_churn_policy_census(self):
+        assert set(CHURN_POLICIES.names()) == EXPECTED_CHURN_POLICIES
 
 
 class TestEntryInvariants:
@@ -71,6 +94,22 @@ class TestEntryInvariants:
     def test_adversary_factories_build_named_policies(self):
         for name, factory in ADVERSARIES.items():
             assert factory().name == name
+
+    def test_churn_factories_build_named_policies(self):
+        for name, factory in CHURN_POLICIES.items():
+            assert factory().name == name
+
+    def test_new_families_generate_connected_sized_graphs(self):
+        for name in ("preferential_attachment", "random_geometric", "circulant"):
+            graph = GRAPH_FAMILIES.get(name)(20, 5)
+            assert graph.num_nodes == 20
+            assert graph.num_edges >= 19  # at least tree-dense: connected
+
+    def test_emulator_family_sparsifies_its_base(self):
+        base = GRAPH_FAMILIES.get("gnp_dense")(24, 9)
+        emulated = GRAPH_FAMILIES.get("emulator")(24, 9, base="gnp_dense")
+        assert emulated.num_nodes == base.num_nodes
+        assert emulated.num_edges <= base.num_edges
 
 
 class TestBaselineRunners:
@@ -94,3 +133,17 @@ class TestBaselineRunners:
         fields, valid, _ = entry.runner(Simulation(), spec, spec.build_graph())
         assert valid
         assert set(fields["colors used"]) <= {0, 1, 2}
+
+    def test_lba_word_runner_decides_both_verdicts(self):
+        entry = PROTOCOLS.get("lba-word")
+        session = Simulation()
+        for word, expected in (("0110", True), ("0111", False)):
+            spec = RunSpec(
+                protocol="lba-word",
+                nodes=8,
+                seed=5,
+                protocol_params={"language": "parity", "word": word},
+            )
+            fields, valid, _ = entry.runner(session, spec, spec.build_graph())
+            assert valid  # verdict matches the reference predicate
+            assert fields["verdict"] is expected

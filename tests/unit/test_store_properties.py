@@ -230,26 +230,37 @@ def test_frozenset_round_trip_is_order_independent(value):
 #: canonicalization rules change — and any such change must come with a
 #: STORE_SCHEMA_VERSION bump (which changes every hash by construction).
 GOLDEN_HASHES = {
-    "f9d5861d8a7e79373f1c125420ea9f6e3fe9e396208dbcdea9c9b2bbc9ddce4c": RunSpec(
+    "a869f56d77a6f57a6cc64785a4a195deef04046d60442710609bf16580e976fe": RunSpec(
         protocol="mis", nodes=32, seed=5
     ),
-    "02e734a5d473649aece80c8df528cbbb207a3e4247c92156482d0977683d3ff9": RunSpec(
+    "adb9be9223b96aa09b89af033890562541371ed14381103a667f9bc410b0c106": RunSpec(
         protocol="coloring", nodes=16, seed=3, graph="random_tree"
     ),
-    "86484e0140def8ebdd2fd0d2bcb2fc5a125460e3897351183ad8136ba911a939": RunSpec(
+    "f57b203eaef1be077871e1c9597ca8ffe4da25f759b56f1444a293d81bf12949": RunSpec(
         protocol="mis", environment="async", nodes=12, seed=7, adversary="uniform"
     ),
     # Sharded spec: shards=4 canonicalizes to shards=1 inside the digest.
-    "2eeff5e66b4f5e8c0446252a837fb889a88797b651ff979fe6278b8cd9e2d426": RunSpec(
+    "74843915111685adc3dc3680e98306e524cda4b33b4c9f36ad045d38a781479a": RunSpec(
         protocol="mis", nodes=32, seed=5, shards=4
+    ),
+    # Dynamic spec: the churn fields are part of the canonical rendering.
+    "c337ee645f051b6e1343015596939884ebba6a28aa91f659289686d49634cce0": RunSpec(
+        protocol="mis",
+        nodes=24,
+        seed=11,
+        environment="dynamic",
+        churn="burst",
+        churn_params={"flips": 3},
     ),
 }
 
 
 def test_schema_version_is_pinned():
-    # Version 3: the backend field is canonicalized to "auto" (every tier
-    # is bitwise-identical, so one cache entry serves them all).
-    assert STORE_SCHEMA_VERSION == 3
+    # Version 4: the dynamic environment's churn/churn_seed/churn_params
+    # fields joined the canonical rendering (version 3 canonicalized the
+    # backend field to "auto" — every tier is bitwise-identical, so one
+    # cache entry serves them all).
+    assert STORE_SCHEMA_VERSION == 4
 
 
 @pytest.mark.parametrize("digest", sorted(GOLDEN_HASHES))
@@ -260,8 +271,9 @@ def test_golden_hashes(digest):
 def test_golden_canonical_json():
     """The full canonical rendering of one spec, byte for byte."""
     assert canonical_spec_json(RunSpec(protocol="mis", nodes=32, seed=5)) == (
-        '{"schema":3,"spec":{"adversary":null,"adversary_params":{},'
-        '"adversary_seed":null,"backend":"auto","environment":"sync",'
+        '{"schema":4,"spec":{"adversary":null,"adversary_params":{},'
+        '"adversary_seed":null,"backend":"auto","churn":null,'
+        '"churn_params":{},"churn_seed":null,"environment":"sync",'
         '"graph":null,"graph_params":{},"graph_seed":null,"inputs":{},'
         '"max_events":5000000,"max_rounds":100000,"nodes":32,'
         '"protocol":"mis","protocol_params":{},"seed":5,"shards":null}}'
