@@ -44,6 +44,7 @@ from __future__ import annotations
 import os
 import pickle
 import traceback
+import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -95,9 +96,18 @@ def effective_shards(shards: int | None) -> int | None:
     """
     if shards is not None:
         return max(int(shards), 1)
+    raw = os.environ.get(SHARDS_ENV, "")
     try:
-        value = int(os.environ.get(SHARDS_ENV, "") or 0)
+        value = int(raw or 0)
     except ValueError:
+        # A malformed value must not silently run unsharded: CI legs set
+        # this variable and a typo would quietly drop their whole purpose.
+        warnings.warn(
+            f"ignoring malformed {SHARDS_ENV}={raw!r} (expected a positive "
+            "integer); running unsharded",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
     return value if value >= 1 else None
 
@@ -108,13 +118,15 @@ def resolve_spec_shards(spec: RunSpec) -> RunSpec:
     Resolution must happen *before* any store lookup — the store hash
     canonicalizes over the shard count but distinguishes sharded
     (counter-rng) from unsharded (serial-rng) executions, so a spec must
-    carry its effective ``shards`` value when hashed.  Specs that cannot
-    shard (async environment, interpreted backend) are returned unchanged
-    rather than failing the validation the explicit field would apply.
+    carry its effective ``shards`` value when hashed.  All three
+    environments shard (sync rounds, async event buckets, dynamic
+    segments); only specs that cannot shard at all (interpreted backend)
+    are returned unchanged rather than failing the validation the explicit
+    field would apply.
     """
     if spec.shards is not None:
         return spec
-    if spec.environment != "sync" or spec.backend == "python":
+    if spec.backend == "python":
         return spec
     resolved = effective_shards(None)
     return spec if resolved is None else spec.replace(shards=resolved)

@@ -160,7 +160,9 @@ def run_sweep_cell(task, spec: RunSpec, session: "Simulation"):
             backend=backend,
             compiled=compiled,
             table=table,
+            shards=spec.shards,
         )
+        session._note_shards(result)
     else:
         compiled, table = session._async_bundle(key, spec.build_protocol, spec.backend)
         result = _run_asynchronous(
@@ -174,7 +176,9 @@ def run_sweep_cell(task, spec: RunSpec, session: "Simulation"):
             raise_on_timeout=False,
             backend=spec.backend,
             table=table,
+            shards=spec.shards,
         )
+        session._note_shards(result)
     if getattr(task, "store", None) is not None:
         from repro.api import store as _store
 
@@ -378,14 +382,22 @@ class Simulation:
         self._shard_stats["halo_bytes_per_round"] += halo_bytes
 
     def _note_shards(self, result: ExecutionResult | None) -> None:
-        """Accumulate one result's shard statistics (no-op when unsharded)."""
+        """Accumulate one result's shard statistics (no-op when unsharded).
+
+        Synchronous shard runs report ``halo_bytes_per_round``; asynchronous
+        ones report ``halo_bytes_per_bucket`` (one exchange per event bucket
+        rather than per round).  Both accumulate into the same counter — it
+        measures boundary traffic per synchronisation step either way.
+        """
         metadata = getattr(result, "metadata", None)
         if not metadata or "shard_count" not in metadata:
             return
         self._shard_stats["runs"] += 1
         self._shard_stats["cut_edges"] += int(metadata.get("cut_edges", 0))
         self._shard_stats["halo_bytes_per_round"] += int(
-            metadata.get("halo_bytes_per_round", 0)
+            metadata.get(
+                "halo_bytes_per_round", metadata.get("halo_bytes_per_bucket", 0)
+            )
         )
 
     def _cached(self, key: tuple, build: Callable[[], tuple]) -> tuple:
@@ -459,16 +471,11 @@ class Simulation:
         by hand).  Explicit ``compiled``/``table`` arguments win over the
         cache.
 
-        ``shards`` opts a synchronous run into intra-run sharded execution
-        on the counter rng stream (see
-        :mod:`repro.scheduling.sharded_engine`); it is rejected for
-        ``environment="async"``.
+        ``shards`` opts the run into intra-run sharded execution on the
+        counter rng stream — synchronous rounds through
+        :mod:`repro.scheduling.sharded_engine`, asynchronous event buckets
+        through :mod:`repro.scheduling.sharded_async_engine`.
         """
-        if shards is not None and environment != "sync":
-            raise SpecError(
-                "shards= applies to the synchronous environment only "
-                f"(got environment={environment!r})"
-            )
         if environment == "sync":
             reason = None
             if cache_key is not None and compiled is None and table is None:
@@ -499,7 +506,7 @@ class Simulation:
                     ("async", cache_key, backend),
                     lambda: (protocol, _lazy_strict_table(protocol, backend)),
                 )
-            return _run_asynchronous(
+            result = _run_asynchronous(
                 graph,
                 protocol,
                 adversary=adversary,
@@ -511,7 +518,10 @@ class Simulation:
                 observer=observer,
                 backend=backend,
                 table=table,
+                shards=shards,
             )
+            self._note_shards(result)
+            return result
         raise SpecError(f"unknown environment {environment!r}; expected 'sync' or 'async'")
 
     def repeat_protocol(
@@ -676,7 +686,7 @@ class Simulation:
             backend, compiled, table, reason = self._sync_bundle(
                 key, spec.build_protocol, spec.backend
             )
-            return _annotated_sync_run(
+            result = _annotated_sync_run(
                 reason,
                 graph,
                 spec.build_protocol(),
@@ -690,9 +700,12 @@ class Simulation:
                 backend=backend,
                 compiled=compiled,
                 table=table,
+                shards=spec.shards,
             )
+            self._note_shards(result)
+            return result
         compiled, table = self._async_bundle(key, spec.build_protocol, spec.backend)
-        return _run_asynchronous(
+        result = _run_asynchronous(
             graph,
             compiled,
             adversary=spec.build_adversary(),
@@ -703,7 +716,10 @@ class Simulation:
             raise_on_timeout=raise_on_timeout,
             backend=spec.backend,
             table=table,
+            shards=spec.shards,
         )
+        self._note_shards(result)
+        return result
 
     def repeat(
         self,
@@ -791,8 +807,9 @@ class Simulation:
             ]
         policy = SeedPolicy(base_seed)
         compiled, table = self._async_bundle(key, spec.build_protocol, spec.backend)
-        return [
-            _run_asynchronous(
+        results = []
+        for repetition in range(repetitions):
+            result = _run_asynchronous(
                 graph,
                 compiled,
                 adversary=spec.build_adversary(),
@@ -803,9 +820,11 @@ class Simulation:
                 raise_on_timeout=raise_on_timeout,
                 backend=spec.backend,
                 table=table,
+                shards=spec.shards,
             )
-            for repetition in range(repetitions)
-        ]
+            self._note_shards(result)
+            results.append(result)
+        return results
 
     def _repeat_stored(
         self,

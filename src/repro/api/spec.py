@@ -86,14 +86,16 @@ class RunSpec:
     max_rounds / max_events:
         Execution budgets of the synchronous / asynchronous engines.
     shards:
-        Intra-run sharded execution (sync only): split the graph across
-        this many shared-memory workers per run (see
-        :mod:`repro.scheduling.sharded_engine`).  ``None`` (the default)
-        keeps the legacy serial rng stream; any integer ``>= 1`` opts into
-        the shard-invariant counter rng stream — ``shards=1`` runs it
-        unsharded and is bitwise identical to every larger shard count.
-        Requires a shardable backend (``"vectorized"``, ``"kernel"`` or
-        ``"auto"``).
+        Intra-run sharded execution: split the graph across this many
+        shared-memory workers per run — synchronous rounds (see
+        :mod:`repro.scheduling.sharded_engine`), asynchronous event buckets
+        (:mod:`repro.scheduling.sharded_async_engine`) and the dynamic
+        environment's synchronous segments all shard.  ``None`` (the
+        default) keeps the legacy serial rng stream; any integer ``>= 1``
+        opts into the shard-invariant counter rng stream — ``shards=1``
+        runs it unsharded and is bitwise identical to every larger shard
+        count.  Requires a shardable backend (``"vectorized"``, ``"kernel"``
+        or ``"auto"``).
     churn:
         Name of a registered churn policy (see :data:`repro.api.registry.
         CHURN_POLICIES`); required by — and only legal in — the
@@ -153,11 +155,6 @@ class RunSpec:
             if not isinstance(self.shards, int) or self.shards < 1:
                 raise SpecError(
                     f"shards must be a positive integer or None, got {self.shards!r}"
-                )
-            if self.environment != "sync":
-                raise SpecError(
-                    "shards= applies to the synchronous engine only "
-                    f"(got environment={self.environment!r})"
                 )
             if self.backend == "python":
                 raise SpecError(

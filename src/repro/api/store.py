@@ -69,7 +69,13 @@ from repro.core.results import ExecutionResult
 #: ``churn_seed``, ``churn_params`` fields) and result payloads may carry
 #: re-convergence metadata; entries written under earlier schemas miss
 #: loudly and are recomputed.
-STORE_SCHEMA_VERSION = 4
+#: Version 5: ``shards`` becomes legal for the asynchronous and dynamic
+#: environments (sharded event buckets / sharded segments).  The
+#: canonicalization rule is unchanged — any shard count >= 1 hashes as 1,
+#: unsharded (``None``) hashes apart — but sharded async/dynamic specs
+#: that version 4 rejected now produce entries, so the version fences
+#: stores written before those streams existed.
+STORE_SCHEMA_VERSION = 5
 
 #: Reserved tag keys of the canonical payload encoding.
 _TAGS = frozenset({"$t", "$s", "$d", "$f", "$b", "$o"})

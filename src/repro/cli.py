@@ -116,10 +116,13 @@ def _backend_fields(result) -> dict:
         fields["backend reason"] = reason
     shard_count = result.metadata.get("shard_count")
     if shard_count is not None:
+        if "halo_bytes_per_bucket" in result.metadata:
+            halo = f"halo={result.metadata.get('halo_bytes_per_bucket')} B/bucket"
+        else:
+            halo = f"halo={result.metadata.get('halo_bytes_per_round')} B/round"
         fields["shards"] = (
             f"{shard_count} ({result.metadata.get('partition_strategy')} "
-            f"partition, cut={result.metadata.get('cut_edges')}, "
-            f"halo={result.metadata.get('halo_bytes_per_round')} B/round)"
+            f"partition, cut={result.metadata.get('cut_edges')}, {halo})"
         )
     return fields
 
@@ -530,11 +533,13 @@ def _add_run_arguments(
                              "processes; results are identical to serial "
                              "execution (default: $REPRO_WORKERS or serial)")
     parser.add_argument("--shards", type=int, default=None,
-                        help="split each synchronous run across this many "
-                             "shared-memory shard workers (counter rng "
-                             "stream; identical results for any shard "
-                             "count >= 1; composes with --workers under a "
-                             "core budget; default: $REPRO_SHARDS or off)")
+                        help="split each run across this many shared-memory "
+                             "shard workers — sync rounds, async event "
+                             "buckets and dynamic segments all shard "
+                             "(counter rng stream; identical results for "
+                             "any shard count >= 1; composes with --workers "
+                             "under a core budget; default: $REPRO_SHARDS "
+                             "or off)")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="attach a content-addressable result store: "
                              "seeded runs are served from DIR when their "

@@ -284,6 +284,7 @@ def _run_asynchronous(
     observer: TransitionObserver | None = None,
     backend: str = "python",
     table=None,
+    shards: int | None = None,
 ) -> ExecutionResult:
     """Build the selected asynchronous engine and run it (internal primitive).
 
@@ -309,6 +310,15 @@ def _run_asynchronous(
     ``"python"`` backend.  Observers are only supported by the interpreted
     engine — supplying one forces ``backend="python"`` semantics under
     ``"auto"`` (and is rejected by the batched tiers).
+
+    ``shards`` opts into intra-run sharded execution of the time-bucketed
+    engine (see :mod:`repro.scheduling.sharded_async_engine`) *and* the
+    counter rng stream for the protocol's multi-option draws — a different
+    deterministic sequence from the legacy serial stream, identical for
+    every shard count ≥ 1 (``shards=1`` runs the unsharded counter engine,
+    the parity reference).  The size heuristic of ``"auto"`` does not apply:
+    a shard request always runs batched when the protocol and the adversary
+    allow it, and ``backend="python"`` with ``shards=`` is an error.
     """
     record_engine_run("async")
     if backend not in ASYNC_BACKENDS:
@@ -318,8 +328,27 @@ def _run_asynchronous(
     from repro.api.backends import Workload, negotiate_backend
 
     negotiation = negotiate_backend(
-        Workload(environment="async", observer=observer is not None), backend
+        Workload(
+            environment="async", observer=observer is not None, shards=shards
+        ),
+        backend,
     )
+    if shards is not None:
+        return _run_sharded_asynchronous(
+            graph,
+            protocol,
+            adversary=adversary,
+            seed=seed,
+            adversary_seed=adversary_seed,
+            inputs=inputs,
+            max_events=max_events,
+            raise_on_timeout=raise_on_timeout,
+            observer=observer,
+            backend=backend,
+            table=table,
+            shards=shards,
+            negotiation=negotiation,
+        )
     use_kernel = negotiation.chosen == "kernel"
     note = negotiation.rejection_note()
     vectorize = backend in ("vectorized", "kernel") or (
@@ -374,6 +403,157 @@ def _run_asynchronous(
         observer=observer,
     )
     result = engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
+    result.metadata.setdefault("backend_reason", reason)
+    return result
+
+
+def _run_sharded_asynchronous(
+    graph: Graph,
+    protocol: Protocol,
+    *,
+    adversary: AdversaryPolicy | None,
+    seed: int | None,
+    adversary_seed: int | None,
+    inputs: Mapping[int, Any] | None,
+    max_events: int,
+    raise_on_timeout: bool,
+    observer: TransitionObserver | None,
+    backend: str,
+    table,
+    shards: int,
+    negotiation,
+) -> ExecutionResult:
+    """Run an asynchronous ``shards=`` request.
+
+    ``shards >= 2`` builds a :class:`~repro.scheduling.sharded_async_engine.
+    ShardedAsyncEngine`; workloads it cannot take (no shared memory, empty
+    graphs) fall back to the *unsharded* vectorized engine on the same
+    counter rng stream — results are identical either way, so the fallback
+    only costs parallelism and is recorded loudly in the selection reason.
+    ``shards == 1`` runs the unsharded counter-rng engine directly: the
+    parity reference for every larger shard count.  A non-batch-capable
+    custom adversary raises :class:`ProtocolNotVectorizableError` under a
+    strict backend request and drops to the interpreter (shards dropped,
+    reason recorded) under ``"auto"``.
+    """
+    from repro.core.errors import ShardingUnavailableError
+    from repro.scheduling.vectorized_async_engine import VectorizedAsynchronousEngine
+
+    shards = int(shards)
+    if shards < 1:
+        raise ExecutionError(f"shards must be >= 1, got {shards}")
+    use_kernel = negotiation.chosen == "kernel"
+    note = negotiation.rejection_note()
+    note_suffix = f" ({note})" if note else ""
+    kernel_suffix = "; compiled kernels" if use_kernel else ""
+
+    def _interpreted(reason: str) -> ExecutionResult:
+        engine = AsynchronousEngine(
+            graph,
+            protocol,
+            adversary=adversary,
+            seed=seed,
+            adversary_seed=adversary_seed,
+            inputs=inputs,
+            observer=observer,
+        )
+        result = engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
+        result.metadata.setdefault("backend_reason", reason)
+        return result
+
+    if negotiation.chosen == "python":
+        # "auto" degraded to the interpreter (observer supplied, or the
+        # batched tiers are unavailable): the shard request is dropped, not
+        # silently honoured on a serial engine.
+        return _interpreted(
+            f"auto stayed interpreted (shards={shards} dropped)"
+            f"{note_suffix or ': batched tiers unavailable'}"
+        )
+
+    fallback_note = None
+    if shards >= 2:
+        from repro.scheduling.sharded_async_engine import ShardedAsyncEngine
+
+        try:
+            engine = ShardedAsyncEngine(
+                graph,
+                protocol,
+                adversary=adversary,
+                seed=seed,
+                adversary_seed=adversary_seed,
+                inputs=inputs,
+                shards=shards,
+            )
+        except ShardingUnavailableError as exc:
+            fallback_note = str(exc)
+        except ProtocolNotVectorizableError as exc:
+            if backend != "auto":
+                raise
+            return _interpreted(
+                f"auto fell back to the interpreter (shards={shards} dropped): {exc}"
+            )
+        else:
+            info = engine.shard_info
+            annotation = dict(
+                backend_mode="sharded",
+                shard_count=info["shard_count"],
+                cut_edges=info["cut_edges"],
+                halo_bytes_per_bucket=info["halo_bytes_per_bucket"],
+                partition_strategy=info["partition_strategy"],
+                backend_reason=(
+                    f"async buckets sharded over {info['shard_count']} workers "
+                    f"({info['partition_strategy']} partition, "
+                    f"cut={info['cut_edges']}); counter rng{note_suffix}"
+                ),
+            )
+            try:
+                result = engine.run(
+                    max_events=max_events, raise_on_timeout=raise_on_timeout
+                )
+            except OutputNotReachedError as exc:
+                if exc.result is not None:
+                    exc.result.metadata.update(annotation)
+                raise
+            finally:
+                engine.close()
+            result.metadata.update(annotation)
+            return result
+
+    try:
+        engine = VectorizedAsynchronousEngine(
+            graph,
+            protocol,
+            adversary=adversary,
+            seed=seed,
+            adversary_seed=adversary_seed,
+            inputs=inputs,
+            table=table,
+            use_kernel=use_kernel,
+            rng_mode="counter",
+        )
+    except ProtocolNotVectorizableError as exc:
+        if backend != "auto":
+            raise
+        return _interpreted(
+            f"auto fell back to the interpreter (shards={shards} dropped): {exc}"
+        )
+    if fallback_note is not None:
+        reason = (
+            f"shards={shards} requested but {fallback_note}; ran unsharded "
+            f"(counter rng{kernel_suffix}){note_suffix}"
+        )
+    else:
+        reason = (
+            f"shards=1: unsharded async run on the counter rng stream"
+            f"{kernel_suffix}{note_suffix}"
+        )
+    result = engine.run(max_events=max_events, raise_on_timeout=raise_on_timeout)
+    result.metadata.update(
+        shard_count=1,
+        cut_edges=0,
+        halo_bytes_per_bucket=0,
+        partition_strategy="none",
+    )
     result.metadata.setdefault("backend_reason", reason)
     return result
 

@@ -67,6 +67,7 @@ def _run_dynamic(
     backend: str = "auto",
     compiled=None,
     table=None,
+    shards: int | None = None,
 ) -> ExecutionResult:
     """Run *protocol* on *graph* under the churn of *churn* (internal primitive).
 
@@ -89,6 +90,14 @@ def _run_dynamic(
     * ``"churn_events"`` — the applied events per disturbance, as JSON
       tuples;
     * ``"restart_counts"`` — how many nodes each disturbance restarted.
+
+    ``shards`` opts every segment into intra-run sharded execution (see
+    :mod:`repro.scheduling.sharded_engine`) on the counter rng stream;
+    warm-start configurations are carried into the shard workers, so a
+    sharded dynamic run is bitwise-identical to ``shards=1`` and to the
+    unsharded counter-rng run.  The partition statistics of the *first*
+    segment are recorded in the result metadata (later segments re-partition
+    each churned snapshot).
     """
     if not isinstance(churn, ChurnPolicy):
         raise ExecutionError(
@@ -114,6 +123,7 @@ def _run_dynamic(
     churn_events: list[list] = []
     restart_counts: list[int] = []
     total_rounds = 0
+    total_node_steps = 0
     total_messages = 0
     reached = True
 
@@ -127,6 +137,7 @@ def _run_dynamic(
             observer=observer,
             compiled=compiled,
             table=table,
+            shards=shards,
             initial_states=states,
             initial_letters=letters,
         )
@@ -138,11 +149,32 @@ def _run_dynamic(
                     selection.reason if reason_override is None else reason_override
                 ),
             )
-        result = engine.run(
-            max_rounds=max_rounds - total_rounds, raise_on_timeout=False
-        )
+            shard_info = getattr(engine, "shard_info", None)
+            if shard_info is not None:
+                annotation.update(
+                    shard_count=shard_info["shard_count"],
+                    cut_edges=shard_info["cut_edges"],
+                    halo_bytes_per_round=shard_info["halo_bytes_per_round"],
+                    partition_strategy=shard_info["partition_strategy"],
+                )
+        try:
+            result = engine.run(
+                max_rounds=max_rounds - total_rounds, raise_on_timeout=False
+            )
+            # Decode before close(): a sharded engine's state/letter views
+            # live in shared memory that close() releases.
+            states = list(engine.states)
+            letters = list(engine.last_letters)
+        finally:
+            close = getattr(engine, "close", None)
+            if close is not None:  # sharded engines own workers + segments
+                close()
         segment_rounds.append(result.rounds)
         total_rounds += result.rounds
+        # Each segment runs on its own churned snapshot, whose node count
+        # may differ from the base graph's — accumulate what each segment
+        # actually reports instead of multiplying the original size.
+        total_node_steps += result.total_node_steps
         total_messages += result.total_messages
         if not result.reached_output:
             reached = False
@@ -151,8 +183,6 @@ def _run_dynamic(
             break
         # Disturb, then carry the configuration across the boundary.
         dynamic.advance()
-        states = list(engine.states)
-        letters = list(engine.last_letters)
         restart = protocol.churn_restart_set(
             dynamic.snapshot, states, dynamic.last_affected
         )
@@ -165,10 +195,10 @@ def _run_dynamic(
     final = build_synchronous_result(
         protocol,
         dynamic.snapshot,
-        engine.states,
+        states,
         reached=reached,
         rounds=total_rounds,
-        total_node_steps=graph.num_nodes * total_rounds,
+        total_node_steps=total_node_steps,
         total_messages=total_messages,
         seed=seed,
     )

@@ -380,6 +380,8 @@ class ShardedVectorizedEngine:
         shards: int = 2,
         partition_strategy: str = "bfs",
         use_kernel: bool = False,
+        initial_states=None,
+        initial_letters=None,
         mp_context=None,
         barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
     ) -> None:
@@ -400,6 +402,16 @@ class ShardedVectorizedEngine:
             raise ExecutionError(f"shards must be >= 1, got {shards}")
         if graph.num_nodes == 0:
             raise ShardingUnavailableError("cannot shard an empty graph")
+        if initial_states is not None and len(initial_states) != graph.num_nodes:
+            raise ExecutionError(
+                "initial_states must hold one state per node "
+                f"(expected {graph.num_nodes}, got {len(initial_states)})"
+            )
+        if initial_letters is not None and len(initial_letters) != graph.num_nodes:
+            raise ExecutionError(
+                "initial_letters must hold one letter per node "
+                f"(expected {graph.num_nodes}, got {len(initial_letters)})"
+            )
         if compiled is None:
             hint = getattr(protocol, "tabulation_hint", lambda: "eager")()
             if hint == "lazy":
@@ -408,10 +420,13 @@ class ShardedVectorizedEngine:
                     "the eager reachable closure"
                 )
             inputs_map = dict(inputs or {})
-            roots = dict.fromkeys(
-                protocol.initial_state(inputs_map.get(node))
-                for node in graph.nodes
-            ) or None
+            if initial_states is not None:
+                roots = dict.fromkeys(initial_states) or None
+            else:
+                roots = dict.fromkeys(
+                    protocol.initial_state(inputs_map.get(node))
+                    for node in graph.nodes
+                ) or None
             compiled = compile_protocol(protocol, roots=roots)
 
         self._graph = graph
@@ -436,9 +451,10 @@ class ShardedVectorizedEngine:
         )
 
         inputs = dict(inputs or {})
-        initial_states = [
-            protocol.initial_state(inputs.get(node)) for node in graph.nodes
-        ]
+        if initial_states is None:
+            initial_states = [
+                protocol.initial_state(inputs.get(node)) for node in graph.nodes
+            ]
         try:
             state_ids = np.asarray(
                 [compiled.state_id(state) for state in initial_states],
@@ -461,7 +477,23 @@ class ShardedVectorizedEngine:
             "option_emit": compiled.option_emit,
             "node_keys": self._partition.inv.astype(np.uint64),
         }
-        initial_letter = np.full(n, compiled.initial_letter_id, dtype=np.int64)
+        if initial_letters is None:
+            initial_letter = np.full(n, compiled.initial_letter_id, dtype=np.int64)
+        else:
+            # A warm start carries each node's last-transmitted letter
+            # across a churn boundary; both ping-pong buffers start from it
+            # so round 0 reads the carried configuration.
+            try:
+                initial_letter = np.asarray(
+                    [compiled.letter_id(letter) for letter in initial_letters],
+                    dtype=np.int64,
+                )
+            except KeyError as exc:
+                raise ProtocolNotVectorizableError(
+                    f"carried letter {exc.args[0]!r} is missing from the "
+                    "compiled table"
+                ) from None
+            initial_letter = initial_letter[np.asarray(self._partition.inv)]
         dynamic_arrays = {
             # state/letters live in permuted order: shard slices are contiguous.
             "state": state_ids[np.asarray(self._partition.inv)],
@@ -552,6 +584,22 @@ class ShardedVectorizedEngine:
     @property
     def states(self):
         return self._decode_states()
+
+    @property
+    def last_letters(self) -> tuple:
+        """Per-node last-transmitted letters, decoded to protocol letters.
+
+        Together with :attr:`states` this is the complete warm-start
+        configuration of a synchronous execution (the engine only
+        broadcasts, so one letter per sender describes every port); the
+        dynamic environment carries both across churn boundaries.
+        """
+        # After r rounds the ping-pong buffer r % 2 holds the letters the
+        # next round would read — the last ones transmitted.
+        current = self._dyn["letters"][self._round % 2]
+        ordered = current[np.asarray(self._partition.perm)]
+        decode = self._compiled.letter_value
+        return tuple(decode(int(i)) for i in ordered)
 
     def in_output_configuration(self) -> bool:
         state = self._dyn["state"]

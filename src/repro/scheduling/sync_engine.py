@@ -273,6 +273,8 @@ def _make_sharded_engine(
     table,
     shards: int,
     negotiation,
+    initial_states=None,
+    initial_letters=None,
 ):
     """Instantiate the engine for a ``shards=`` request.
 
@@ -321,6 +323,8 @@ def _make_sharded_engine(
                 compiled=compiled,
                 shards=shards,
                 use_kernel=use_kernel,
+                initial_states=initial_states,
+                initial_letters=initial_letters,
             )
         except ShardingUnavailableError as exc:
             fallback_note = str(exc)
@@ -332,7 +336,13 @@ def _make_sharded_engine(
                 f"dropped): {exc}"
             )
             engine = SynchronousEngine(
-                graph, protocol, seed=seed, inputs=inputs, observer=observer
+                graph,
+                protocol,
+                seed=seed,
+                inputs=inputs,
+                observer=observer,
+                initial_states=initial_states,
+                initial_letters=initial_letters,
             )
             return engine, BackendSelection(
                 backend,
@@ -368,6 +378,8 @@ def _make_sharded_engine(
             compiled=compiled,
             table=table,
             rng_mode="counter",
+            initial_states=initial_states,
+            initial_letters=initial_letters,
         )
     except ProtocolNotVectorizableError as exc:
         if backend != "auto":
@@ -376,7 +388,13 @@ def _make_sharded_engine(
             f"auto fell back to the interpreter (shards={shards} dropped): {exc}"
         )
         engine = SynchronousEngine(
-            graph, protocol, seed=seed, inputs=inputs, observer=observer
+            graph,
+            protocol,
+            seed=seed,
+            inputs=inputs,
+            observer=observer,
+            initial_states=initial_states,
+            initial_letters=initial_letters,
         )
         return engine, BackendSelection(
             backend,
@@ -462,11 +480,6 @@ def _make_engine(
         backend,
     )
     if shards is not None:
-        if initial_states is not None or initial_letters is not None:
-            raise ExecutionError(
-                "warm-start configurations (dynamic environment) do not "
-                "compose with intra-run sharding"
-            )
         return _make_sharded_engine(
             graph,
             protocol,
@@ -478,6 +491,8 @@ def _make_engine(
             table=table,
             shards=shards,
             negotiation=negotiation,
+            initial_states=initial_states,
+            initial_letters=initial_letters,
         )
     rejected = list(negotiation.rejected)
     for tier in negotiation.tiers:

@@ -10,6 +10,7 @@ import pytest
 
 from repro.api import RunSpec, Simulation
 from repro.core import counters
+from repro.scheduling.sharded_engine import sharding_supported
 from repro.protocols.coloring import coloring_from_result
 from repro.protocols.mis import mis_from_result
 from repro.verification.checkers import (
@@ -154,3 +155,98 @@ class TestStoreReplay:
         assert is_maximal_independent_set(
             replayed.graph, mis_from_result(replayed)
         )
+
+
+@pytest.mark.skipif(
+    not sharding_supported(), reason="platform lacks POSIX shared memory"
+)
+class TestShardedDynamicParity:
+    """shards= composes with churn: every segment runs sharded, warm starts
+    are carried into the shard workers, and the result is bitwise identical
+    to the unsharded counter-rng run for any shard count >= 1."""
+
+    @pytest.mark.parametrize(
+        "protocol,family,churn,params",
+        [
+            ("mis", "gnp_sparse", "burst", {"flips": 3, "disturbances": 3}),
+            ("mis", "gnp_sparse", "drift", {}),
+        ],
+        ids=lambda w: str(w),
+    )
+    def test_shard_counts_agree_bitwise(self, protocol, family, churn, params):
+        session = Simulation()
+        results = {
+            shards: session.simulate(
+                _spec(protocol, family, churn, params, 23).replace(shards=shards)
+            )
+            for shards in (1, 2, 4)
+        }
+        reference = results[1]
+        assert reference.metadata["shard_count"] == 1
+        for shards in (2, 4):
+            candidate = results[shards]
+            assert candidate.summary_fields() == reference.summary_fields()
+            for key in DYNAMIC_METADATA_KEYS:
+                assert candidate.metadata[key] == reference.metadata[key], key
+            assert candidate.outputs == reference.outputs
+            assert candidate.metadata["backend_mode"] == "sharded"
+            assert candidate.metadata["shard_count"] == shards
+            # First-segment partition stats are stamped on the run.
+            assert candidate.metadata["partition_strategy"] == "bfs"
+            assert candidate.metadata["halo_bytes_per_round"] >= 0
+
+    def test_deterministic_protocol_matches_the_interpreter_bitwise(self):
+        """Broadcast never draws (single-option transitions), so the rng
+        stream is irrelevant and a sharded dynamic run must equal the
+        python interpreter exactly — segments, metadata and all."""
+        session = Simulation()
+        spec = RunSpec(
+            protocol="broadcast",
+            graph="random_tree",
+            nodes=32,
+            seed=41,
+            environment="dynamic",
+            churn="burst",
+            churn_params={"flips": 2, "disturbances": 2, "mode": "add"},
+            inputs={"source": 0},
+        )
+        interpreted = session.simulate(spec.replace(backend="python"))
+        sharded = session.simulate(spec.replace(shards=2))
+        assert sharded.summary_fields() == interpreted.summary_fields()
+        for key in DYNAMIC_METADATA_KEYS:
+            assert sharded.metadata[key] == interpreted.metadata[key], key
+        assert sharded.outputs == interpreted.outputs
+
+
+class TestStepAccounting:
+    """``total_node_steps`` accumulates what each segment actually reports.
+
+    The synchronous interpreter and the vectorized engines charge every
+    node of the *running snapshot* one step per round, so a dynamic run
+    must report exactly ``num_nodes * rounds`` summed segment by segment —
+    not ``num_nodes * total_rounds`` computed once from the base graph,
+    which silently assumes every snapshot keeps the base node count."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 59])
+    def test_steps_equal_the_per_segment_sum_under_node_churn(self, seed):
+        # 'drift' emits node_off/node_on events: the snapshot's *active*
+        # topology changes between segments even though the node universe
+        # is fixed.
+        result = Simulation().simulate(
+            _spec("mis", "gnp_sparse", "drift", {}, seed)
+        )
+        meta = result.metadata
+        assert meta["churn_policy"] == "drift"
+        rounds_per_segment = [meta["initial_rounds"], *meta["reconvergence_rounds"]]
+        assert result.rounds == sum(rounds_per_segment)
+        assert result.total_node_steps == result.graph.num_nodes * sum(
+            rounds_per_segment
+        )
+
+    def test_messages_and_steps_accumulate_across_segments(self):
+        result = Simulation().simulate(
+            _spec("mis", "gnp_sparse", "burst", {"flips": 2, "disturbances": 2}, 7)
+        )
+        assert result.metadata["disturbances"] == 2
+        assert result.total_node_steps == result.graph.num_nodes * result.rounds
+        assert result.total_messages > 0

@@ -149,6 +149,61 @@ class TestSuite:
             )
 
 
+class TestExponentialBaseline:
+    """Named baseline for the future time-warp optimisation (ROADMAP).
+
+    The exponential policy is the one shipped adversary stuck at ~1×
+    vectorized/sharded speedup: its delay floor is the only safe lower
+    bound on in-flight deliveries, so the time-bucket margin collapses to
+    the floor and a bucket rarely holds more than one node step.  Pin
+    (a) bitwise scalar-vs-batch equality of the draws and (b) the
+    bucket-size bound itself, so any future lookahead/time-warp change
+    has a regression anchor to beat.
+    """
+
+    def test_scalar_and_batch_draws_agree_bitwise(self):
+        np = pytest.importorskip("numpy")
+        schedule = ExponentialAdversary().start(complete_graph(16), random.Random(29))
+        assert schedule.batch_capable
+        nodes = np.repeat(np.arange(16), 40)
+        steps = np.tile(np.arange(1, 41), 16)
+        receivers = (nodes + 5) % 16
+        lengths = schedule.step_lengths(nodes, steps)
+        delays = schedule.delivery_delays(nodes, steps, receivers)
+        assert all(
+            schedule.step_length(int(v), int(t)) == float(value)
+            for v, t, value in zip(nodes, steps, lengths)
+        )
+        assert all(
+            schedule.delivery_delay(int(v), int(t), int(u)) == float(value)
+            for v, t, u, value in zip(nodes, steps, receivers, delays)
+        )
+
+    def test_delay_floor_collapses_the_bucket_margin(self):
+        np = pytest.importorskip("numpy")
+        policy = ExponentialAdversary()
+        schedule = policy.start(complete_graph(64), random.Random(7))
+        # The floor is the only safe margin once messages are in flight.
+        assert schedule.delay_lower_bound() == policy.floor == 1e-3
+        # First safe bucket of a 64-node run: horizon = min(next_time +
+        # margin).  With the default floor, exactly one node makes the
+        # bucket — the engine batches nothing and runs effectively
+        # serially.  The synchronous policy under the same construction
+        # admits the whole network per bucket.
+        n = 64
+        next_time = schedule.step_lengths(
+            np.arange(n), np.ones(n, dtype=np.int64)
+        )
+        margin = np.full(n, schedule.delay_lower_bound())
+        horizon = float((next_time + margin).min())
+        assert int((next_time < horizon).sum()) == 1
+        sync = SynchronousAdversary().start(complete_graph(64), random.Random(7))
+        sync_next = sync.step_lengths(np.arange(n), np.ones(n, dtype=np.int64))
+        sync_margin = np.full(n, sync.delay_lower_bound())
+        sync_horizon = float((sync_next + sync_margin).min())
+        assert int((sync_next < sync_horizon).sum()) == n
+
+
 @pytest.mark.parametrize("policy", default_adversary_suite(), ids=lambda p: p.name)
 class TestBatchSampling:
     """The batch interface of every shipped policy (satellite of PR 2)."""

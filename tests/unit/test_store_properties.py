@@ -56,11 +56,12 @@ def specs_strategy(draw):
     if environment == "async":
         adversary = draw(st.none() | st.sampled_from(["uniform", "bursty"]))
         adversary_seed = draw(st.none() | st.integers(min_value=0, max_value=2**31))
-        shards = None
     else:
         adversary = None
         adversary_seed = None
-        shards = draw(st.none() | st.integers(min_value=1, max_value=8))
+    # Every environment shards (sync rounds, async event buckets, dynamic
+    # segments) since schema version 5.
+    shards = draw(st.none() | st.integers(min_value=1, max_value=8))
     params = st.dictionaries(st.text(min_size=1, max_size=6), json_values, max_size=3)
     return RunSpec(
         protocol=draw(st.sampled_from(["mis", "coloring", "broadcast"])),
@@ -147,10 +148,9 @@ def test_hash_is_shard_count_invariant(spec, shards_a, shards_b):
     Any ``shards >= 1`` selects the same counter rng stream and therefore
     the same result — one cache entry serves them all.  ``shards=None``
     (the legacy serial rng) is a different random process and must keep a
-    distinct address.
+    distinct address.  Holds in every environment — async event buckets
+    and dynamic segments shard under the same counter-rng contract.
     """
-    if spec.environment != "sync":
-        spec = spec.replace(environment="sync", adversary=None, adversary_seed=None)
     sharded_a = spec.replace(shards=shards_a)
     sharded_b = spec.replace(shards=shards_b)
     unsharded = spec.replace(shards=None)
@@ -230,21 +230,21 @@ def test_frozenset_round_trip_is_order_independent(value):
 #: canonicalization rules change — and any such change must come with a
 #: STORE_SCHEMA_VERSION bump (which changes every hash by construction).
 GOLDEN_HASHES = {
-    "a869f56d77a6f57a6cc64785a4a195deef04046d60442710609bf16580e976fe": RunSpec(
+    "556b0ba56617017c1272705b54d4cdd24e8d2ffc38e92d32d5652425a867753e": RunSpec(
         protocol="mis", nodes=32, seed=5
     ),
-    "adb9be9223b96aa09b89af033890562541371ed14381103a667f9bc410b0c106": RunSpec(
+    "0690867745e7f19dd6a0951ef7a476a11526032de350c05c0430d4a849c636f5": RunSpec(
         protocol="coloring", nodes=16, seed=3, graph="random_tree"
     ),
-    "f57b203eaef1be077871e1c9597ca8ffe4da25f759b56f1444a293d81bf12949": RunSpec(
+    "c6d3f5b8f06859adc83a49f55b3423268907afa2f2678372ae91f869af084e34": RunSpec(
         protocol="mis", environment="async", nodes=12, seed=7, adversary="uniform"
     ),
     # Sharded spec: shards=4 canonicalizes to shards=1 inside the digest.
-    "74843915111685adc3dc3680e98306e524cda4b33b4c9f36ad045d38a781479a": RunSpec(
+    "bc8293615e41fd89bb77971a366725c7f4729e12b4a856b798d26ff014eff9b9": RunSpec(
         protocol="mis", nodes=32, seed=5, shards=4
     ),
     # Dynamic spec: the churn fields are part of the canonical rendering.
-    "c337ee645f051b6e1343015596939884ebba6a28aa91f659289686d49634cce0": RunSpec(
+    "ba8cdf4d0b9db4c9d10391ad407fa02b56c8d51c8854181fb850cb2715d8f06d": RunSpec(
         protocol="mis",
         nodes=24,
         seed=11,
@@ -252,15 +252,25 @@ GOLDEN_HASHES = {
         churn="burst",
         churn_params={"flips": 3},
     ),
+    # Sharded async spec (legal since schema 5): shard count canonicalizes
+    # to 1 here too.
+    "7fed352bdbe822fcf171df99cb1e998127e0fc430ced27c2c435cad6cd8bd447": RunSpec(
+        protocol="mis",
+        environment="async",
+        nodes=12,
+        seed=7,
+        adversary="uniform",
+        shards=4,
+    ),
 }
 
 
 def test_schema_version_is_pinned():
-    # Version 4: the dynamic environment's churn/churn_seed/churn_params
-    # fields joined the canonical rendering (version 3 canonicalized the
-    # backend field to "auto" — every tier is bitwise-identical, so one
-    # cache entry serves them all).
-    assert STORE_SCHEMA_VERSION == 4
+    # Version 5: shards became legal for the async and dynamic environments
+    # (version 4 added the dynamic environment's churn fields; version 3
+    # canonicalized the backend field to "auto" — every tier is
+    # bitwise-identical, so one cache entry serves them all).
+    assert STORE_SCHEMA_VERSION == 5
 
 
 @pytest.mark.parametrize("digest", sorted(GOLDEN_HASHES))
@@ -271,7 +281,7 @@ def test_golden_hashes(digest):
 def test_golden_canonical_json():
     """The full canonical rendering of one spec, byte for byte."""
     assert canonical_spec_json(RunSpec(protocol="mis", nodes=32, seed=5)) == (
-        '{"schema":4,"spec":{"adversary":null,"adversary_params":{},'
+        '{"schema":5,"spec":{"adversary":null,"adversary_params":{},'
         '"adversary_seed":null,"backend":"auto","churn":null,'
         '"churn_params":{},"churn_seed":null,"environment":"sync",'
         '"graph":null,"graph_params":{},"graph_seed":null,"inputs":{},'
